@@ -1,0 +1,23 @@
+"""Benchmark harness configuration.
+
+Every bench regenerates one paper artefact (a figure or a materialised
+prose comparison), prints the regenerated table alongside the paper's
+expectation, and asserts the qualitative *shape* — who wins, what gets
+blocked — rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print through pytest's capture so tables always reach the user."""
+    import sys
+
+    def _show(*parts: object) -> None:
+        text = "\n".join(str(p) for p in parts)
+        sys.stdout.write("\n" + text + "\n")
+
+    return _show

@@ -1,0 +1,99 @@
+"""ABL-2: SMART's load-bearing design choices, lesioned one at a time.
+
+DESIGN.md design-choice #2: the paper explains SMART's triple of
+(PC-gated key, interrupts disabled, trace cleanup) as individually
+necessary.  Each lesion re-enables exactly one concrete key-extraction
+path:
+
+    no PC gate     -> any code reads the key from its address
+    no IRQ disable -> a malicious ISR reads the working copy mid-HMAC
+    no cleanup     -> the working copy survives in RAM afterwards
+
+Expected shape: the intact design resists all three probes; each lesion
+falls to exactly its probe.
+"""
+
+from __future__ import annotations
+
+from repro.arch.smart import KEY_ADDR, KEY_SIZE, SCRATCH_ADDR, SMART
+from repro.attacks.base import AttackerProcess
+from repro.core.comparison import render_table
+from repro.cpu import make_embedded_soc
+
+REGION = 0x8000_4000
+NONCE = b"fresh-nonce-0001"
+
+
+def _probe_direct_key_read(smart: SMART) -> bool:
+    """Attack 1: read the key bytes from regular code."""
+    attacker = AttackerProcess(smart, core_id=0)
+    ok, value = attacker.try_read(KEY_ADDR)
+    return ok and value.to_bytes(8, "little") \
+        == smart.shared_key_for_verifier()[:8]
+
+
+def _probe_isr_snoop(smart: SMART) -> bool:
+    """Attack 2: malicious ISR pending during attestation reads scratch."""
+    captured = []
+
+    def isr(core):
+        captured.append(
+            smart.soc.memory.read_bytes(SCRATCH_ADDR, KEY_SIZE))
+
+    smart.soc.cores[0].pend_interrupt(isr)
+    smart.attest_region(REGION, 2048, NONCE)
+    return any(blob == smart.shared_key_for_verifier()
+               for blob in captured)
+
+
+def _probe_residue(smart: SMART) -> bool:
+    """Attack 3: read the scratch area after attestation returns."""
+    smart.attest_region(REGION, 64, NONCE)
+    residue = smart.soc.memory.read_bytes(SCRATCH_ADDR, KEY_SIZE)
+    return residue == smart.shared_key_for_verifier()
+
+
+PROBES = [
+    ("direct key read", _probe_direct_key_read),
+    ("ISR snoop", _probe_isr_snoop),
+    ("RAM residue", _probe_residue),
+]
+
+VARIANTS = [
+    ("intact design", {}),
+    ("no PC gate", {"pc_gate": False}),
+    ("interrupts enabled", {"disable_interrupts": False}),
+    ("no cleanup", {"cleanup": False}),
+]
+
+
+def test_abl2_smart_lesions(benchmark, show):
+    def sweep():
+        grid = {}
+        for label, kwargs in VARIANTS:
+            for probe_name, probe in PROBES:
+                smart = SMART(make_embedded_soc(), **kwargs)
+                smart.soc.memory.write_bytes(REGION, b"app image")
+                grid[(label, probe_name)] = probe(smart)
+        return grid
+
+    grid = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    headers = ["variant"] + [name for name, _ in PROBES]
+    rows = [[label] + ["LEAKED" if grid[(label, name)] else "safe"
+                       for name, _ in PROBES]
+            for label, _ in VARIANTS]
+    show("=== ABL-2: SMART design lesions vs key-extraction probes ===",
+         render_table(headers, rows))
+
+    # The intact design resists everything.
+    for probe_name, _ in PROBES:
+        assert not grid[("intact design", probe_name)]
+
+    # Each lesion falls to exactly its own probe.
+    assert grid[("no PC gate", "direct key read")]
+    assert not grid[("no PC gate", "ISR snoop")]
+    assert grid[("interrupts enabled", "ISR snoop")]
+    assert not grid[("interrupts enabled", "direct key read")]
+    assert grid[("no cleanup", "RAM residue")]
+    assert not grid[("no cleanup", "direct key read")]

@@ -1,0 +1,104 @@
+"""Simulator micro-benchmarks: the hot paths downstream users will feel.
+
+Not a paper artefact — these track the cost of the simulation primitives
+(cache access, full-path core loads, AES variants, attack building
+blocks) so performance regressions in the substrate are visible in CI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.cpu import make_embedded_soc, make_server_soc
+from repro.crypto.aes import AES128, MaskedAES, TTableAES
+from repro.crypto.rng import XorShiftRNG
+from repro.crypto.sha256 import sha256
+from repro.isa import assemble
+
+KEY = bytes(range(16))
+BLOCK = bytes(16)
+
+
+def test_perf_cache_hierarchy_access(benchmark):
+    hierarchy = CacheHierarchy(HierarchyConfig(num_cores=2))
+    addrs = [0x8000_0000 + i * 64 for i in range(512)]
+
+    def run():
+        for addr in addrs:
+            hierarchy.access(0, addr)
+
+    benchmark(run)
+
+
+def test_perf_core_load_loop(benchmark):
+    soc = make_embedded_soc()
+    core = soc.cores[0]
+    program = assemble("""
+    entry:
+        li r1, 0x80008000
+        li r2, 0
+        li r3, 64
+    loop:
+        load r4, 0(r1)
+        addi r1, r1, 64
+        addi r2, r2, 1
+        blt r2, r3, loop
+        halt
+    """, base=0x8000_1000)
+
+    def run():
+        core.load_program(program, entry="entry")
+        core.run()
+
+    benchmark(run)
+
+
+def test_perf_speculative_core_with_mispredicts(benchmark):
+    soc = make_server_soc()
+    core = soc.cores[0]
+    # A data-dependent branch pattern: plenty of mispredictions.
+    program = assemble("""
+    entry:
+        li r1, 0
+        li r2, 100
+        li r5, 3
+    loop:
+        addi r1, r1, 1
+        mul r4, r1, r1
+        and r4, r4, r5
+        beq r4, r0, skip
+        nop
+    skip:
+        blt r1, r2, loop
+        halt
+    """, base=0x8000_1000)
+
+    def run():
+        core.load_program(program, entry="entry")
+        core.run()
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("cipher_name,factory", [
+    ("reference", lambda: AES128(KEY)),
+    ("ttable", lambda: TTableAES(KEY)),
+    ("masked", lambda: MaskedAES(KEY, XorShiftRNG(1))),
+])
+def test_perf_aes_block(benchmark, cipher_name, factory):
+    cipher = factory()
+    benchmark(cipher.encrypt_block, BLOCK)
+
+
+def test_perf_sha256_1kib(benchmark):
+    data = bytes(range(256)) * 4
+    benchmark(sha256, data)
+
+
+def test_perf_enclave_encrypt_full_path(benchmark):
+    """One enclave AES encryption through MMU+MEE+bus+caches (SGX)."""
+    from repro.arch import SGX
+    sgx = SGX(make_server_soc())
+    victim = sgx.deploy_aes_victim(KEY)
+    benchmark(victim.encrypt, BLOCK)

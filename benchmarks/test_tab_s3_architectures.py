@@ -1,0 +1,57 @@
+"""TAB-S3: the Section 3 architecture comparison, feature-verified.
+
+Paper artefact: the prose comparison of SGX, Sanctum, TrustZone,
+Sanctuary, SMART, Sancus, TrustLite and TyTAN (TCB, enclave count, memory
+encryption, cache defence, DMA protection, attestation).
+
+Reproduction: one row per architecture from its mechanised model, with
+the DMA-protection claim *verified live* by aiming a malicious DMA engine
+at the architecture's protected asset.  Expected shape: the verified
+column matches the paper's claims — SGX aborts, Sanctum filters,
+TrustZone/Sanctuary reject at the TZASC, SMART/TrustLite leak (DMA is
+outside their threat model).
+"""
+
+from __future__ import annotations
+
+from repro.core.comparison import architecture_feature_table, render_table
+
+
+def test_tab_s3_architecture_features(benchmark, show):
+    headers, rows = benchmark.pedantic(architecture_feature_table,
+                                       rounds=1, iterations=1)
+    show("=== TAB-S3: architecture comparison (DMA claim verified live) ===",
+         render_table(headers, rows))
+
+    by_name = {row[0]: dict(zip(headers, row)) for row in rows}
+
+    # Section 3.1: SGX encrypts, Sanctum does not; Sanctum partitions the
+    # LLC, SGX does not.
+    assert by_name["sgx"]["mem. encryption"] == "yes"
+    assert by_name["sanctum"]["mem. encryption"] == "no"
+    assert by_name["sanctum"]["cache defence"] == "LLC partitioning"
+    assert by_name["sgx"]["cache defence"] == "none"
+
+    # Section 3.2: TrustZone one enclave, Sanctuary many without new HW.
+    assert by_name["trustzone"]["enclaves"] == "1"
+    assert by_name["sanctuary"]["enclaves"] == "N"
+    assert by_name["trustzone"]["new HW"] == "no"
+    assert by_name["sanctuary"]["new HW"] == "no"
+    assert by_name["sanctuary"]["cache defence"] == "cache exclusion"
+
+    # DMA verification column matches each design's claim.
+    assert by_name["sgx"]["DMA verified"] == "blocked"
+    assert by_name["sanctum"]["DMA verified"] == "blocked"
+    assert by_name["trustzone"]["DMA verified"] == "blocked"
+    assert by_name["sanctuary"]["DMA verified"] == "blocked"
+    assert by_name["smart"]["DMA verified"] == "leaked"
+    assert by_name["trustlite"]["DMA verified"] == "leaked plaintext"
+    assert by_name["tytan"]["DMA verified"] == "leaked plaintext"
+    assert "n/a" in by_name["sancus"]["DMA verified"]
+
+    # Section 3.3: SMART/Sancus attest only; TrustLite/TyTAN isolate.
+    assert by_name["smart"]["enclaves"] == "none"
+    assert by_name["sancus"]["software TCB"] == "none"
+    assert by_name["trustlite"]["enclaves"].startswith("N")
+
+    benchmark.extra_info["architectures"] = len(rows)

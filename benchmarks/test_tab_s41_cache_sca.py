@@ -1,0 +1,52 @@
+"""TAB-S41: cache side-channel protection across architectures.
+
+Paper artefact (Section 4.1): "SGX and TrustZone do not provide cache
+side-channel protection on an architectural level for their enclaves
+[8, 44] ... Sanctum provides partitioning for the shared last-level
+cache.  Sanctuary ... protects from cache side-channel attacks by
+excluding the Sanctuary memory from the shared caches."
+
+Reproduction: Prime+Probe and Flush+Reload executed against the same
+T-table AES enclave under each architecture.  Expected shape: the
+baseline and SGX/TrustZone leak key nibbles; Sanctum and Sanctuary
+reduce recovery to zero.
+"""
+
+from __future__ import annotations
+
+from repro.core.comparison import (
+    cache_defence_table,
+    render_cache_defence_table,
+)
+
+
+def test_tab_s41_cache_side_channels(benchmark, show):
+    rows = benchmark.pedantic(
+        lambda: cache_defence_table(quick=True), rounds=1, iterations=1)
+    show("=== TAB-S41: cache side-channel attacks vs architectures ===",
+         render_cache_defence_table(rows),
+         "(scores = fraction of attacked key nibbles recovered)")
+
+    by_name = {row.architecture: row for row in rows}
+
+    # The undefended baseline and the two no-defence TEEs leak.
+    assert by_name["none"].prime_probe >= 0.75
+    assert by_name["sgx"].prime_probe >= 0.75
+    assert by_name["trustzone"].prime_probe >= 0.75
+
+    # Flush+Reload needs shared victim pages: full recovery on the
+    # baseline, denied outright against every enclave.
+    assert by_name["none"].flush_reload >= 0.75
+    for name in ("sgx", "sanctum", "trustzone", "sanctuary"):
+        assert by_name[name].flush_reload == 0.0
+
+    # The paper's two defences hold.
+    assert by_name["sanctum"].prime_probe == 0.0
+    assert by_name["sanctuary"].prime_probe == 0.0
+    assert by_name["sanctum"].protected
+    assert by_name["sanctuary"].protected
+    assert not by_name["sgx"].protected
+    assert not by_name["trustzone"].protected
+
+    benchmark.extra_info["leaky"] = [r.architecture for r in rows
+                                     if not r.protected]

@@ -1,0 +1,144 @@
+"""TAB-S5: classical physical attacks and countermeasures (Section 5).
+
+Paper artefacts: the SCA countermeasure taxonomy ("hiding and masking"),
+the fault-attack discussion (Bellcore [5], fault analysis [19]) and
+CLKSCREW [37].
+
+Reproduction, four sub-experiments:
+  * CPA trace-count sweep over unprotected / masked / shuffled AES —
+    masking kills first-order recovery, hiding (shuffling) degrades it;
+  * Kocher timing attack vs square-and-multiply and Montgomery ladder;
+  * Bellcore RSA-CRT fault attack with and without result verification;
+  * CLKSCREW against a secure-world AES with and without regulator gating.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.clkscrew_attack import ClkscrewAttack
+from repro.attacks.dpa import cpa_recover_key, key_recovery_rate
+from repro.attacks.fault_attacks import BellcoreRSAAttack
+from repro.attacks.timing import KocherTimingAttack
+from repro.common import PlatformClass, World
+from repro.cpu import SoC, SoCConfig, make_mobile_soc
+from repro.core.comparison import render_table
+from repro.crypto.aes import AES128, MaskedAES
+from repro.crypto.rng import XorShiftRNG
+from repro.crypto.rsa import RSA, generate_rsa_key
+from repro.power.instrument import capture_aes_traces
+from repro.power.leakage import HammingWeightModel
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+TRACE_COUNTS = (50, 150, 400)
+
+
+def _acquire(variant: str, n: int):
+    model = HammingWeightModel(noise_std=1.5, rng=XorShiftRNG(3))
+    if variant == "masked":
+        mask_rng = XorShiftRNG(11)
+        factory = lambda leak: MaskedAES(KEY, mask_rng, leak_hook=leak)
+        return capture_aes_traces(factory, n, model, rng=XorShiftRNG(4))
+    factory = lambda leak: AES128(KEY, leak_hook=leak)
+    return capture_aes_traces(factory, n, model, rng=XorShiftRNG(4),
+                              shuffle=(variant == "shuffled"))
+
+
+def test_tab_s5_power_analysis_countermeasures(benchmark, show):
+    def sweep():
+        results = {}
+        for variant in ("unprotected", "masked", "shuffled"):
+            traces = _acquire(variant, max(TRACE_COUNTS))
+            results[variant] = {
+                n: key_recovery_rate(
+                    cpa_recover_key(traces.subset(n)), KEY)
+                for n in TRACE_COUNTS}
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    headers = ["implementation"] + [f"CPA@{n} traces" for n in TRACE_COUNTS]
+    rows = [[variant] + [f"{results[variant][n]:.2f}"
+                         for n in TRACE_COUNTS]
+            for variant in ("unprotected", "masked", "shuffled")]
+    show("=== TAB-S5a: CPA key recovery vs countermeasure ===",
+         render_table(headers, rows))
+
+    # Unprotected: full key at modest trace counts.
+    assert results["unprotected"][400] == 1.0
+    # Masking: first-order CPA finds (almost) nothing at any count.
+    assert results["masked"][400] <= 0.2
+    # Hiding: degraded, strictly worse than unprotected.
+    assert results["shuffled"][400] <= 0.5
+
+    benchmark.extra_info["recovery"] = {
+        k: v[400] for k, v in results.items()}
+
+
+def test_tab_s5_timing_attack(benchmark, show):
+    key = generate_rsa_key(64, XorShiftRNG(5))
+
+    def attack_both():
+        leaky = KocherTimingAttack(RSA(key), samples=1000, max_bits=12,
+                                   rng=XorShiftRNG(2)).run()
+        ladder = KocherTimingAttack(RSA(key, constant_time=True),
+                                    samples=1000, max_bits=12,
+                                    rng=XorShiftRNG(2)).run()
+        return leaky, ladder
+
+    leaky, ladder = benchmark.pedantic(attack_both, rounds=1, iterations=1)
+    show("=== TAB-S5b: Kocher timing attack (12 exponent bits) ===",
+         render_table(
+             ["victim", "bits recovered", "verdict"],
+             [["square-and-multiply", f"{leaky.score:.2f}", str(leaky.success)],
+              ["montgomery ladder", f"{ladder.score:.2f}",
+               str(ladder.success)]]))
+    assert leaky.success
+    assert not ladder.success
+
+
+def test_tab_s5_bellcore_fault_attack(benchmark, show):
+    key = generate_rsa_key(96, XorShiftRNG(6))
+
+    def attack_both():
+        plain = BellcoreRSAAttack(RSA(key), rng=XorShiftRNG(1)).run()
+        guarded = BellcoreRSAAttack(RSA(key, verify_signatures=True),
+                                    rng=XorShiftRNG(1)).run()
+        return plain, guarded
+
+    plain, guarded = benchmark.pedantic(attack_both, rounds=1, iterations=1)
+    show("=== TAB-S5c: Bellcore RSA-CRT fault attack ===",
+         render_table(
+             ["signer", "modulus factored", "faulty sigs released"],
+             [["unprotected CRT", str(plain.success), "yes"],
+              ["verify-before-release", str(guarded.success),
+               f"no ({guarded.details['refusals']} refusals)"]]))
+    assert plain.success
+    assert not guarded.success
+
+
+def test_tab_s5_clkscrew(benchmark, show):
+    def attack_three():
+        open_soc = ClkscrewAttack(make_mobile_soc(), KEY,
+                                  rng=XorShiftRNG(3)).run()
+        gated = SoC(SoCConfig(name="gated", platform=PlatformClass.MOBILE,
+                              num_cores=2, dvfs_secure_world_gated=True))
+        gated.set_world(0, World.SECURE)
+        gated_result = ClkscrewAttack(gated, KEY, rng=XorShiftRNG(3)).run()
+        limited = SoC(SoCConfig(name="lim", platform=PlatformClass.MOBILE,
+                                num_cores=2,
+                                dvfs_hardware_limit_mhz=2200.0))
+        limited_result = ClkscrewAttack(limited, KEY,
+                                        rng=XorShiftRNG(3)).run()
+        return open_soc, gated_result, limited_result
+
+    open_soc, gated, limited = benchmark.pedantic(attack_three, rounds=1,
+                                                  iterations=1)
+    show("=== TAB-S5d: CLKSCREW against secure-world AES ===",
+         render_table(
+             ["regulator design", "key recovered", "glitch probability"],
+             [["software-open (commodity)", str(open_soc.success),
+               f"{open_soc.details['glitch_probability']:.2f}"],
+              ["secure-world gated", str(gated.success), "0.00"],
+              ["hardware frequency limit", str(limited.success), "0.00"]]))
+    assert open_soc.success
+    assert not gated.success
+    assert not limited.success

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Cache side-channel lab: the same attack against four architectures.
+
+Reproduces the Section 4.1 story live: one T-table AES enclave, one
+Prime+Probe attacker, four hardware-assisted security architectures —
+and the attack's fate is decided entirely by what each architecture did
+(or did not do) about the shared last-level cache.
+
+Run:  python examples/cache_sidechannel_lab.py
+"""
+
+from repro.arch import SGX, Sanctuary, Sanctum, TrustZone
+from repro.attacks import PrimeProbeAttack
+from repro.attacks.base import AttackerProcess
+from repro.attacks.cache_sca import _CacheAttackConfig
+from repro.cpu import make_mobile_soc, make_server_soc
+from repro.crypto.rng import XorShiftRNG
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+SCENARIOS = [
+    (SGX, make_server_soc, "no LLC defence (refs [8]: attacks practical)"),
+    (Sanctum, make_server_soc, "LLC partitioning via page colouring"),
+    (TrustZone, make_mobile_soc, "no LLC defence (ref [44]: TruSpy)"),
+    (Sanctuary, make_mobile_soc, "enclave memory excluded from the LLC"),
+]
+
+
+def main() -> None:
+    config = _CacheAttackConfig(samples_per_value=8, plaintext_values=8,
+                                target_bytes=(0, 5, 10, 15))
+    print(f"{'architecture':<12} {'defence':<45} "
+          f"{'nibbles recovered':<18} verdict")
+    print("-" * 90)
+    for arch_cls, make_soc, defence in SCENARIOS:
+        arch = arch_cls(make_soc())
+        victim = arch.deploy_aes_victim(KEY, core_id=0)
+        attacker = AttackerProcess(arch, core_id=1)
+        result = PrimeProbeAttack(victim, attacker, XorShiftRNG(1),
+                                  config).run()
+        verdict = "LEAKED" if result.success else "defended"
+        print(f"{arch.NAME:<12} {defence:<45} "
+              f"{result.score:>6.0%}             {verdict}")
+        if result.success:
+            truth = {b: KEY[b] >> 4 for b in config.target_bytes}
+            print(f"{'':12} recovered high nibbles "
+                  f"{result.details['recovered']} (truth: {truth})")
+
+    print("\nThe paper's Section 4.1 table, regenerated from execution:")
+    print("  SGX & TrustZone leak; Sanctum & Sanctuary hold.")
+
+
+if __name__ == "__main__":
+    main()

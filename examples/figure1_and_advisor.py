@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Figure 1 and run the architecture advisor.
+
+The survey's two synthesis artefacts as live computations:
+
+* **Figure 1** — every adversary cell derived from actually running that
+  adversary's attacks on the platform's simulated SoC, weighted by the
+  platform's exposure priors; performance/energy rows from a measured
+  reference workload;
+* **the Section 6 advice** — "select the optimal security architecture
+  given the energy and performance budget" — as a scoring engine over
+  the verified feature matrix.
+
+Run:  python examples/figure1_and_advisor.py
+"""
+
+from repro.attacks.base import AttackCategory
+from repro.common import PlatformClass
+from repro.core import Requirements, generate_figure1, recommend_architecture
+
+
+def main() -> None:
+    print("== Figure 1, regenerated from simulation ==\n")
+    figure = generate_figure1(quick=True)
+    print(figure.render())
+    print(f"\ncell agreement with the published figure: "
+          f"{figure.agreement_with_paper():.0%}")
+
+    print("\n== Architecture advisor (Section 6) ==")
+    scenarios = [
+        ("cloud enclave service, co-tenant attackers",
+         Requirements(platform=PlatformClass.SERVER_DESKTOP,
+                      threats=frozenset({AttackCategory.REMOTE,
+                                         AttackCategory.LOCAL,
+                                         AttackCategory.MICROARCHITECTURAL}),
+                      need_multiple_enclaves=True,
+                      need_attestation=True)),
+        ("phone payment app, no silicon changes possible",
+         Requirements(platform=PlatformClass.MOBILE,
+                      threats=frozenset({AttackCategory.REMOTE,
+                                         AttackCategory.LOCAL,
+                                         AttackCategory.MICROARCHITECTURAL}),
+                      need_multiple_enclaves=True,
+                      allow_new_hardware=False)),
+        ("field sensor, physical adversary, hard real-time",
+         Requirements(platform=PlatformClass.EMBEDDED,
+                      threats=frozenset({AttackCategory.REMOTE,
+                                         AttackCategory.LOCAL,
+                                         AttackCategory.PHYSICAL}),
+                      need_attestation=True, need_realtime=True)),
+    ]
+    for label, reqs in scenarios:
+        print(f"\n-- {label} --")
+        for advice in recommend_architecture(reqs)[:3]:
+            print(f"   {advice}")
+            for caveat in advice.caveats[:1]:
+                print(f"      caveat: {caveat}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Power-analysis lab: DPA/CPA against AES, masking and hiding.
+
+The Section 5 countermeasure taxonomy, measured:
+
+* CPA against an unprotected AES recovers the full key from a few
+  hundred simulated power traces;
+* first-order **masking** makes the leaked intermediates statistically
+  independent of the key — recovery collapses;
+* **hiding** by shuffling the S-box processing order misaligns the
+  samples and degrades the attack gracefully;
+* the trace-count sweep shows the classic success curves.
+
+Run:  python examples/power_analysis_lab.py
+"""
+
+from repro.attacks import cpa_attack, cpa_recover_key
+from repro.attacks.dpa import key_recovery_rate
+from repro.crypto.aes import AES128, MaskedAES
+from repro.crypto.rng import XorShiftRNG
+from repro.power import HammingWeightModel, capture_aes_traces
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+COUNTS = (50, 100, 200, 400)
+
+
+def acquire(variant: str, n: int):
+    model = HammingWeightModel(noise_std=1.5, rng=XorShiftRNG(3))
+    if variant == "masked":
+        mask_rng = XorShiftRNG(11)
+        return capture_aes_traces(
+            lambda leak: MaskedAES(KEY, mask_rng, leak_hook=leak),
+            n, model, rng=XorShiftRNG(4))
+    return capture_aes_traces(
+        lambda leak: AES128(KEY, leak_hook=leak), n, model,
+        rng=XorShiftRNG(4), shuffle=(variant == "shuffled"))
+
+
+def main() -> None:
+    print("== CPA key-recovery rate vs trace count ==")
+    print(f"{'implementation':<14}" + "".join(f"{n:>8}" for n in COUNTS))
+    for variant in ("unprotected", "masked", "shuffled"):
+        traces = acquire(variant, max(COUNTS))
+        rates = [key_recovery_rate(cpa_recover_key(traces.subset(n)), KEY)
+                 for n in COUNTS]
+        print(f"{variant:<14}" + "".join(f"{r:>8.0%}" for r in rates))
+
+    print("\n== Anatomy of one CPA attack (byte 0, unprotected) ==")
+    traces = acquire("unprotected", 400)
+    best, peaks = cpa_attack(traces, 0)
+    ranked = sorted(range(256), key=lambda k: peaks[k], reverse=True)
+    print(f"   true key byte: {KEY[0]:#04x}")
+    print("   top candidates by |correlation|:")
+    for k in ranked[:5]:
+        marker = "  <-- correct" if k == KEY[0] else ""
+        print(f"      {k:#04x}: {peaks[k]:.3f}{marker}")
+
+    print("\nTakeaway (paper Section 5): masking breaks the statistical")
+    print("link; hiding only raises the trace-count bar.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Command-line entry point: regenerate the paper's artefacts.
+
+Usage::
+
+    python -m repro figure1          # Figure 1 from live attacks
+    python -m repro architectures    # TAB-S3 feature comparison
+    python -m repro cache            # TAB-S41 cache side channels
+    python -m repro transient        # TAB-S42 transient attacks
+    python -m repro advisor          # Section-6 recommendations demo
+    python -m repro all              # everything above
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _figure1() -> None:
+    from repro.core import generate_figure1
+    figure = generate_figure1(quick=True)
+    print(figure.render())
+    print(f"\ncell agreement with the published Figure 1: "
+          f"{figure.agreement_with_paper():.0%}")
+
+
+def _architectures() -> None:
+    from repro.core.comparison import (
+        architecture_feature_table,
+        render_table,
+    )
+    headers, rows = architecture_feature_table()
+    print(render_table(headers, rows))
+
+
+def _cache() -> None:
+    from repro.core.comparison import (
+        cache_defence_table,
+        render_cache_defence_table,
+    )
+    print(render_cache_defence_table(cache_defence_table(quick=True)))
+
+
+def _transient() -> None:
+    from repro.core.comparison import (
+        render_table,
+        transient_applicability_table,
+    )
+    headers, rows = transient_applicability_table()
+    print(render_table(headers, rows))
+
+
+def _advisor() -> None:
+    from repro.attacks.base import AttackCategory
+    from repro.common import PlatformClass
+    from repro.core import Requirements, recommend_architecture
+    for platform in PlatformClass:
+        reqs = Requirements(
+            platform=platform,
+            threats=frozenset({AttackCategory.REMOTE, AttackCategory.LOCAL,
+                               AttackCategory.MICROARCHITECTURAL}),
+            need_multiple_enclaves=True)
+        print(f"\n{platform.value}:")
+        for advice in recommend_architecture(reqs)[:2]:
+            print(f"  {advice}")
+
+
+_COMMANDS = {
+    "figure1": _figure1,
+    "architectures": _architectures,
+    "cache": _cache,
+    "transient": _transient,
+    "advisor": _advisor,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate artefacts of 'In Hardware We Trust' "
+                    "(DAC 2019) from simulation.")
+    parser.add_argument("command", choices=[*_COMMANDS, "all"],
+                        help="which artefact to regenerate")
+    args = parser.parse_args(argv)
+    if args.command == "all":
+        for name, command in _COMMANDS.items():
+            print(f"\n{'=' * 20} {name} {'=' * 20}")
+            command()
+    else:
+        _COMMANDS[args.command]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

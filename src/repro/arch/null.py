@@ -1,0 +1,79 @@
+"""The no-TEE baseline: plain OS process isolation and nothing else.
+
+Every comparison needs this row: it is what the paper's introduction
+describes failing ("flaws in the kernel itself can be used to undermine
+process isolation"), and it is the host for attacks that target
+unprotected software.
+"""
+
+from __future__ import annotations
+
+from repro.arch.base import (
+    AES_TABLES_SIZE,
+    ArchFeatures,
+    EnclaveHandle,
+    SecurityArchitecture,
+)
+from repro.common import PlatformClass
+from repro.errors import EnclaveError
+from repro.memory.paging import PAGE_SIZE
+
+
+class NullArchitecture(SecurityArchitecture):
+    """No hardware-assisted security: the undefended baseline.
+
+    'Enclaves' are plain memory regions with no protection whatsoever —
+    useful as the control group in every experiment.
+    """
+
+    NAME = "none"
+
+    def __init__(self, soc, platform: PlatformClass | None = None) -> None:
+        self._platform = platform or soc.config.platform
+        super().__init__(soc)
+
+    def install(self) -> None:
+        dram = self.soc.regions.get("dram")
+        self._alloc_cursor = (dram.base + dram.size // 3) & ~0xFFF
+
+    def features(self) -> ArchFeatures:
+        return ArchFeatures(
+            name=self.NAME,
+            target_platform=self._platform,
+            software_tcb="entire OS and all applications",
+            hardware_tcb="none beyond the CPU itself",
+            enclave_count="none",
+            memory_encryption=False,
+            llc_partitioning=False,
+            cache_exclusion=False,
+            flush_on_switch=False,
+            dma_protection="none",
+            peripheral_secure_channel=False,
+            attestation="none",
+            code_isolation=False,
+            requires_new_hardware=False,
+        )
+
+    def create_enclave(self, name: str, size: int = AES_TABLES_SIZE,
+                       core_id: int = 0) -> EnclaveHandle:
+        enclave_id = self._allocate_id()
+        pages = (size + PAGE_SIZE - 1) // PAGE_SIZE
+        base = self._alloc_cursor
+        self._alloc_cursor += pages * PAGE_SIZE
+        handle = EnclaveHandle(
+            enclave_id=enclave_id, name=name, base=base, paddr=base,
+            size=pages * PAGE_SIZE, core_id=core_id, domain=None,
+            initialized=True)
+        self.enclaves[enclave_id] = handle
+        return handle
+
+    def enclave_read(self, handle: EnclaveHandle, offset: int) -> int:
+        if not 0 <= offset < handle.size:
+            raise EnclaveError(f"offset {offset:#x} outside region")
+        return self.soc.cores[handle.core_id].read_mem(handle.base + offset)
+
+    def enclave_write(self, handle: EnclaveHandle, offset: int,
+                      value: int) -> None:
+        if not 0 <= offset < handle.size:
+            raise EnclaveError(f"offset {offset:#x} outside region")
+        self.soc.cores[handle.core_id].write_mem(handle.base + offset, value)

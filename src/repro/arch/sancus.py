@@ -1,0 +1,227 @@
+"""Sancus model: a zero-software trusted computing base.
+
+"Sancus [33] reduces SMART's TCB to pure hardware."  The real Sancus
+goes further than attestation: it provides *software-module isolation*
+enforced entirely by hardware program-counter-based access logic, and a
+hardware key-derivation hierarchy (``K_{N,SP,SM}`` = a MAC chain over
+node key, software-provider id and module identity) — no software, not
+even a loader, is trusted.  Both are modelled:
+
+* **attestation** — an MMIO HMAC engine whose key exists only inside the
+  hardware; software invokes it, never touches key material;
+* **module isolation** — loading a module makes the hardware derive its
+  protection descriptor from the (text, data) ranges: data is accessible
+  only while the PC is inside the module's text section.  There is no
+  configuration interface to lock because there is no configuration
+  software at all;
+* **per-module keys** — the engine derives ``K_module = HMAC(K_N,
+  SP || identity)`` in hardware, so a module's reports are bound to its
+  *measured* identity: change a byte of module text and the derived key
+  (and every MAC made with it) changes.
+
+Consequences visible in experiments: SMART's interrupt/cleanup lesions
+have no analogue (no working copy ever exists in RAM), attestation is
+atomic in hardware, and module isolation survives a fully compromised OS
+— while DMA remains outside the threat model, as the paper notes for
+this device class.
+"""
+
+from __future__ import annotations
+
+from repro.arch.base import (
+    AES_TABLES_SIZE,
+    ArchFeatures,
+    EnclaveHandle,
+    SecurityArchitecture,
+)
+from repro.attestation.report import AttestationReport
+from repro.common import PlatformClass
+from repro.crypto.hmacmod import hmac_sha256
+from repro.crypto.rng import XorShiftRNG
+from repro.errors import AccessFault, EnclaveError
+from repro.memory.bus import BusMaster, BusTransaction
+
+#: Module slots carved from embedded DRAM (text page + data pages).
+MODULE_POOL_BASE = 0x8008_0000
+MODULE_TEXT_SIZE = 0x1000
+MODULE_SLOT = 0x4000
+
+
+class _HardwareHMACEngine:
+    """The attestation/key-derivation peripheral: node key sealed inside."""
+
+    def __init__(self, bus, node_key: bytes) -> None:
+        self._bus = bus
+        self._node_key = node_key  # exists only in this object == silicon
+        self.master = BusMaster("sancus-hmac-engine", kind="cpu",
+                                secure_capable=True)
+        self.invocations = 0
+
+    def read_region(self, base: int, size: int) -> bytes:
+        words = []
+        for off in range(0, size, 8):
+            txn = BusTransaction(self.master, base + off, "read", 8)
+            words.append(self._bus.read(txn))
+        return b"".join(words)[:size]
+
+    def measure(self, base: int, size: int) -> bytes:
+        self.invocations += 1
+        return hmac_sha256(self._node_key, self.read_region(base, size))
+
+    def derive_module_key(self, provider: bytes, identity: bytes) -> bytes:
+        """K_module = HMAC(K_N, SP || identity) — the Sancus chain."""
+        return hmac_sha256(self._node_key, provider + identity)
+
+    def attest(self, base: int, size: int, nonce: bytes, params: bytes,
+               dest_addr: int) -> AttestationReport:
+        measurement = self.measure(base, size)
+        return AttestationReport.create(self._node_key, measurement, nonce,
+                                        params, dest_addr)
+
+
+class _ModuleAccessLogic:
+    """The hardware PC-comparison logic protecting module data sections.
+
+    One descriptor per loaded module, derived by hardware at load time.
+    Not an MPU: there are no configuration registers — software cannot
+    add, remove or alter descriptors.
+    """
+
+    def __init__(self) -> None:
+        self._descriptors: list[tuple[int, int, int, int]] = []
+
+    def protect(self, text_base: int, text_size: int, data_base: int,
+                data_size: int) -> None:
+        self._descriptors.append((text_base, text_size, data_base,
+                                  data_size))
+
+    def check(self, txn: BusTransaction, region) -> None:
+        """Bus hook: module data only for the module's own text."""
+        if txn.master.kind != "cpu":
+            return  # DMA is outside the device class's threat model
+        for text_base, text_size, data_base, data_size in self._descriptors:
+            if not (data_base <= txn.addr < data_base + data_size):
+                continue
+            pc = txn.pc
+            if pc is not None and text_base <= pc < text_base + text_size:
+                return
+            raise AccessFault(
+                txn.addr, txn.access,
+                "sancus: module data accessible only from module text")
+
+
+class Sancus(SecurityArchitecture):
+    """Sancus on the embedded SoC."""
+
+    NAME = "sancus"
+
+    def __init__(self, soc, provider_id: bytes = b"SP-0001") -> None:
+        self.provider_id = provider_id
+        super().__init__(soc)
+
+    def install(self) -> None:
+        self._rng = XorShiftRNG(0x5A9C05)
+        self._node_key = self._rng.bytes(32)
+        self.engine = _HardwareHMACEngine(self.soc.bus, self._node_key)
+        self.access_logic = _ModuleAccessLogic()
+        self.soc.bus.add_controller("sancus-module-logic", self.access_logic)
+        self._slot_cursor = MODULE_POOL_BASE
+
+    def features(self) -> ArchFeatures:
+        return ArchFeatures(
+            name=self.NAME,
+            target_platform=PlatformClass.EMBEDDED,
+            software_tcb="none",
+            hardware_tcb="HMAC/key-derivation engine + PC access logic",
+            enclave_count="N (hardware-managed modules)",
+            memory_encryption=False,
+            llc_partitioning=False,
+            cache_exclusion=False,
+            flush_on_switch=False,
+            dma_protection="none",
+            peripheral_secure_channel=False,
+            attestation="remote",
+            code_isolation=True,
+            requires_new_hardware=True,
+            realtime_capable=True,  # atomic hardware attestation
+        )
+
+    # -- software modules are the enclaves --------------------------------------
+
+    def create_enclave(self, name: str, size: int = AES_TABLES_SIZE,
+                       core_id: int = 0) -> EnclaveHandle:
+        enclave_id = self._allocate_id()
+        text_base = self._slot_cursor
+        data_base = text_base + MODULE_TEXT_SIZE
+        data_size = max(size, 8)
+        if data_size > MODULE_SLOT - MODULE_TEXT_SIZE:
+            raise EnclaveError("module data exceeds slot size")
+        self._slot_cursor += MODULE_SLOT
+        # Deploying a module: its text is written to memory; the hardware
+        # derives the protection descriptor and the module key from it.
+        image = f"module:{name}".encode().ljust(64, b"\x00")
+        self.soc.memory.write_bytes(text_base, image)
+        self.access_logic.protect(text_base, MODULE_TEXT_SIZE,
+                                  data_base, data_size)
+        identity = self.engine.measure(text_base, len(image))
+        module_key = self.engine.derive_module_key(self.provider_id,
+                                                   identity)
+        handle = EnclaveHandle(
+            enclave_id=enclave_id, name=name, base=data_base,
+            paddr=data_base, size=data_size, core_id=core_id,
+            domain=f"sancus-module-{enclave_id}",
+            measurement=identity, initialized=True)
+        handle.metadata["text_base"] = text_base
+        handle.metadata["text_size"] = MODULE_TEXT_SIZE
+        handle.metadata["module_key"] = module_key
+        self.enclaves[enclave_id] = handle
+        return handle
+
+    def _run_as_module(self, handle: EnclaveHandle, fn):
+        core = self.soc.cores[handle.core_id]
+        return core.execute_firmware(handle.metadata["text_base"] + 0x10,
+                                     fn)
+
+    def enclave_read(self, handle: EnclaveHandle, offset: int) -> int:
+        if not 0 <= offset < handle.size:
+            raise EnclaveError(f"offset {offset:#x} outside module data")
+        return self._run_as_module(
+            handle, lambda core: core.read_mem(handle.base + offset))
+
+    def enclave_write(self, handle: EnclaveHandle, offset: int,
+                      value: int) -> None:
+        if not 0 <= offset < handle.size:
+            raise EnclaveError(f"offset {offset:#x} outside module data")
+        self._run_as_module(
+            handle, lambda core: core.write_mem(handle.base + offset,
+                                                value))
+
+    # -- attestation -----------------------------------------------------------
+
+    def shared_key_for_verifier(self) -> bytes:
+        """Factory provisioning: the verifier's copy of the node key."""
+        return self._node_key
+
+    def module_key_for_verifier(self, handle: EnclaveHandle) -> bytes:
+        """The provider derives the same module key off-device."""
+        return hmac_sha256(self._node_key,
+                           self.provider_id + handle.measurement)
+
+    def attest_region(self, base: int, size: int, nonce: bytes,
+                      params: bytes = b"",
+                      dest_addr: int = 0) -> AttestationReport:
+        """One MMIO invocation of the hardware engine (node key)."""
+        return self.engine.attest(base, size, nonce, params, dest_addr)
+
+    def attest(self, handle: EnclaveHandle,
+               nonce: bytes) -> AttestationReport:
+        """Module attestation: MAC'd with the module's *derived* key."""
+        if not handle.initialized:
+            raise EnclaveError("attesting an unloaded module")
+        return AttestationReport.create(
+            handle.metadata["module_key"], handle.measurement, nonce,
+            params=handle.name.encode())
+
+    def expected_measurement(self, base: int, size: int) -> bytes:
+        region = self.soc.memory.read_bytes(base, size)
+        return hmac_sha256(self._node_key, region)

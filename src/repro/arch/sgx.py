@@ -1,0 +1,312 @@
+"""Intel SGX model: EPC, MEE, OS-managed paging, secure page swap.
+
+The properties Section 3.1 compares — and the attack surface Section 4
+exploits — are reproduced mechanistically:
+
+* enclave memory lives in a dedicated physical window (the EPC) covered by
+  the :class:`~repro.memory.mee.MemoryEncryptionEngine` → DMA aborts and
+  physical dumps see ciphertext;
+* EPC pages are only CPU-readable while the owning enclave is the active
+  context on that core (abort-page semantics modelled as a bus denial);
+* **the untrusted OS owns the page tables** — it can clear present bits,
+  which together with the secure-page-swap path decrypting enclave pages
+  into L1 is exactly Foreshadow's lever;
+* the shared LLC is *not* partitioned and caches are *not* flushed on
+  enclave switches (refs [8, 44]: cache attacks on SGX are practical);
+* attestation: measurement at build, reports MAC'd with a CPU-fused key.
+"""
+
+from __future__ import annotations
+
+from repro.arch.base import (
+    AES_TABLES_SIZE,
+    ArchFeatures,
+    EnclaveHandle,
+    SecurityArchitecture,
+)
+from repro.attestation.measure import Measurement
+from repro.attestation.report import AttestationReport
+from repro.common import PlatformClass, PrivilegeLevel
+from repro.cpu.soc import SoC
+from repro.crypto.rng import XorShiftRNG
+from repro.errors import AccessFault, EnclaveError
+from repro.memory.bus import BusTransaction
+from repro.memory.mee import MemoryEncryptionEngine
+from repro.memory.paging import FrameAllocator, PAGE_SIZE, PageFlags
+
+#: Enclave virtual base; each enclave gets a 1 MiB VA window.
+ENCLAVE_VA_BASE = 0x1000_0000
+ENCLAVE_VA_STRIDE = 0x10_0000
+
+EPC_SIZE = 1 << 22  # 4 MiB enclave page cache
+
+
+class _EPCAccessControl:
+    """Abort-page semantics: EPC is only readable in the owning enclave."""
+
+    def __init__(self, sgx: "SGX") -> None:
+        self.sgx = sgx
+
+    def check(self, txn: BusTransaction, region) -> None:
+        base, end = self.sgx.epc_base, self.sgx.epc_base + EPC_SIZE
+        if not (txn.addr < end and base < txn.end):
+            return
+        if txn.master.kind != "cpu":
+            return  # the MEE controller already aborts non-CPU masters
+        core_name = txn.master.name.split("-")[0]
+        page = txn.addr & ~(PAGE_SIZE - 1)
+        owner = self.sgx.epc_owner.get(page)
+        active = self.sgx.active_enclave.get(core_name)
+        if owner is None or owner != active:
+            raise AccessFault(txn.addr, txn.access,
+                              "EPC access outside owning enclave (abort page)")
+
+
+class SGX(SecurityArchitecture):
+    """Intel SGX on a stationary high-performance SoC."""
+
+    NAME = "sgx"
+
+    def install(self) -> None:
+        soc = self.soc
+        dram = soc.regions.get("dram")
+        # EPC sits at the bottom of DRAM; page-table frames at the top.
+        self.epc_base = dram.base
+        self.epc_allocator = FrameAllocator(self.epc_base,
+                                            EPC_SIZE // PAGE_SIZE)
+        self._rng = XorShiftRNG(0x5E5E)
+        #: CPU-fused keys: never exposed outside this object (the hardware).
+        self._mee_key = self._rng.next_u64()
+        self._attestation_key = self._rng.bytes(32)
+        self._swap_key = self._rng.bytes(32)
+
+        self.mee = MemoryEncryptionEngine(self.epc_base, EPC_SIZE,
+                                          self._mee_key)
+        soc.bus.add_transform("sgx-mee", self.mee)
+        soc.bus.add_controller("sgx-mee-dma-abort", self.mee)
+        soc.bus.add_controller("sgx-epc-access", _EPCAccessControl(self))
+
+        self.epc_owner: dict[int, int] = {}  # page paddr -> enclave id
+        self.active_enclave: dict[str, int | None] = {}
+        #: The untrusted OS's page table — SGX trusts it for *management*
+        #: only; confidentiality is supposed to come from the EPC + MEE.
+        self.os_page_table = soc.make_page_table(asid=1)
+        #: Swapped-out page blobs: va -> (ciphertext, mac-ish tag).
+        self._swapped: dict[int, bytes] = {}
+
+    def features(self) -> ArchFeatures:
+        return ArchFeatures(
+            name=self.NAME,
+            target_platform=PlatformClass.SERVER_DESKTOP,
+            software_tcb="none (CPU microcode only)",
+            hardware_tcb="CPU package incl. MEE",
+            enclave_count="N",
+            memory_encryption=True,
+            llc_partitioning=False,
+            cache_exclusion=False,
+            flush_on_switch=False,
+            dma_protection="mee-abort",
+            peripheral_secure_channel=False,
+            attestation="local+remote",
+            code_isolation=True,
+            requires_new_hardware=True,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def create_enclave(self, name: str, size: int = AES_TABLES_SIZE,
+                       core_id: int = 0) -> EnclaveHandle:
+        enclave_id = self._allocate_id()
+        pages = (size + PAGE_SIZE - 1) // PAGE_SIZE
+        va_base = ENCLAVE_VA_BASE + enclave_id * ENCLAVE_VA_STRIDE
+        first_paddr = None
+        for i in range(pages):
+            frame = self.epc_allocator.alloc()
+            if first_paddr is None:
+                first_paddr = frame
+            self.epc_owner[frame] = enclave_id
+            self.os_page_table.map(
+                va_base + i * PAGE_SIZE, frame,
+                PageFlags.PRESENT | PageFlags.WRITABLE | PageFlags.USER |
+                PageFlags.EXECUTE)
+        handle = EnclaveHandle(
+            enclave_id=enclave_id, name=name, base=va_base,
+            paddr=first_paddr, size=pages * PAGE_SIZE, core_id=core_id,
+            domain=f"sgx-enclave-{enclave_id}")
+        self.enclaves[enclave_id] = handle
+        measurement = Measurement()
+        self.enter_enclave(handle)
+        try:
+            # EADD: every enclave byte is written through the CPU (and
+            # therefore through the MEE, which tags it — from now on any
+            # DRAM-side tamper is caught on the next enclave read).  The
+            # first words carry the enclave's code image (distinct per
+            # app), so distinct enclaves get distinct measurements.
+            core = self.soc.cores[core_id]
+            image = name.encode().ljust(32, b"\x00")[:32]
+            for off in range(0, handle.size, 8):
+                if off < len(image):
+                    word = int.from_bytes(image[off:off + 8], "little")
+                else:
+                    word = 0
+                core.write_mem(handle.base + off, word)
+            # EINIT: measure the pages as loaded.
+            evidence = bytes(
+                self._read_word_as_enclave(handle, off) & 0xFF
+                for off in range(0, min(handle.size, 4096), 8))
+        finally:
+            self.exit_enclave(handle)
+        measurement.extend(evidence, label=f"enclave:{name}")
+        handle.measurement = measurement.value
+        handle.initialized = True
+        return handle
+
+    def destroy_enclave(self, handle: EnclaveHandle) -> None:
+        for page in [p for p, owner in self.epc_owner.items()
+                     if owner == handle.enclave_id]:
+            del self.epc_owner[page]
+        super().destroy_enclave(handle)
+
+    # -- context switching ---------------------------------------------------------
+
+    def enter_enclave(self, handle: EnclaveHandle) -> None:
+        core = self.soc.cores[handle.core_id]
+        core.domain = handle.domain
+        core.privilege = PrivilegeLevel.USER
+        core.mmu.set_context(self.os_page_table.root,
+                             asid=self.os_page_table.asid)
+        self.active_enclave[core.config.name] = handle.enclave_id
+
+    def exit_enclave(self, handle: EnclaveHandle) -> None:
+        core = self.soc.cores[handle.core_id]
+        core.domain = None
+        core.privilege = PrivilegeLevel.KERNEL
+        self.active_enclave[core.config.name] = None
+        # No cache flush on exit: SGX's documented (and exploited) gap.
+
+    # -- enclave-context memory access ------------------------------------------------
+
+    def _read_word_as_enclave(self, handle: EnclaveHandle,
+                              offset: int) -> int:
+        core = self.soc.cores[handle.core_id]
+        return core.read_mem(handle.base + offset)
+
+    def enclave_read(self, handle: EnclaveHandle, offset: int) -> int:
+        if not 0 <= offset < handle.size:
+            raise EnclaveError(f"offset {offset:#x} outside enclave")
+        return self._read_word_as_enclave(handle, offset)
+
+    def enclave_write(self, handle: EnclaveHandle, offset: int,
+                      value: int) -> None:
+        """Word write as the enclave (stores land MEE-encrypted in EPC)."""
+        if not 0 <= offset < handle.size:
+            raise EnclaveError(f"offset {offset:#x} outside enclave")
+        core = self.soc.cores[handle.core_id]
+        core.write_mem(handle.base + offset, value)
+
+    # -- attestation -----------------------------------------------------------------
+
+    def attest(self, handle: EnclaveHandle,
+               nonce: bytes) -> AttestationReport:
+        if not handle.initialized:
+            raise EnclaveError("attesting an uninitialised enclave")
+        return AttestationReport.create(
+            self._attestation_key, handle.measurement, nonce,
+            params=handle.name.encode())
+
+    @property
+    def attestation_key_for_verifier(self) -> bytes:
+        """Provisioned to the attestation service (the verifier side)."""
+        return self._attestation_key
+
+    # -- local attestation (EREPORT / EGETKEY) -------------------------------------
+
+    def _report_key(self, target: EnclaveHandle) -> bytes:
+        """The CPU-derived key binding reports to one target enclave."""
+        from repro.crypto.hmacmod import hmac_sha256
+        return hmac_sha256(self._attestation_key,
+                           b"report-key" + target.measurement)
+
+    def local_attest(self, source: EnclaveHandle, target: EnclaveHandle,
+                     nonce: bytes) -> AttestationReport:
+        """EREPORT: a report about ``source``, verifiable only by ``target``.
+
+        The MAC key is derived from the *target's* identity, so only the
+        enclave the report was destined for can check it — the hardware
+        primitive under SGX's local-attestation handshake.
+        """
+        if not source.initialized or not target.initialized:
+            raise EnclaveError("local attestation needs initialised enclaves")
+        return AttestationReport.create(
+            self._report_key(target), source.measurement, nonce,
+            params=source.name.encode())
+
+    def egetkey(self, handle: EnclaveHandle) -> bytes:
+        """EGETKEY: hand the report key to the *currently executing* enclave.
+
+        The hardware check: only the enclave that is the active context on
+        its core may obtain its own report key.
+        """
+        core = self.soc.cores[handle.core_id]
+        if self.active_enclave.get(core.config.name) != handle.enclave_id:
+            raise EnclaveError(
+                "EGETKEY outside the enclave's execution context")
+        return self._report_key(handle)
+
+    # -- secure page swapping (EWB / ELDU) ----------------------------------------------
+
+    def swap_out(self, handle: EnclaveHandle, page_offset: int) -> None:
+        """EWB: encrypt an enclave page out to regular memory, unmap it."""
+        va = handle.base + page_offset
+        if va % PAGE_SIZE:
+            raise EnclaveError("page_offset must be page-aligned")
+        entry = self.os_page_table.lookup(va)
+        if entry is None:
+            raise EnclaveError("page not mapped")
+        paddr, _ = entry
+        # Hardware path: read the page as the enclave (decrypting), then
+        # re-encrypt under the swap key into a software blob.
+        self.enter_enclave(handle)
+        try:
+            plain = bytearray()
+            for off in range(0, PAGE_SIZE, 8):
+                word = self.soc.cores[handle.core_id].read_mem(va + off)
+                plain.extend(word.to_bytes(8, "little"))
+        finally:
+            self.exit_enclave(handle)
+        keystream = XorShiftRNG(
+            int.from_bytes(self._swap_key[:8], "little") ^ va)
+        blob = bytes(b ^ k for b, k in zip(plain, keystream.bytes(PAGE_SIZE)))
+        self._swapped[va] = blob
+        self.os_page_table.update_flags(va, clear_flags=PageFlags.PRESENT)
+        del self.epc_owner[paddr]
+        self.soc.mmus[handle.core_id].flush_tlb()
+
+    def swap_in(self, handle: EnclaveHandle, page_offset: int) -> None:
+        """ELDU: decrypt a swapped page back into the EPC — *via the L1*.
+
+        The OS may invoke this at will.  The decrypted words transit the
+        core's load/store path inside the enclave context, so the page's
+        plaintext ends up L1-resident — the state Foreshadow harvests.
+        """
+        va = handle.base + page_offset
+        blob = self._swapped.pop(va, None)
+        if blob is None:
+            raise EnclaveError(f"page {va:#x} is not swapped out")
+        frame = self.epc_allocator.alloc()
+        self.epc_owner[frame] = handle.enclave_id
+        self.os_page_table.remap(va, frame)
+        self.os_page_table.update_flags(va, set_flags=PageFlags.PRESENT)
+        self.soc.mmus[handle.core_id].flush_tlb()
+        keystream = XorShiftRNG(
+            int.from_bytes(self._swap_key[:8], "little") ^ va)
+        plain = bytes(b ^ k for b, k in zip(blob, keystream.bytes(PAGE_SIZE)))
+        self.enter_enclave(handle)
+        try:
+            core = self.soc.cores[handle.core_id]
+            for off in range(0, PAGE_SIZE, 8):
+                word = int.from_bytes(plain[off:off + 8], "little")
+                core.write_mem(va + off, word)
+                core.read_mem(va + off)  # decrypted-to-L1 behaviour
+        finally:
+            self.exit_enclave(handle)

@@ -1,0 +1,180 @@
+"""SMART model: dynamic root of trust on an MMU-less embedded device.
+
+Section 3.3's description is followed step by step: attestation is invoked
+by an untrusted entity; the ROM attestation routine (1) disables
+interrupts, (2) uses the PC-gated secret key to HMAC the target region
+plus input parameters, a nonce and an after-attestation destination
+address, (3) copies the report to regular memory, (4) cleans up its
+traces, and (5) jumps to the attested code.
+
+The three load-bearing design choices are constructor knobs so ABL-2 can
+lesion them one at a time and watch the corresponding attack reappear:
+
+* ``pc_gate`` — without it the key is plain memory (any code reads it);
+* ``disable_interrupts`` — without it a malicious ISR fires mid-attestation
+  and reads the key's working copy;
+* ``cleanup`` — without it the working copy survives in RAM afterwards.
+
+SMART provides **no code isolation** and, per the paper, "does not
+consider side-channel attacks or DMA attacks in its threat model" — there
+is no DMA filter, deliberately.
+"""
+
+from __future__ import annotations
+
+from repro.arch.base import ArchFeatures, EnclaveHandle, SecurityArchitecture
+from repro.attestation.measure import measure_memory
+from repro.attestation.report import AttestationReport
+from repro.common import PlatformClass
+from repro.cpu.core import Core
+from repro.crypto.hmacmod import hmac_sha256
+from repro.crypto.rng import XorShiftRNG
+from repro.errors import EnclaveError
+
+#: ROM layout (inside the boot-rom region at physical 0).
+ATTEST_CODE_BASE = 0x1000
+ATTEST_CODE_SIZE = 0x1000
+KEY_ADDR = 0xF000
+KEY_SIZE = 32
+
+#: RAM scratch area the routine uses for its key working copy.
+SCRATCH_ADDR = 0x8000_F000
+
+
+class SMART(SecurityArchitecture):
+    """SMART on the embedded SoC."""
+
+    NAME = "smart"
+
+    def __init__(self, soc, *, pc_gate: bool = True,
+                 disable_interrupts: bool = True,
+                 cleanup: bool = True) -> None:
+        self.pc_gate = pc_gate
+        self.disable_interrupts_during_attest = disable_interrupts
+        self.cleanup = cleanup
+        super().__init__(soc)
+
+    def install(self) -> None:
+        from repro.memory.rom import KeyVault  # local to avoid cycle noise
+        self._rng = XorShiftRNG(0x53A7)
+        self._key = self._rng.bytes(KEY_SIZE)
+        self.key_vault = KeyVault(
+            self.soc.memory, KEY_ADDR, self._key,
+            gate_base=ATTEST_CODE_BASE, gate_size=ATTEST_CODE_SIZE,
+            name="smart-keyvault")
+        self.key_vault.enabled = self.pc_gate
+        self.soc.bus.add_controller("smart-keyvault", self.key_vault)
+        # Interrupts vector into RAM: the PC leaves the ROM gate when an
+        # ISR runs, so an ISR can never read the vault directly.
+        self.soc.cores[0].interrupt_vector = 0x8000_0100
+        self.last_attest_cycles = 0
+        self.interrupts_deferred = 0
+
+    def features(self) -> ArchFeatures:
+        return ArchFeatures(
+            name=self.NAME,
+            target_platform=PlatformClass.EMBEDDED,
+            software_tcb="ROM attestation routine",
+            hardware_tcb="PC-gated key comparator + ROM",
+            enclave_count="none",
+            memory_encryption=False,
+            llc_partitioning=False,
+            cache_exclusion=False,
+            flush_on_switch=False,
+            dma_protection="none",
+            peripheral_secure_channel=False,
+            attestation="remote",
+            code_isolation=False,
+            requires_new_hardware=True,
+            realtime_capable=False,  # interrupts dead for the whole HMAC
+        )
+
+    # -- no isolation primitives --------------------------------------------
+
+    def create_enclave(self, name: str, size: int = 0,
+                       core_id: int = 0) -> EnclaveHandle:
+        raise EnclaveError(
+            "SMART supports remote attestation but not code isolation")
+
+    def enclave_read(self, handle: EnclaveHandle, offset: int) -> int:
+        raise EnclaveError("SMART has no enclaves")
+
+    def enclave_write(self, handle: EnclaveHandle, offset: int,
+                      value: int) -> None:
+        raise EnclaveError("SMART has no enclaves")
+
+    # -- the ROM attestation routine ----------------------------------------------
+
+    def shared_key_for_verifier(self) -> bytes:
+        """Provisioning-time key escrow to the verifier (off-device)."""
+        return self._key
+
+    def attest_region(self, base: int, size: int, nonce: bytes,
+                      params: bytes = b"", dest_addr: int = 0,
+                      report_addr: int = 0x8000_E000) -> AttestationReport:
+        """Invoke the ROM routine to attest ``[base, base+size)``.
+
+        Returns the report and also writes its packed form at
+        ``report_addr`` (the "copy to regular memory" step).  All memory
+        traffic goes through the core with the PC pinned in the gated ROM
+        range, so the key read is only admitted because of the gate.
+        """
+        core: Core = self.soc.cores[0]
+        start_cycles = core.cycles
+
+        def routine(c: Core) -> AttestationReport:
+            if self.disable_interrupts_during_attest:
+                c.disable_interrupts()
+            try:
+                # Read the key through the vault (PC is in the gate range).
+                key = bytearray()
+                for off in range(0, KEY_SIZE, 8):
+                    word = c.read_mem(KEY_ADDR + off)
+                    key.extend(word.to_bytes(8, "little"))
+                # Working copy lands in RAM scratch — the cleanup target.
+                for off in range(0, KEY_SIZE, 8):
+                    c.write_mem(SCRATCH_ADDR + off, int.from_bytes(
+                        key[off:off + 8], "little"))
+                # HMAC the region, reading it word-by-word through the
+                # core and polling interrupts the way real code would.
+                chunks = []
+                for off in range(0, size, 8):
+                    chunks.append(c.read_mem(base + off))
+                    if off % 512 == 0:
+                        if c.poll_interrupts():
+                            self.interrupts_deferred += 1
+                region_bytes = b"".join(
+                    w.to_bytes(8, "little") for w in chunks)[:size]
+                measurement = hmac_sha256(bytes(key), region_bytes)
+                report = AttestationReport.create(
+                    bytes(key), measurement, nonce, params, dest_addr)
+                packed = report.pack()
+                for off in range(0, len(packed), 8):
+                    chunk = packed[off:off + 8].ljust(8, b"\x00")
+                    c.write_mem(report_addr + off,
+                                int.from_bytes(chunk, "little"))
+                if self.cleanup:
+                    # Zero the scratch copy before leaving ROM.
+                    for off in range(0, KEY_SIZE, 8):
+                        c.write_mem(SCRATCH_ADDR + off, 0)
+                return report
+            finally:
+                c.enable_interrupts()
+                c.poll_interrupts()
+
+        report = core.execute_firmware(ATTEST_CODE_BASE + 0x10, routine)
+        self.last_attest_cycles = core.cycles - start_cycles
+        return report
+
+    def expected_measurement(self, base: int, size: int) -> bytes:
+        """Verifier-side recomputation for a region it knows the image of."""
+        region = self.soc.memory.read_bytes(base, size)
+        return hmac_sha256(self._key, region)
+
+    @staticmethod
+    def verify_report(shared_key: bytes, report: AttestationReport,
+                      expected_measurement: bytes, nonce: bytes) -> bool:
+        """SMART verifier: MAC valid, nonce fresh-by-caller, HMAC matches."""
+        return (report.verify(shared_key)
+                and report.nonce == nonce
+                and report.measurement == expected_measurement)

@@ -1,0 +1,140 @@
+"""TrustLite model: Secure Loader + locked EA-MPU trustlets.
+
+"TrustLite leverages an (extended) execution-aware Memory Protection Unit
+and generalizes the concept of a read-only attestation code to freely-
+configurable regions, called Trustlets."  The boot protocol is modelled in
+order: (1) the Secure Loader, conceptually in ROM, loads trustlets and
+configures the EA-MPU; (2) the EA-MPU configuration is **locked** —
+regions are static, so SMART-style cleanup is unnecessary; (3) the
+(untrusted) OS starts.
+
+Per the paper, "side-channel and DMA attacks are not part of the attacker
+model": the EA-MPU does not see DMA traffic, which the DMA-attack
+experiment demonstrates.
+"""
+
+from __future__ import annotations
+
+from repro.arch.base import (
+    AES_TABLES_SIZE,
+    ArchFeatures,
+    EnclaveHandle,
+    SecurityArchitecture,
+)
+from repro.attestation.measure import Measurement
+from repro.attestation.report import AttestationReport
+from repro.common import PlatformClass
+from repro.crypto.rng import XorShiftRNG
+from repro.errors import EnclaveError, SecurityViolation
+from repro.memory.mpu import ExecutionAwareMPU
+
+#: Trustlet code/data live in a carved-up slice of embedded DRAM.
+TRUSTLET_POOL_BASE = 0x8002_0000
+TRUSTLET_CODE_SIZE = 0x1000
+TRUSTLET_SLOT = 0x4000  # code page + data pages per trustlet
+
+
+class TrustLite(SecurityArchitecture):
+    """TrustLite on the embedded SoC."""
+
+    NAME = "trustlite"
+
+    def install(self) -> None:
+        self.mpu = ExecutionAwareMPU(max_regions=16, default_allow=True)
+        self.soc.bus.add_controller("trustlite-ea-mpu", self.mpu)
+        self._rng = XorShiftRNG(0x7125)
+        self._attestation_key = self._rng.bytes(32)
+        self._slot_cursor = TRUSTLET_POOL_BASE
+        self.boot_finished = False
+
+    def finish_boot(self) -> None:
+        """Secure Loader done: lock the EA-MPU, hand over to the OS."""
+        self.mpu.lock()
+        self.boot_finished = True
+
+    def features(self) -> ArchFeatures:
+        return ArchFeatures(
+            name=self.NAME,
+            target_platform=PlatformClass.EMBEDDED,
+            software_tcb="Secure Loader (ROM) + trustlet code",
+            hardware_tcb="EA-MPU with lock",
+            enclave_count="N (static, fixed at boot)",
+            memory_encryption=False,
+            llc_partitioning=False,
+            cache_exclusion=False,
+            flush_on_switch=False,
+            dma_protection="none",
+            peripheral_secure_channel=False,
+            attestation="local+remote",
+            code_isolation=True,
+            requires_new_hardware=True,
+            # TyTAN exists precisely because TrustLite gives no real-time
+            # guarantees (paper Section 3.3).
+            realtime_capable=False,
+        )
+
+    # -- trustlets are the enclaves --------------------------------------------
+
+    def create_enclave(self, name: str, size: int = AES_TABLES_SIZE,
+                       core_id: int = 0) -> EnclaveHandle:
+        if self.boot_finished:
+            raise SecurityViolation(
+                "EA-MPU locked: trustlets are configured at boot only")
+        enclave_id = self._allocate_id()
+        code_base = self._slot_cursor
+        data_base = code_base + TRUSTLET_CODE_SIZE
+        data_size = max(size, 8)
+        if data_size > TRUSTLET_SLOT - TRUSTLET_CODE_SIZE:
+            raise EnclaveError("trustlet data exceeds slot size")
+        self._slot_cursor += TRUSTLET_SLOT
+        self.mpu.protect_trustlet(name, code_base, TRUSTLET_CODE_SIZE,
+                                  data_base, data_size)
+        # Secure Loader writes a placeholder code image and measures it.
+        image = f"trustlet:{name}".encode().ljust(64, b"\x00")
+        self.soc.memory.write_bytes(code_base, image)
+        measurement = Measurement()
+        measurement.extend_memory(self.soc.memory, code_base, len(image),
+                                  label=f"trustlet:{name}")
+        handle = EnclaveHandle(
+            enclave_id=enclave_id, name=name, base=data_base,
+            paddr=data_base, size=data_size, core_id=core_id,
+            domain=f"trustlet-{enclave_id}",
+            measurement=measurement.value, initialized=True)
+        handle.metadata["code_base"] = code_base
+        handle.metadata["code_size"] = TRUSTLET_CODE_SIZE
+        self.enclaves[enclave_id] = handle
+        return handle
+
+    # -- execution-aware access -----------------------------------------------------
+
+    def _run_as_trustlet(self, handle: EnclaveHandle, fn):
+        """Execute ``fn`` with the PC inside the trustlet's code region."""
+        core = self.soc.cores[handle.core_id]
+        return core.execute_firmware(handle.metadata["code_base"] + 0x10, fn)
+
+    def enclave_read(self, handle: EnclaveHandle, offset: int) -> int:
+        if not 0 <= offset < handle.size:
+            raise EnclaveError(f"offset {offset:#x} outside trustlet data")
+        return self._run_as_trustlet(
+            handle, lambda core: core.read_mem(handle.base + offset))
+
+    def enclave_write(self, handle: EnclaveHandle, offset: int,
+                      value: int) -> None:
+        if not 0 <= offset < handle.size:
+            raise EnclaveError(f"offset {offset:#x} outside trustlet data")
+        self._run_as_trustlet(
+            handle, lambda core: core.write_mem(handle.base + offset, value))
+
+    # -- attestation (an attestation trustlet holds the key) --------------------------
+
+    def attest(self, handle: EnclaveHandle,
+               nonce: bytes) -> AttestationReport:
+        if not handle.initialized:
+            raise EnclaveError("attesting an uninitialised trustlet")
+        return AttestationReport.create(
+            self._attestation_key, handle.measurement, nonce,
+            params=handle.name.encode())
+
+    @property
+    def attestation_key_for_verifier(self) -> bytes:
+        return self._attestation_key

@@ -1,0 +1,74 @@
+"""Executable attacks: the paper's Sections 4 and 5 as experiments.
+
+Every attack is a class with a ``run()`` method returning an
+:class:`~repro.attacks.base.AttackResult`; the evaluation matrix
+(:mod:`repro.core.matrix`) and the benches drive them uniformly.  Attacks
+never receive secrets — success is graded afterwards against ground truth
+the harness kept to itself.
+"""
+
+from repro.attacks.base import (
+    AttackCategory,
+    AttackResult,
+    AttackerProcess,
+)
+from repro.attacks.software import (
+    CodeInjectionAttack,
+    DMAAttack,
+    KernelMemoryProbeAttack,
+)
+from repro.attacks.cache_sca import (
+    EvictTimeAttack,
+    FlushReloadAttack,
+    PrimeProbeAttack,
+)
+from repro.attacks.tlb_btb import BranchShadowingAttack, TLBContentionAttack
+from repro.attacks.spectre import SpectreBTBAttack, SpectreV1Attack
+from repro.attacks.meltdown import MeltdownAttack
+from repro.attacks.foreshadow import ForeshadowAttack
+from repro.attacks.timing import KocherTimingAttack
+from repro.attacks.dpa import (
+    cpa_attack,
+    cpa_recover_key,
+    dpa_attack,
+    dpa_recover_key,
+)
+from repro.attacks.fault_attacks import (
+    AESLastRoundDFA,
+    BellcoreRSAAttack,
+)
+from repro.attacks.clkscrew_attack import ClkscrewAttack
+from repro.attacks.controlled_channel import (
+    ControlledChannelAttack,
+    PagedModExpVictim,
+)
+from repro.attacks.rowhammer import RowhammerAttack
+
+__all__ = [
+    "AESLastRoundDFA",
+    "AttackCategory",
+    "AttackResult",
+    "AttackerProcess",
+    "BellcoreRSAAttack",
+    "BranchShadowingAttack",
+    "ClkscrewAttack",
+    "CodeInjectionAttack",
+    "ControlledChannelAttack",
+    "DMAAttack",
+    "EvictTimeAttack",
+    "FlushReloadAttack",
+    "ForeshadowAttack",
+    "KernelMemoryProbeAttack",
+    "KocherTimingAttack",
+    "MeltdownAttack",
+    "PagedModExpVictim",
+    "PrimeProbeAttack",
+    "RowhammerAttack",
+    "SpectreBTBAttack",
+    "SpectreV1Attack",
+    "TLBContentionAttack",
+    "cpa_attack",
+    "cpa_recover_key",
+    "dpa_attack",
+    "dpa_recover_key",
+]

@@ -1,0 +1,145 @@
+"""Attack result types and the attacker's measurement primitives."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import AccessFault, MemoryFault
+from repro.memory.bus import BusMaster, BusTransaction
+
+
+class AttackCategory(enum.Enum):
+    """The paper's adversary taxonomy (Section 2, after ref [1])."""
+
+    REMOTE = "remote"
+    LOCAL = "local"
+    MICROARCHITECTURAL = "microarchitectural"
+    PHYSICAL = "classical-physical"
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack run.
+
+    ``score`` is attack-specific but normalised to [0, 1]: fraction of key
+    material recovered, probability of detection, etc.  ``success`` is the
+    binary verdict at the attack's own threshold.
+    """
+
+    name: str
+    category: AttackCategory
+    success: bool
+    score: float
+    leaked: object = None
+    details: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.score <= 1.0:
+            raise ValueError(f"score {self.score} outside [0, 1]")
+
+    def __str__(self) -> str:
+        verdict = "SUCCESS" if self.success else "defended"
+        return f"{self.name}: {verdict} (score={self.score:.2f})"
+
+
+class AttackerProcess:
+    """An unprivileged attacker's view of the machine.
+
+    Owns pages obtained through the architecture's allocator (so
+    allocation-based defences like Sanctum's colouring apply), and
+    measures through the same cache hierarchy the victim uses.  Reads go
+    through the bus first — a bus-level denial is a real denial.
+    """
+
+    def __init__(self, arch, core_id: int = 1,
+                 name: str = "attacker") -> None:
+        self.arch = arch
+        self.soc = arch.soc
+        self.core_id = core_id
+        self.master = BusMaster(self.soc.cores[core_id].config.name,
+                                kind="cpu")
+        self.pages: list[int] = []
+        self.domain = f"{name}-proc"
+
+    def alloc_pages(self, count: int) -> list[int]:
+        """Obtain ``count`` physical pages from the architecture's OS."""
+        new = [self.arch.alloc_attacker_page() for _ in range(count)]
+        self.pages.extend(new)
+        return new
+
+    # -- measurement primitives ------------------------------------------------
+
+    def timed_read(self, paddr: int) -> int:
+        """Load ``paddr`` and return its latency in cycles.
+
+        This is the ``rdcycle``-bracketed load every cache attack builds
+        on.  Raises :class:`AccessFault` if the bus denies the read.
+        """
+        txn = BusTransaction(self.master, paddr, "read", 8)
+        self.soc.bus.read(txn)  # access control happens here
+        return self.soc.hierarchy.timed_access(self.core_id, paddr,
+                                               domain=self.domain)
+
+    def try_read(self, paddr: int) -> tuple[bool, int]:
+        """Attempt a read; (ok, value).  value is 0 when denied.
+
+        Denial happens at either of the two layers real attackers face:
+        the MMU (no translation obtainable — Sanctum's walker check) or
+        the bus (TZASC / EPC / MPU rejection).
+        """
+        if not self.arch.attacker_can_map(paddr):
+            return False, 0
+        txn = BusTransaction(self.master, paddr, "read", 8)
+        try:
+            data = self.soc.bus.read(txn)
+        except (AccessFault, MemoryFault):
+            return False, 0
+        self.soc.hierarchy.access(self.core_id, paddr, domain=self.domain)
+        return True, int.from_bytes(data[:8].ljust(8, b"\x00"), "little")
+
+    def flush(self, paddr: int) -> None:
+        """clflush a line the attacker can address."""
+        self.soc.hierarchy.flush_line(paddr)
+
+    def touch(self, paddr: int) -> None:
+        """Untimed load (prime step)."""
+        self.soc.hierarchy.access(self.core_id, paddr, domain=self.domain)
+
+    def touch_dram(self, paddr: int) -> None:
+        """A load guaranteed to reach the memory bus (hammer step).
+
+        Unlike :meth:`touch`, this issues the bus transaction (where DRAM
+        activation counting happens) in addition to the cache-timing
+        access — the flush+reload hammer loop's building block.
+        """
+        txn = BusTransaction(self.master, paddr, "read", 8)
+        self.soc.bus.read(txn)
+        self.soc.hierarchy.access(self.core_id, paddr, domain=self.domain)
+
+    @property
+    def hit_threshold(self) -> int:
+        """Latency boundary between 'was cached' and 'came from DRAM'."""
+        return self.soc.hierarchy.hit_threshold
+
+    # -- eviction-set construction ------------------------------------------------
+
+    def eviction_addresses_for_set(self, set_index: int,
+                                   count: int) -> list[int]:
+        """Addresses in the attacker's own pages mapping to ``set_index``.
+
+        Pure address arithmetic over pages the attacker legitimately owns
+        — no oracle.  Returns up to ``count`` line addresses; fewer when
+        the attacker's pages simply cannot reach that set (Sanctum's
+        colouring makes exactly this happen).
+        """
+        llc = self.soc.hierarchy.l2
+        out: list[int] = []
+        for page in self.pages:
+            for line in range(0, 4096, llc.line_size):
+                addr = page + line
+                if llc.set_index(addr) == set_index:
+                    out.append(addr)
+                    if len(out) >= count:
+                        return out
+        return out

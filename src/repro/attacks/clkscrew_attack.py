@@ -1,0 +1,91 @@
+"""CLKSCREW: software-only fault injection on TrustZone (paper ref [37]).
+
+"CLKSCREW forces a processor to operate beyond its Dynamic Voltage and
+Frequency Scaling limits in order to leak cryptographic keys."  The
+attacker is normal-world *software*: it retunes the regulator domain that
+clocks the core executing a secure-world AES, harvests the resulting
+faulty ciphertexts, and runs last-round DFA on them.
+
+The attack dies at three independently testable gates:
+regulators not software-controllable; a hardware frequency interlock;
+or the secure-world gate on cross-boundary retune requests.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackCategory, AttackResult
+from repro.attacks.fault_attacks import AESLastRoundDFA
+from repro.crypto.aes import TTableAES
+from repro.crypto.rng import XorShiftRNG
+from repro.cpu.soc import SoC
+from repro.fault.clkscrew import ClkscrewGlitcher
+
+
+class ClkscrewAttack:
+    """Normal-world DVFS abuse against a secure-world AES service."""
+
+    NAME = "clkscrew-dvfs"
+
+    def __init__(self, soc: SoC, secure_key: bytes,
+                 victim_core: int = 0,
+                 overdrive_mhz: float = 4000.0,
+                 overdrive_mv: float = 700.0,
+                 rng: XorShiftRNG | None = None,
+                 max_faults: int = 400) -> None:
+        self.soc = soc
+        self._secure_key = secure_key  # held by the secure world + grader
+        self.victim_core = victim_core
+        self.overdrive_mhz = overdrive_mhz
+        self.overdrive_mv = overdrive_mv
+        self.rng = rng or XorShiftRNG(0xC1C5)
+        self.max_faults = max_faults
+
+    def run(self) -> AttackResult:
+        core_name = self.soc.cores[self.victim_core].config.name
+        glitcher = ClkscrewGlitcher(self.soc.dvfs, core_name,
+                                    rng=self.rng, target_round=10)
+        domain = self.soc.dvfs.domain_of_core(core_name)
+        saved_point = domain.point if domain is not None else None
+
+        if not glitcher.overdrive(self.overdrive_mhz, self.overdrive_mv):
+            return AttackResult(
+                name=self.NAME, category=AttackCategory.PHYSICAL,
+                success=False, score=0.0,
+                details={"blocked": "regulator request rejected",
+                         "glitch_probability": 0.0})
+
+        probability = glitcher.glitch_probability
+        physics_hook = glitcher.aes_fault_hook()
+
+        # The secure-world AES service: the *physics* (the armed hook)
+        # applies to every encryption while the domain is overdriven.
+        def victim_encrypt(pt: bytes, fault_hook) -> bytes:
+            hook = physics_hook if fault_hook is not None else None
+            # Clean references are impossible while overdriven on real
+            # hardware; the attacker gets them beforehand.  We restore the
+            # stable point for reference runs, as the real attack did by
+            # interleaving nominal-frequency encryptions.
+            if hook is None and domain is not None:
+                current = domain.point
+                domain.point = saved_point
+                try:
+                    return TTableAES(self._secure_key).encrypt_block(pt)
+                finally:
+                    domain.point = current
+            return TTableAES(self._secure_key,
+                             fault_hook=hook).encrypt_block(pt)
+
+        dfa = AESLastRoundDFA(victim_encrypt, self._secure_key,
+                              rng=self.rng, max_faults=self.max_faults,
+                              fault_hook=physics_hook)
+        result = dfa.run()
+
+        if domain is not None and saved_point is not None:
+            domain.point = saved_point  # attacker restores stealthily
+
+        return AttackResult(
+            name=self.NAME, category=AttackCategory.PHYSICAL,
+            success=result.success, score=result.score,
+            leaked=result.leaked,
+            details={"glitch_probability": round(probability, 3),
+                     "dfa": result.details})

@@ -1,0 +1,206 @@
+"""Controlled-channel attack: page faults as a side channel against SGX.
+
+The paper's Foreshadow discussion rests on the observation that "the OS
+is in control of all page tables".  Before Foreshadow, that same control
+already gave a *noise-free deterministic* side channel (Xu et al.'s
+controlled-channel attack): the OS unmaps enclave pages and learns the
+enclave's page-granular access pattern from the fault sequence — enough
+to recover secrets whenever a secret decides *which page* is touched.
+
+The classic victim is square-and-multiply RSA: the multiply routine's
+working set lives on a different page than the square routine's, so the
+page-fault trace spells out the exponent bits.
+
+The defence contrast is architectural, exactly as in the paper:
+
+* **SGX** — the OS owns the page tables; the attack works.
+* **Sanctum** — enclave page tables belong to the monitor; the OS has no
+  handle to unmap anything, and the attack dies at step 0.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.arch.base import EnclaveHandle, SecurityArchitecture
+from repro.attacks.base import AttackCategory, AttackResult
+from repro.errors import PageFault
+from repro.memory.paging import PAGE_SIZE, PageFlags
+
+
+class PagedModExpVictim:
+    """Square-and-multiply inside an enclave, one routine per page.
+
+    Working-set layout (enclave-relative):
+
+    * page 0 — the square routine's scratch,
+    * page 1 — the multiply routine's scratch.
+
+    Each exponent bit performs a square (touch page 0) and, for 1-bits,
+    a multiply (touch page 1) — the textbook controlled-channel target.
+    The exponent is the secret; the attack is graded against it.
+    """
+
+    def __init__(self, arch: SecurityArchitecture, handle: EnclaveHandle,
+                 exponent: int, modulus: int = (1 << 61) - 1) -> None:
+        if handle.size < 2 * PAGE_SIZE:
+            raise ValueError("victim needs two enclave pages")
+        self.arch = arch
+        self.handle = handle
+        self._exponent = exponent  # secret
+        self.modulus = modulus
+
+    @property
+    def exponent_bits(self) -> list[int]:
+        """Ground truth for grading (harness-side only)."""
+        e = self._exponent
+        return [(e >> i) & 1 for i in range(e.bit_length() - 1, -1, -1)]
+
+    def _touch(self, page: int) -> None:
+        self.arch.enclave_read(self.handle, page * PAGE_SIZE)
+
+    def modexp(self, base: int) -> int:
+        """Run the exponentiation inside the enclave context."""
+        self.arch.enter_enclave(self.handle)
+        try:
+            acc = 1 % self.modulus
+            for i in range(self._exponent.bit_length() - 1, -1, -1):
+                self._touch(0)  # square scratch
+                acc = (acc * acc) % self.modulus
+                if (self._exponent >> i) & 1:
+                    self._touch(1)  # multiply scratch
+                    acc = (acc * base) % self.modulus
+            return acc
+        finally:
+            self.arch.exit_enclave(self.handle)
+
+
+class ControlledChannelAttack:
+    """OS-level page-fault tracing of an enclave's access pattern.
+
+    Procedure (per Xu et al., adapted to the simulation):
+
+    1. the OS clears PRESENT on both victim pages *in the page table it
+       controls* — if it controls none (Sanctum), the attack aborts;
+    2. the enclave runs; every page touch faults to the OS handler, which
+       logs the page, re-maps it, and unmaps the *other* page so the next
+       transition is observable too;
+    3. the page-id sequence is decoded into exponent bits:
+       ``0,1`` -> bit 1, lone ``0`` -> bit 0.
+    """
+
+    NAME = "controlled-channel"
+
+    def __init__(self, arch: SecurityArchitecture,
+                 victim: PagedModExpVictim) -> None:
+        self.arch = arch
+        self.victim = victim
+        self.fault_log: list[int] = []
+
+    # -- the OS's lever ------------------------------------------------------
+
+    def _os_page_table(self):
+        """The page table the OS can write, or None (monitor-owned)."""
+        table = getattr(self.arch, "os_page_table", None)
+        if table is None:
+            return None
+        handle = self.victim.handle
+        # The mapping must actually be in the OS's table (for Sanctum the
+        # enclave's VA range resolves through the monitor's table, not
+        # this one).
+        if table.lookup(handle.base) is None:
+            return None
+        return table
+
+    def _set_present(self, table, page: int, present: bool) -> None:
+        va = self.victim.handle.base + page * PAGE_SIZE
+        if present:
+            table.update_flags(va, set_flags=PageFlags.PRESENT)
+        else:
+            table.update_flags(va, clear_flags=PageFlags.PRESENT)
+        self.arch.soc.mmus[self.victim.handle.core_id].flush_tlb()
+
+    def _install_fault_handler(self, table) -> Callable[[], None]:
+        """Patch the enclave-read path with an OS fault handler.
+
+        In the simulation the enclave's touches go through
+        ``arch.enclave_read``; the handler wraps it so a PRESENT fault is
+        logged, serviced (page remapped, sibling unmapped) and the access
+        replayed — the OS's #PF handler loop.
+        """
+        original = self.arch.enclave_read
+        attack = self
+
+        def traced_read(handle, offset):
+            try:
+                return original(handle, offset)
+            except PageFault as fault:
+                if fault.reason != "not-present":
+                    raise
+                page = offset // PAGE_SIZE
+                attack.fault_log.append(page)
+                # Service the fault, replay the access, and immediately
+                # revoke the page again so *every* touch (including
+                # repeated squares) produces an observable fault.
+                attack._set_present(table, page, True)
+                try:
+                    return original(handle, offset)
+                finally:
+                    attack._set_present(table, page, False)
+
+        self.arch.enclave_read = traced_read
+
+        def restore() -> None:
+            self.arch.enclave_read = original
+
+        return restore
+
+    # -- decode -----------------------------------------------------------------
+
+    @staticmethod
+    def _decode(fault_log: list[int]) -> list[int]:
+        """Page sequence -> exponent bits (0=square page, 1=multiply)."""
+        bits: list[int] = []
+        i = 0
+        while i < len(fault_log):
+            if fault_log[i] != 0:
+                i += 1  # stray multiply fault without its square: skip
+                continue
+            if i + 1 < len(fault_log) and fault_log[i + 1] == 1:
+                bits.append(1)
+                i += 2
+            else:
+                bits.append(0)
+                i += 1
+        return bits
+
+    def run(self) -> AttackResult:
+        table = self._os_page_table()
+        if table is None:
+            return AttackResult(
+                name=self.NAME, category=AttackCategory.LOCAL,
+                success=False, score=0.0,
+                details={"blocked": "OS holds no writable mapping of the "
+                                    "enclave (monitor-owned page tables)"})
+        self.fault_log.clear()
+        self._set_present(table, 0, False)
+        self._set_present(table, 1, False)
+        restore = self._install_fault_handler(table)
+        try:
+            self.victim.modexp(0xC0FFEE)
+        finally:
+            restore()
+            self._set_present(table, 0, True)
+            self._set_present(table, 1, True)
+
+        guessed = self._decode(self.fault_log)
+        truth = self.victim.exponent_bits
+        correct = sum(1 for g, t in zip(guessed, truth) if g == t)
+        score = correct / len(truth) if truth else 0.0
+        return AttackResult(
+            name=self.NAME, category=AttackCategory.LOCAL,
+            success=score >= 0.95 and len(guessed) == len(truth),
+            score=score,
+            leaked=guessed if score >= 0.95 else None,
+            details={"faults_observed": len(self.fault_log),
+                     "bits": len(truth)})

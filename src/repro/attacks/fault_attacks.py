@@ -1,0 +1,154 @@
+"""Fault analysis: Bellcore RSA-CRT factoring and AES last-round DFA.
+
+Section 5: "intrusive attacks induce faults in the system that lead to
+secret information being leaked in the system's output [5]".
+
+* :class:`BellcoreRSAAttack` — one faulty CRT signature factors the
+  modulus: a fault confined to the mod-``p`` half leaves the signature
+  correct mod ``q``, so ``gcd(sig^e - m, n) = q``.  The verify-before-
+  release countermeasure turns every faulty shot into a refusal.
+* :class:`AESLastRoundDFA` — single-bit faults injected on the state
+  before the final SubBytes constrain the last round key: for the
+  affected ciphertext byte ``j``, only candidates ``k`` with
+  ``HW(S^-1(ct_j ^ k) ^ S^-1(ct'_j ^ k)) == 1`` survive.  Intersecting a
+  few faults per byte isolates ``k10``; inverting the key schedule yields
+  the master key.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+
+from repro.attacks.base import AttackCategory, AttackResult
+from repro.crypto.aes import INV_SBOX, TTableAES, invert_key_schedule
+from repro.crypto.rng import XorShiftRNG
+from repro.crypto.rsa import RSA
+from repro.errors import SecurityViolation
+from repro.fault.injector import GlitchInjector
+from repro.fault.models import FaultKind, FaultSpec, GlitchChannel
+
+
+class BellcoreRSAAttack:
+    """Factor an RSA modulus from one faulty CRT signature."""
+
+    NAME = "bellcore-rsa-crt"
+
+    def __init__(self, victim: RSA, rng: XorShiftRNG | None = None,
+                 shots: int = 8,
+                 channel: GlitchChannel = GlitchChannel.VOLTAGE) -> None:
+        self.victim = victim
+        self.rng = rng or XorShiftRNG(0xBE11)
+        self.shots = shots
+        self.spec = FaultSpec(channel, FaultKind.BIT_FLIP, crt_half="p")
+
+    def run(self) -> AttackResult:
+        n, e = self.victim.key.public()
+        message = self.rng.next_below(n - 2) + 1
+        injector = GlitchInjector(self.spec, self.rng)
+        hook = injector.crt_fault_hook()
+        refusals = 0
+        factor = None
+        for _ in range(self.shots):
+            try:
+                faulty = self.victim.sign_crt(message, fault_hook=hook)
+            except SecurityViolation:
+                refusals += 1  # Bellcore countermeasure withheld the output
+                continue
+            candidate = gcd((pow(faulty, e, n) - message) % n, n)
+            if 1 < candidate < n:
+                factor = candidate
+                break
+        success = factor is not None and n % factor == 0
+        return AttackResult(
+            name=self.NAME, category=AttackCategory.PHYSICAL,
+            success=success, score=1.0 if success else 0.0,
+            leaked={"factor": factor} if success else None,
+            details={"shots": self.shots, "refusals": refusals,
+                     "verify_enabled": self.victim.verify_signatures})
+
+
+class AESLastRoundDFA:
+    """Differential fault analysis on AES-128's final round.
+
+    ``victim_encrypt(pt, fault_hook)`` must run the victim cipher with the
+    supplied hook armed (or ignore it, if the platform shields the victim
+    from glitches — then no faulty outputs appear and the attack starves).
+    """
+
+    NAME = "aes-lastround-dfa"
+
+    def __init__(self, victim_encrypt, true_key: bytes,
+                 rng: XorShiftRNG | None = None,
+                 max_faults: int = 400,
+                 channel: GlitchChannel = GlitchChannel.CLOCK,
+                 fault_hook=None) -> None:
+        self.victim_encrypt = victim_encrypt
+        self.true_key = true_key  # grading only
+        self.rng = rng or XorShiftRNG(0xDFA5)
+        self.max_faults = max_faults
+        self.fault_hook = fault_hook
+        if self.fault_hook is None:
+            spec = FaultSpec(channel, FaultKind.BIT_FLIP, target_round=10)
+            self.injector = GlitchInjector(spec, self.rng)
+            self.fault_hook = self.injector.aes_fault_hook()
+
+    @staticmethod
+    def _surviving_candidates(ct_byte: int, faulty_byte: int,
+                              candidates: set[int]) -> set[int]:
+        return {
+            k for k in candidates
+            if bin(INV_SBOX[ct_byte ^ k]
+                   ^ INV_SBOX[faulty_byte ^ k]).count("1") == 1
+        }
+
+    def run(self) -> AttackResult:
+        candidates = [set(range(256)) for _ in range(16)]
+        faults_used = 0
+        collected = 0
+        for _ in range(self.max_faults):
+            pt = self.rng.bytes(16)
+            clean = self.victim_encrypt(pt, None)
+            faulty = self.victim_encrypt(pt, self.fault_hook)
+            collected += 1
+            diff = [j for j in range(16) if clean[j] != faulty[j]]
+            if len(diff) != 1:
+                continue  # no fault landed, or multi-byte corruption
+            j = diff[0]
+            if len(candidates[j]) <= 1:
+                continue
+            narrowed = self._surviving_candidates(clean[j], faulty[j],
+                                                  candidates[j])
+            if narrowed:
+                candidates[j] = narrowed
+                faults_used += 1
+            if all(len(c) == 1 for c in candidates):
+                break
+
+        resolved = all(len(c) == 1 for c in candidates)
+        recovered_key = None
+        if resolved:
+            k10 = bytes(next(iter(c)) for c in candidates)
+            recovered_key = invert_key_schedule(k10)
+        success = recovered_key == self.true_key
+        solved_bytes = sum(1 for c in candidates if len(c) == 1)
+        return AttackResult(
+            name=self.NAME, category=AttackCategory.PHYSICAL,
+            success=success, score=solved_bytes / 16,
+            leaked=recovered_key.hex() if success else None,
+            details={"faulty_encryptions": collected,
+                     "effective_faults": faults_used,
+                     "bytes_solved": solved_bytes})
+
+
+def make_glitchable_aes_victim(key: bytes):
+    """A bare AES service whose hook slot models physical glitch exposure.
+
+    Returns ``victim_encrypt(pt, fault_hook)`` suitable for
+    :class:`AESLastRoundDFA` — the unprotected-embedded-device baseline.
+    """
+
+    def victim_encrypt(pt: bytes, fault_hook) -> bytes:
+        cipher = TTableAES(key, fault_hook=fault_hook)
+        return cipher.encrypt_block(pt)
+
+    return victim_encrypt

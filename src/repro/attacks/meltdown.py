@@ -1,0 +1,121 @@
+"""Meltdown: reading kernel memory from user space (paper ref [29]).
+
+The attack "exploits the time window between the cause of an exception
+and its actual raise at retirement": a user-mode load of a kernel address
+fails the privilege check, but on a vulnerable core the loaded value is
+forwarded to dependent transient instructions first.  The dependent
+probe-array access transmits the byte through the cache; the architectural
+fault is absorbed by a signal handler (``fault_resume``).
+
+Two mitigations are separately testable:
+
+* **hardware** — ``fault_at_retirement=False`` (permission checked before
+  forwarding), the fixed-silicon behaviour;
+* **software (KPTI)** — unmap the kernel page instead of mapping it
+  supervisor-only: the walk then has no physical address to forward.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackCategory, AttackResult
+from repro.common import PrivilegeLevel
+from repro.cpu.soc import SoC
+from repro.isa import assemble
+from repro.memory.paging import PAGE_SIZE, PageFlags, PageTable
+
+PROBE_STRIDE = 64
+
+
+class MeltdownAttack:
+    """User-space attacker reading a kernel secret via fault forwarding."""
+
+    NAME = "meltdown-us"
+
+    def __init__(self, soc: SoC, kernel_secret: bytes,
+                 kpti: bool = False) -> None:
+        self.soc = soc
+        self.secret = kernel_secret
+        self.kpti = kpti
+        dram = soc.regions.get("dram")
+        self.kernel_paddr = dram.base + 0x50_0000
+        self.probe_paddr = dram.base + 0x51_0000
+        self.code_paddr = dram.base + 0x56_0000
+        self._setup()
+
+    def _setup(self) -> None:
+        soc = self.soc
+        for i, byte in enumerate(self.secret):
+            soc.memory.write_bytes(self.kernel_paddr + i * 8, bytes([byte]))
+
+        # The attacker's address space, as the OS would build it: user
+        # code + probe user-accessible, the kernel page supervisor-only
+        # (or absent entirely under KPTI).
+        self.page_table: PageTable = soc.make_page_table(asid=3)
+        user = PageFlags.PRESENT | PageFlags.USER | PageFlags.WRITABLE
+        self.page_table.map_range(self.code_paddr, self.code_paddr,
+                                  2 * PAGE_SIZE, user | PageFlags.EXECUTE)
+        self.page_table.map_range(self.probe_paddr, self.probe_paddr,
+                                  4 * PAGE_SIZE, user)
+        if not self.kpti:
+            self.page_table.map(self.kernel_paddr, self.kernel_paddr,
+                                PageFlags.PRESENT | PageFlags.WRITABLE)
+
+        text = f"""
+        attacker:                  # r1 = kernel address to read
+            load r2, 0(r1)         # faults; value forwarded transiently
+            li   r3, 255
+            and  r2, r2, r3
+            li   r4, 6
+            shl  r2, r2, r4
+            li   r3, {self.probe_paddr}
+            add  r3, r3, r2
+            load r5, 0(r3)         # transmit through the cache
+        resume:
+            halt
+        """
+        self.program = assemble(text, base=self.code_paddr,
+                                name="meltdown-attacker")
+
+    def _flush_probe(self) -> None:
+        for byte in range(256):
+            self.soc.hierarchy.flush_line(self.probe_paddr
+                                          + byte * PROBE_STRIDE)
+
+    def _probe_hot_byte(self) -> int | None:
+        threshold = self.soc.hierarchy.hit_threshold
+        hits = [byte for byte in range(256)
+                if self.soc.hierarchy.timed_access(
+                    0, self.probe_paddr + byte * PROBE_STRIDE) <= threshold]
+        return hits[0] if hits else None
+
+    def _attempt(self, kernel_addr: int) -> int | None:
+        core = self.soc.cores[0]
+        core.mmu.set_context(self.page_table.root, self.page_table.asid)
+        core.privilege = PrivilegeLevel.USER
+        core.load_program(self.program, entry="attacker")
+        core.fault_resume = self.program.address_of("resume")
+        core.set_reg(1, kernel_addr)
+        self._flush_probe()
+        try:
+            core.run(max_steps=32)
+        finally:
+            core.fault_resume = None
+            core.privilege = PrivilegeLevel.KERNEL
+            core.mmu.set_context(None)
+        return self._probe_hot_byte()
+
+    def run(self) -> AttackResult:
+        recovered = bytearray()
+        faults = 0
+        for i in range(len(self.secret)):
+            byte = self._attempt(self.kernel_paddr + i * 8)
+            recovered.append(byte if byte is not None else 0)
+            faults += 1
+        correct = sum(1 for a, b in zip(recovered, self.secret) if a == b)
+        score = correct / len(self.secret) if self.secret else 0.0
+        return AttackResult(
+            name=self.NAME, category=AttackCategory.MICROARCHITECTURAL,
+            success=score >= 0.9, score=score,
+            leaked=bytes(recovered) if score >= 0.9 else None,
+            details={"recovered": bytes(recovered).hex(),
+                     "kpti": self.kpti, "faults_taken": faults})

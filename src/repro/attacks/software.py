@@ -1,0 +1,152 @@
+"""Software adversaries: remote code injection, compromised kernel, DMA.
+
+Figure 1's top rows: "remote and local attacks are applicable to all types
+of computing platforms".  These attacks probe what a software adversary
+obtains *against the TEE's protected assets* — an unprotected process
+always falls; the interesting question is whether the enclave does too.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackCategory, AttackResult, AttackerProcess
+from repro.arch.base import AES_KEY_OFFSET, EnclaveHandle, SecurityArchitecture
+from repro.errors import AccessFault, EnclaveError, MemoryFault
+
+
+class CodeInjectionAttack:
+    """Remote adversary: corrupt a vulnerable unprotected service.
+
+    The service is a plain memory region with no protection beyond OS
+    process isolation — which the exploited bug bypasses by construction
+    (the paper's premise: "flaws in the kernel itself can be used to
+    undermine process isolation").  Success: attacker-chosen bytes end up
+    executed/stored inside the victim's memory.
+    """
+
+    NAME = "remote-code-injection"
+
+    def __init__(self, arch: SecurityArchitecture,
+                 victim_region: tuple[int, int] | None = None) -> None:
+        self.arch = arch
+        dram = arch.soc.regions.get("dram")
+        self.victim_base, self.victim_size = victim_region or (
+            dram.base + dram.size // 2 - 0x10000, 0x1000)
+
+    def run(self) -> AttackResult:
+        soc = self.arch.soc
+        payload = b"\xde\xad\xbe\xef" * 4
+        # The overflow: attacker-controlled input written past a buffer —
+        # modelled as a direct write into the victim's memory, which
+        # nothing below the (bypassed) OS prevents for plain processes.
+        try:
+            soc.memory.write_bytes(self.victim_base, payload)
+            injected = soc.memory.read_bytes(self.victim_base,
+                                             len(payload)) == payload
+        except MemoryFault:
+            injected = False
+        return AttackResult(
+            name=self.NAME, category=AttackCategory.REMOTE,
+            success=injected, score=1.0 if injected else 0.0,
+            details={"victim": hex(self.victim_base)})
+
+
+class KernelMemoryProbeAttack:
+    """Local adversary with kernel privilege reading protected assets.
+
+    The probe targets the architecture's crown jewel: enclave memory (the
+    AES key offset) where enclaves exist, or the attestation key where
+    only attestation exists.  A TEE that fails this probe provides no
+    security benefit over plain OS isolation.
+    """
+
+    NAME = "kernel-memory-probe"
+
+    def __init__(self, arch: SecurityArchitecture,
+                 enclave: EnclaveHandle | None = None,
+                 secret_paddr: int | None = None,
+                 secret_value: bytes | None = None) -> None:
+        self.arch = arch
+        self.enclave = enclave
+        self.secret_paddr = secret_paddr
+        self.secret_value = secret_value
+        self.attacker = AttackerProcess(arch, core_id=0, name="evil-kernel")
+
+    def _target(self) -> int | None:
+        if self.secret_paddr is not None:
+            return self.secret_paddr
+        if self.enclave is not None:
+            # Physical address of the key page (the OS can see mappings).
+            from repro.memory.paging import PAGE_SIZE
+            page_index = AES_KEY_OFFSET // PAGE_SIZE
+            page_table = self.enclave.metadata.get("page_table")
+            if page_table is not None:
+                entry = page_table.lookup(
+                    self.enclave.base + page_index * PAGE_SIZE)
+                if entry is None:
+                    return None
+                return entry[0] + AES_KEY_OFFSET % PAGE_SIZE
+            frames = self.enclave.metadata.get("frames")
+            if frames is not None:
+                return frames[page_index] + AES_KEY_OFFSET % PAGE_SIZE
+            return self.enclave.paddr + AES_KEY_OFFSET
+        return None
+
+    def run(self) -> AttackResult:
+        target = self._target()
+        if target is None:
+            return AttackResult(
+                name=self.NAME, category=AttackCategory.LOCAL,
+                success=False, score=0.0,
+                details={"blocked": "no addressable secret exists"})
+        ok, value = self.attacker.try_read(target)
+        leaked = None
+        if ok and self.secret_value is not None:
+            expected = int.from_bytes(self.secret_value[:8], "little")
+            ok = value == expected
+            leaked = value.to_bytes(8, "little") if ok else None
+        elif ok:
+            leaked = value.to_bytes(8, "little")
+        return AttackResult(
+            name=self.NAME, category=AttackCategory.LOCAL,
+            success=bool(ok), score=1.0 if ok else 0.0, leaked=leaked,
+            details={"target": hex(target)})
+
+
+class DMAAttack:
+    """A malicious DMA-capable peripheral dumping protected memory.
+
+    Thunderclap-flavoured (paper ref [31]): the peripheral is on the bus
+    with full mastering capability; only bus-level access control can
+    stop it.  The paper's scorecard — SGX aborts (MEE), Sanctum filters
+    (memory controller), TrustZone rejects (TZASC), SMART/TrustLite fall
+    (DMA "not part of the attacker model") — is what this reproduces.
+    """
+
+    NAME = "dma-memory-dump"
+
+    def __init__(self, arch: SecurityArchitecture, target_paddr: int,
+                 expected: bytes | None = None) -> None:
+        self.arch = arch
+        self.target_paddr = target_paddr
+        self.expected = expected
+        self.engine = arch.soc.add_dma_engine(
+            f"evil-dma-{id(self) & 0xFFFF}")
+
+    def run(self) -> AttackResult:
+        try:
+            data = self.engine.read(self.target_paddr, 16)
+            readable = True
+        except (AccessFault, MemoryFault):
+            data = b""
+            readable = False
+        plaintext_leaked = readable and (
+            self.expected is None or data[:len(self.expected)]
+            == self.expected)
+        score = 1.0 if plaintext_leaked else (0.3 if readable else 0.0)
+        return AttackResult(
+            name=self.NAME, category=AttackCategory.LOCAL,
+            success=plaintext_leaked, score=score,
+            leaked=data if plaintext_leaked else None,
+            details={"bus_admitted": readable,
+                     "ciphertext_only": readable and not plaintext_leaked,
+                     "target": hex(self.target_paddr)})

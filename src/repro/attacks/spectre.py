@@ -1,0 +1,243 @@
+"""Spectre: transient execution via branch-predictor mistraining (4.2).
+
+* :class:`SpectreV1Attack` (Spectre-PHT, bounds check bypass): train the
+  victim's bounds check in-bounds, then call it out-of-bounds; the
+  mispredicted guard transiently executes the array access that
+  "bypasses all software defenses like bounds checking", and the
+  secret-indexed probe load transmits the byte through the cache.
+* :class:`SpectreBTBAttack` (branch target injection): "branch prediction
+  buffers are indexed using virtual addresses ... allowing mistraining
+  not only from the same address space, but also from different
+  processes" [21].  The attacker executes a return at a BTB-aliasing
+  address in *its own* program to plant an attacker-chosen target; the
+  victim's return then transiently executes the disclosure gadget.
+
+Both attacks drive real assembled programs on the simulated core; the
+defences that stop them (in-order cores, ``fence`` after the check,
+per-context BTB tags) are exercised by the benches.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackCategory, AttackResult
+from repro.cpu.soc import SoC
+from repro.crypto.rng import XorShiftRNG
+from repro.isa import assemble
+from repro.isa.instructions import INSTR_SIZE
+from repro.isa.program import merge_programs
+
+PROBE_STRIDE = 64
+
+
+class _ProbeArray:
+    """256-line probe array + the Flush+Reload measurement over it."""
+
+    def __init__(self, soc: SoC, base: int) -> None:
+        self.soc = soc
+        self.base = base
+
+    def addr(self, byte: int) -> int:
+        return self.base + byte * PROBE_STRIDE
+
+    def flush_all(self) -> None:
+        for byte in range(256):
+            self.soc.hierarchy.flush_line(self.addr(byte))
+
+    def hot_byte(self, core: int = 1,
+                 ignore: set[int] | None = None) -> int | None:
+        """The byte whose probe line is cached, or None (no signal)."""
+        core = min(core, len(self.soc.hierarchy.l1s) - 1)
+        threshold = self.soc.hierarchy.hit_threshold
+        hits = [byte for byte in range(256)
+                if byte not in (ignore or set())
+                and self.soc.hierarchy.timed_access(core, self.addr(byte))
+                <= threshold]
+        return hits[0] if hits else None
+
+
+class SpectreV1Attack:
+    """Bounds-check bypass against a victim service on the same SoC."""
+
+    NAME = "spectre-v1-pht"
+
+    def __init__(self, soc: SoC, secret: bytes,
+                 with_fence: bool = False,
+                 rng: XorShiftRNG | None = None) -> None:
+        self.soc = soc
+        self.secret = secret
+        self.with_fence = with_fence
+        self.rng = rng or XorShiftRNG(0x59EC)
+        dram = soc.regions.get("dram")
+        self.array_base = dram.base + 0x10_0000
+        self.array_len = 128  # bytes of legitimate array
+        self.secret_base = self.array_base + 0x1000  # victim-private data
+        self.probe = _ProbeArray(soc, dram.base + 0x20_0000)
+        self._install()
+
+    def _install(self) -> None:
+        mem = self.soc.memory
+        # Legit array entries are zero -> training touches probe line 0,
+        # which the attacker ignores.  The secret must avoid 0 bytes for
+        # an unambiguous read (harness responsibility).
+        mem.clear_range(self.array_base, self.array_len)
+        for i, byte in enumerate(self.secret):
+            mem.write_bytes(self.secret_base + i * 8, bytes([byte]))
+        fence = "    fence\n" if self.with_fence else ""
+        text = f"""
+        victim:
+            li   r2, {self.array_len}
+            bge  r1, r2, vdone
+        {fence}
+            li   r3, {self.array_base}
+            add  r3, r3, r1
+            load r4, 0(r3)
+            li   r5, 255
+            and  r4, r4, r5
+            li   r6, 6
+            shl  r4, r4, r6
+            li   r5, {self.probe.base}
+            add  r5, r5, r4
+            load r6, 0(r5)
+        vdone:
+            halt
+        """
+        self.program = assemble(text, base=self.soc.dram_base + 0x1000,
+                                name="spectre-v1-victim")
+
+    def _call_victim(self, index: int) -> None:
+        core = self.soc.cores[0]
+        core.load_program(self.program, entry="victim")
+        core.set_reg(1, index)
+        core.run(max_steps=64)
+
+    def run(self) -> AttackResult:
+        recovered = bytearray()
+        for i in range(len(self.secret)):
+            # Train the bounds check in-bounds.  More iterations than the
+            # predictor's history depth: the first few trainings after a
+            # malicious (taken) call land on other gshare indices; only
+            # once the history re-zeroes do updates hit the slot the next
+            # malicious call will consult.
+            for _ in range(16):
+                self._call_victim(self.rng.next_below(self.array_len))
+            self.probe.flush_all()
+            # One malicious out-of-bounds call.
+            self._call_victim(self.secret_base + i * 8 - self.array_base)
+            byte = self.probe.hot_byte(core=1, ignore={0})
+            recovered.append(byte if byte is not None else 0)
+        correct = sum(1 for a, b in zip(recovered, self.secret) if a == b)
+        score = correct / len(self.secret) if self.secret else 0.0
+        return AttackResult(
+            name=self.NAME, category=AttackCategory.MICROARCHITECTURAL,
+            success=score >= 0.9, score=score,
+            leaked=bytes(recovered) if score >= 0.9 else None,
+            details={"recovered": bytes(recovered).hex(),
+                     "with_fence": self.with_fence})
+
+
+class SpectreBTBAttack:
+    """Cross-address-space branch target injection via an aliasing return."""
+
+    NAME = "spectre-v2-btb"
+
+    def __init__(self, soc: SoC, secret: bytes,
+                 rng: XorShiftRNG | None = None) -> None:
+        self.soc = soc
+        self.secret = secret
+        self.rng = rng or XorShiftRNG(0x5B7B)
+        dram = soc.regions.get("dram")
+        self.secret_base = dram.base + 0x30_0000
+        self.probe = _ProbeArray(soc, dram.base + 0x40_0000)
+        for i, byte in enumerate(secret):
+            soc.memory.write_bytes(self.secret_base + i * 8, bytes([byte]))
+        self._build_victim()
+
+    def _build_victim(self) -> None:
+        # Victim: a tail-jumped return (never preceded by jal, so the RSB
+        # is empty and the BTB predicts it) plus a disclosure gadget that
+        # is never architecturally reached.  r7 holds the secret offset the
+        # gadget reads — a value the victim naturally has live in a
+        # register, the classic v2 setup.
+        base = self.soc.dram_base + 0x2000
+        legit_addr = base + 3 * INSTR_SIZE  # li, jmp, ret, then legit:
+        text = f"""
+        ventry:
+            li   r15, {legit_addr}
+            jmp  do_ret
+        do_ret:
+            ret
+        legit:
+            halt
+        gadget:
+            li   r3, {self.secret_base}
+            add  r3, r3, r7
+            load r4, 0(r3)
+            li   r5, 255
+            and  r4, r4, r5
+            li   r6, 6
+            shl  r4, r4, r6
+            li   r5, {self.probe.base}
+            add  r5, r5, r4
+            load r6, 0(r5)
+            halt
+        """
+        self.victim = assemble(text, base=base, name="spectre-v2-victim")
+        self.victim_ret_pc = self.victim.address_of("do_ret")
+        assert self.victim.address_of("legit") == legit_addr
+        self.gadget_addr = self.victim.address_of("gadget")
+
+    def _mistrain(self) -> None:
+        """Attacker process: plant gadget_addr at the aliasing BTB slot."""
+        core = self.soc.cores[0]
+        btb = core.predictor.btb
+        aliased = btb.aliasing_pc(self.victim_ret_pc,
+                                  self.soc.dram_base + 0x0800_0000)
+        pad_instrs = (aliased - (aliased & ~0xFFF)) // INSTR_SIZE
+        lines = ["    nop"] * pad_instrs + ["    ret", "    halt"]
+        # lr holds the numeric value of the victim's gadget address; in
+        # the attacker's own address space that address is mapped to a
+        # benign landing pad (the attacker lays out its memory to make the
+        # mistraining return architecturally harmless).
+        trainer = assemble("\n".join(["aentry:"] + lines),
+                           base=aliased - pad_instrs * INSTR_SIZE,
+                           name="spectre-v2-trainer")
+        landing = assemble("lpad:\n    halt", base=self.gadget_addr,
+                           name="spectre-v2-landing")
+        attacker = merge_programs([trainer, landing],
+                                  name="spectre-v2-attacker")
+        core.mmu.asid = 7  # attacker's address space
+        core.load_program(attacker, entry="aentry")
+        core.set_reg(15, self.gadget_addr)
+        core.run(max_steps=pad_instrs + 8)
+
+    def _run_victim(self, secret_offset: int) -> None:
+        core = self.soc.cores[0]
+        core.mmu.asid = 1  # victim's address space
+        core.load_program(self.victim, entry="ventry")
+        core.set_reg(7, secret_offset)
+        core.run(max_steps=64)
+
+    def run(self) -> AttackResult:
+        if not hasattr(self.soc.cores[0], "predictor"):
+            return AttackResult(
+                name=self.NAME,
+                category=AttackCategory.MICROARCHITECTURAL,
+                success=False, score=0.0,
+                details={"blocked": "in-order core: no branch prediction"})
+        recovered = bytearray()
+        for i in range(len(self.secret)):
+            self._mistrain()
+            self.probe.flush_all()
+            self._run_victim(i * 8)
+            byte = self.probe.hot_byte(core=1, ignore={0})
+            recovered.append(byte if byte is not None else 0)
+        correct = sum(1 for a, b in zip(recovered, self.secret) if a == b)
+        score = correct / len(self.secret) if self.secret else 0.0
+        tagged = self.soc.cores[0].predictor.btb.tag_with_asid \
+            if hasattr(self.soc.cores[0], "predictor") else None
+        return AttackResult(
+            name=self.NAME, category=AttackCategory.MICROARCHITECTURAL,
+            success=score >= 0.9, score=score,
+            leaked=bytes(recovered) if score >= 0.9 else None,
+            details={"recovered": bytes(recovered).hex(),
+                     "btb_tagged": tagged})

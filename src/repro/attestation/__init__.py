@@ -1,0 +1,28 @@
+"""Attestation: measurements, MAC'd reports, remote-attestation protocol.
+
+SMART's report format is followed closely: "an attestation report
+containing the HMAC of the memory region, input parameters, a nonce and an
+after-attestation destination address".  The same machinery backs the SGX
+and TrustZone models' attestation (with their own keys and measurement
+scopes).
+"""
+
+from repro.attestation.measure import Measurement, measure_memory
+from repro.attestation.report import AttestationReport
+from repro.attestation.protocol import RemoteVerifier, VerificationResult
+from repro.attestation.cfa import (
+    ControlFlowAttestor,
+    expected_path_hash,
+    hash_cflow_trace,
+)
+
+__all__ = [
+    "AttestationReport",
+    "ControlFlowAttestor",
+    "Measurement",
+    "RemoteVerifier",
+    "VerificationResult",
+    "expected_path_hash",
+    "hash_cflow_trace",
+    "measure_memory",
+]

@@ -1,0 +1,108 @@
+"""C-FLAT-style control-flow attestation (paper ref [1]).
+
+The paper's adversary taxonomy comes from C-FLAT, which exists because
+*static* attestation (SMART/TrustLite: hash the code image) cannot see
+runtime control-flow hijacks — a data-only attack leaves every byte of
+code intact while steering execution down a different path.
+
+:class:`ControlFlowAttestor` runs a program on a simulated core with the
+architectural control-flow collector armed, folds every control-flow
+event into a hash chain, and MACs (static-measurement, path-hash, nonce)
+into one report.  The verifier, knowing the program's CFG, precomputes
+the expected path hash(es) for the challenge input; a hijacked run
+produces a valid-code-but-wrong-path report that static attestation would
+accept and CFA rejects.
+"""
+
+from __future__ import annotations
+
+from repro.attestation.report import AttestationReport
+from repro.cpu.core import Core
+from repro.crypto.sha256 import sha256
+from repro.errors import AttestationError
+from repro.isa.program import Program
+
+
+def hash_cflow_trace(trace: list[tuple[str, int, int]]) -> bytes:
+    """Fold a control-flow event list into a 32-byte path hash.
+
+    ``H_i = SHA256(H_{i-1} || kind || pc || target)`` — order-sensitive,
+    so any divergence at any point changes the final value (C-FLAT's
+    cumulative-hash construction).
+    """
+    value = b"\x00" * 32
+    for kind, pc, target in trace:
+        value = sha256(value + kind.encode() + pc.to_bytes(8, "little")
+                       + target.to_bytes(8, "little"))
+    return value
+
+
+class ControlFlowAttestor:
+    """Measures the *execution path* of a program run, not just its code."""
+
+    def __init__(self, key: bytes) -> None:
+        self._key = key
+
+    def measure_run(self, core: Core, program: Program,
+                    entry: str | None = None,
+                    regs: dict[int, int] | None = None,
+                    max_steps: int = 100_000
+                    ) -> tuple[bytes, list[tuple[str, int, int]]]:
+        """Execute ``program`` with tracing; returns (path hash, trace)."""
+        trace: list[tuple[str, int, int]] = []
+        core.load_program(program, entry=entry)
+        for reg, value in (regs or {}).items():
+            core.set_reg(reg, value)
+        previous = core.cflow_collector
+        core.cflow_collector = trace
+        try:
+            core.run(max_steps=max_steps)
+        finally:
+            core.cflow_collector = previous
+        return hash_cflow_trace(trace), trace
+
+    def attest_run(self, core: Core, program: Program, nonce: bytes,
+                   static_measurement: bytes,
+                   entry: str | None = None,
+                   regs: dict[int, int] | None = None) -> AttestationReport:
+        """Run + report: measurement field = H(static || path)."""
+        path_hash, _ = self.measure_run(core, program, entry=entry,
+                                        regs=regs)
+        combined = sha256(static_measurement + path_hash)
+        return AttestationReport.create(
+            self._key, combined, nonce, params=path_hash)
+
+    def verify_run(self, report: AttestationReport, nonce: bytes,
+                   static_measurement: bytes,
+                   expected_path_hashes: set[bytes]) -> bool:
+        """Verifier side: MAC + nonce + static hash + known-good path."""
+        if not report.verify(self._key):
+            return False
+        if report.nonce != nonce:
+            return False
+        path_hash = report.params
+        if path_hash not in expected_path_hashes:
+            return False
+        return report.measurement == sha256(static_measurement + path_hash)
+
+
+def expected_path_hash(core: Core, program: Program,
+                       entry: str | None = None,
+                       regs: dict[int, int] | None = None) -> bytes:
+    """Verifier-side oracle: simulate the known-good binary on known input.
+
+    Real C-FLAT verifiers precompute path hashes from the CFG; in the
+    simulation the verifier owns a pristine copy of the device model and
+    simply executes it.
+    """
+    trace: list[tuple[str, int, int]] = []
+    core.load_program(program, entry=entry)
+    for reg, value in (regs or {}).items():
+        core.set_reg(reg, value)
+    previous = core.cflow_collector
+    core.cflow_collector = trace
+    try:
+        core.run()
+    finally:
+        core.cflow_collector = previous
+    return hash_cflow_trace(trace)

@@ -1,0 +1,43 @@
+"""Code/data measurement: hashes and PCR-style extension chains."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.sha256 import sha256
+from repro.memory.phys import PhysicalMemory
+
+
+def measure_memory(memory: PhysicalMemory, base: int, size: int) -> bytes:
+    """SHA-256 over a physical range (the attested region)."""
+    if size <= 0:
+        raise ValueError("size must be positive")
+    return sha256(memory.read_bytes(base, size))
+
+
+@dataclass
+class Measurement:
+    """An extendable measurement register (TPM-PCR / SGX-MRENCLAVE style).
+
+    ``extend`` folds new evidence into the running value as
+    ``H(current || evidence)``; order matters, which is what gives boot
+    chains their meaning.
+    """
+
+    value: bytes = field(default_factory=lambda: b"\x00" * 32)
+    log: list[str] = field(default_factory=list)
+
+    def extend(self, evidence: bytes, label: str = "") -> bytes:
+        """Fold ``evidence`` in; returns the new value."""
+        self.value = sha256(self.value + evidence)
+        self.log.append(label or f"<{len(evidence)} bytes>")
+        return self.value
+
+    def extend_memory(self, memory: PhysicalMemory, base: int, size: int,
+                      label: str = "") -> bytes:
+        """Extend with the hash of a physical range."""
+        return self.extend(measure_memory(memory, base, size),
+                           label or f"mem[{base:#x}+{size:#x}]")
+
+    def matches(self, expected: bytes) -> bool:
+        return self.value == expected

@@ -1,0 +1,81 @@
+"""Remote attestation: nonce freshness, expected measurements, replay defence."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.attestation.report import AttestationReport
+from repro.crypto.rng import XorShiftRNG
+
+
+class VerificationResult(enum.Enum):
+    """Why a report was accepted or rejected."""
+
+    OK = "ok"
+    BAD_MAC = "bad-mac"
+    UNKNOWN_NONCE = "unknown-nonce"
+    REPLAYED = "replayed"
+    WRONG_MEASUREMENT = "wrong-measurement"
+
+    @property
+    def accepted(self) -> bool:
+        return self is VerificationResult.OK
+
+
+@dataclass
+class _Challenge:
+    nonce: bytes
+    used: bool = False
+
+
+class RemoteVerifier:
+    """The verifier side of SMART-style remote attestation.
+
+    Shares a symmetric key with the device (SMART's provisioning model).
+    Issues fresh nonces, accepts each at most once, and checks the
+    measurement against a whitelist of known-good code hashes.
+    """
+
+    def __init__(self, shared_key: bytes,
+                 rng: XorShiftRNG | None = None) -> None:
+        self.shared_key = shared_key
+        self.rng = rng or XorShiftRNG(0x7E57)
+        self._challenges: dict[bytes, _Challenge] = {}
+        self._known_good: set[bytes] = set()
+        self.accepted = 0
+        self.rejected = 0
+
+    def trust_measurement(self, measurement: bytes) -> None:
+        """Whitelist a known-good code hash."""
+        self._known_good.add(measurement)
+
+    def challenge(self) -> bytes:
+        """Issue a fresh nonce for the device to attest against."""
+        nonce = self.rng.bytes(16)
+        self._challenges[nonce] = _Challenge(nonce)
+        return nonce
+
+    def verify(self, report: AttestationReport) -> VerificationResult:
+        """Check MAC, nonce freshness, single use and measurement."""
+        result = self._verify(report)
+        if result.accepted:
+            self.accepted += 1
+        else:
+            self.rejected += 1
+        return result
+
+    def _verify(self, report: AttestationReport) -> VerificationResult:
+        if not report.verify(self.shared_key):
+            return VerificationResult.BAD_MAC
+        challenge = self._challenges.get(report.nonce)
+        if challenge is None:
+            return VerificationResult.UNKNOWN_NONCE
+        if challenge.used:
+            return VerificationResult.REPLAYED
+        if self._known_good and report.measurement not in self._known_good:
+            # Nonce deliberately NOT consumed: the device may retry with
+            # the correct code (matches SMART's usage).
+            return VerificationResult.WRONG_MEASUREMENT
+        challenge.used = True
+        return VerificationResult.OK

@@ -1,0 +1,78 @@
+"""Attestation reports: SMART's wire format, HMAC'd and serialisable."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hmacmod import hmac_sha256, hmac_verify
+from repro.errors import AttestationError
+
+_MAGIC = b"ATTR"
+
+
+@dataclass(frozen=True)
+class AttestationReport:
+    """MAC'd evidence: measurement, nonce, inputs, continuation address."""
+
+    measurement: bytes
+    nonce: bytes
+    params: bytes
+    dest_addr: int
+    mac: bytes = b""
+
+    def payload(self) -> bytes:
+        """The MAC'd byte string."""
+        return (_MAGIC
+                + len(self.measurement).to_bytes(2, "little") + self.measurement
+                + len(self.nonce).to_bytes(2, "little") + self.nonce
+                + len(self.params).to_bytes(2, "little") + self.params
+                + self.dest_addr.to_bytes(8, "little"))
+
+    @classmethod
+    def create(cls, key: bytes, measurement: bytes, nonce: bytes,
+               params: bytes = b"", dest_addr: int = 0) -> "AttestationReport":
+        """Build and MAC a report under the device key."""
+        unsigned = cls(measurement, nonce, params, dest_addr)
+        return cls(measurement, nonce, params, dest_addr,
+                   mac=hmac_sha256(key, unsigned.payload()))
+
+    def verify(self, key: bytes) -> bool:
+        """True when the MAC binds this exact content under ``key``."""
+        return hmac_verify(key, self.payload(), self.mac)
+
+    # -- serialisation (reports travel through untrusted memory) -------------
+
+    def pack(self) -> bytes:
+        return self.payload() + len(self.mac).to_bytes(2, "little") + self.mac
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "AttestationReport":
+        """Parse a packed report; raises :class:`AttestationError` on junk."""
+        try:
+            if data[:4] != _MAGIC:
+                raise AttestationError("bad report magic")
+            offset = 4
+
+            def take_block() -> bytes:
+                nonlocal offset
+                length = int.from_bytes(data[offset:offset + 2], "little")
+                offset += 2
+                block = data[offset:offset + length]
+                if len(block) != length:
+                    raise AttestationError("truncated report")
+                offset += length
+                return block
+
+            measurement = take_block()
+            nonce = take_block()
+            params = take_block()
+            dest = int.from_bytes(data[offset:offset + 8], "little")
+            offset += 8
+            mac_len = int.from_bytes(data[offset:offset + 2], "little")
+            offset += 2
+            mac = data[offset:offset + mac_len]
+            if len(mac) != mac_len:
+                raise AttestationError("truncated MAC")
+            return cls(measurement, nonce, params, dest, mac)
+        except (IndexError, AttestationError) as exc:
+            raise AttestationError(f"malformed report: {exc}") from exc

@@ -1,0 +1,50 @@
+"""Cache structures and the timing channels they create.
+
+Every attack in Section 4 of the paper ultimately measures one of these
+structures.  The models are behavioural but cycle-attributed: an access
+returns which level hit and a latency, which is exactly the signal
+Evict+Time / Prime+Probe / Flush+Reload quantify.
+
+* :class:`Cache` — physically-indexed set-associative cache with pluggable
+  replacement and index functions.
+* :class:`CacheHierarchy` — per-core L1s over a shared last-level cache,
+  with the defences the paper contrasts: way partitioning [39], randomised
+  index mapping [40], page colouring (Sanctum), and cache exclusion
+  (Sanctuary).
+* :class:`TLB` / :class:`BranchTargetBuffer` — "any cache structure shared
+  by the attacker and the victim can be exploited".
+"""
+
+from repro.cache.policies import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    TreePLRUPolicy,
+)
+from repro.cache.cache import AccessResult, Cache, CacheStats
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig, MemoryAccess
+from repro.cache.tlb import TLB
+from repro.cache.btb import BranchTargetBuffer
+from repro.cache.partition import WayPartition, color_of, frames_of_color
+from repro.cache.randmap import RandomizedIndexing
+
+__all__ = [
+    "AccessResult",
+    "BranchTargetBuffer",
+    "Cache",
+    "CacheHierarchy",
+    "CacheStats",
+    "FIFOPolicy",
+    "HierarchyConfig",
+    "LRUPolicy",
+    "MemoryAccess",
+    "RandomPolicy",
+    "RandomizedIndexing",
+    "ReplacementPolicy",
+    "TLB",
+    "TreePLRUPolicy",
+    "WayPartition",
+    "color_of",
+    "frames_of_color",
+]

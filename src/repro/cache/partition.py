@@ -1,0 +1,113 @@
+"""Cache partitioning defences: way partitioning and page colouring.
+
+Two of the hardware countermeasures the paper lists for software cache
+side channels:
+
+* **Way partitioning** ("some sort of cache partitioning" [39], DAWG-like):
+  each security domain may only fill a disjoint subset of ways, so an
+  attacker in one domain can never evict another domain's lines.
+* **Page colouring** (Sanctum's LLC defence): the set-index bits above the
+  page offset define a page *colour*; by giving an enclave physical frames
+  of colours nobody else is allocated, its lines land in LLC sets the OS
+  and other enclaves cannot touch.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.memory.paging import PAGE_SHIFT, PAGE_SIZE
+
+
+class WayPartition:
+    """Maps security domains to allowed way masks.
+
+    Unassigned domains share the ``default_mask``.  Masks may deliberately
+    overlap (a misconfiguration the tests exercise: overlap reintroduces
+    the channel).
+    """
+
+    def __init__(self, ways: int, default_mask: int | None = None) -> None:
+        if ways <= 0:
+            raise ConfigurationError("ways must be positive")
+        self.ways = ways
+        self._full = (1 << ways) - 1
+        self.default_mask = self._full if default_mask is None \
+            else default_mask & self._full
+        self._masks: dict[str, int] = {}
+
+    def assign(self, domain: str, mask: int) -> None:
+        """Restrict ``domain`` to the ways set in ``mask``."""
+        mask &= self._full
+        if mask == 0:
+            raise ConfigurationError(f"domain {domain!r} assigned zero ways")
+        self._masks[domain] = mask
+
+    def mask_of(self, domain: str | None) -> int:
+        if domain is None:
+            return self.default_mask
+        return self._masks.get(domain, self.default_mask)
+
+    def allowed_ways(self, domain: str | None, ways: int) -> list[bool]:
+        """Boolean allow-list per way, as the cache expects."""
+        mask = self.mask_of(domain)
+        return [bool(mask >> w & 1) for w in range(ways)]
+
+    def isolated(self, domain_a: str, domain_b: str) -> bool:
+        """True when the two domains' way masks are disjoint."""
+        return not (self.mask_of(domain_a) & self.mask_of(domain_b))
+
+    @classmethod
+    def split_evenly(cls, ways: int, domains: list[str]) -> "WayPartition":
+        """Partition ``ways`` ways evenly and disjointly across ``domains``."""
+        if not domains:
+            raise ConfigurationError("need at least one domain")
+        if ways < len(domains):
+            raise ConfigurationError(
+                f"{ways} ways cannot host {len(domains)} disjoint domains")
+        partition = cls(ways, default_mask=0)
+        share = ways // len(domains)
+        for i, domain in enumerate(domains):
+            start = i * share
+            width = share if i < len(domains) - 1 else ways - start
+            partition.assign(domain, ((1 << width) - 1) << start)
+        return partition
+
+
+def color_of(paddr: int, num_sets: int, line_size: int = 64) -> int:
+    """Page colour of a physical address for the given LLC geometry.
+
+    The colour is the part of the set index contributed by address bits at
+    or above :data:`PAGE_SHIFT` — the bits the OS/monitor controls through
+    frame allocation.
+    """
+    sets_per_page = PAGE_SIZE // line_size
+    num_colors = max(num_sets // sets_per_page, 1)
+    return (paddr >> PAGE_SHIFT) % num_colors
+
+
+def num_colors(num_sets: int, line_size: int = 64) -> int:
+    """How many distinct page colours the LLC geometry offers."""
+    sets_per_page = PAGE_SIZE // line_size
+    return max(num_sets // sets_per_page, 1)
+
+
+def frames_of_color(color: int, base: int, size: int, num_sets: int,
+                    line_size: int = 64) -> list[int]:
+    """All page-frame base addresses of ``color`` within ``[base, base+size)``.
+
+    This is the allocator Sanctum's monitor uses: enclave frames come only
+    from the enclave's reserved colours.
+    """
+    colors = num_colors(num_sets, line_size)
+    if not 0 <= color < colors:
+        raise ConfigurationError(f"color {color} out of range (<{colors})")
+    frames = []
+    first = base & ~(PAGE_SIZE - 1)
+    if first < base:
+        first += PAGE_SIZE
+    addr = first
+    while addr + PAGE_SIZE <= base + size:
+        if color_of(addr, num_sets, line_size) == color:
+            frames.append(addr)
+        addr += PAGE_SIZE
+    return frames

@@ -1,0 +1,59 @@
+"""Randomised address-to-set mapping (RPcache/CEASER family, paper ref [40]).
+
+Instead of partitioning, the cache scrambles which set an address maps to
+using a keyed permutation.  An attacker who cannot learn the key cannot
+build eviction sets by address arithmetic; re-keying periodically destroys
+any eviction sets learned by brute force.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(x: int) -> int:
+    """Cheap invertible-ish mixing (xorshift-multiply)."""
+    x &= _MASK64
+    x ^= x >> 33
+    x = (x * 0xFF51AFD7ED558CCD) & _MASK64
+    x ^= x >> 33
+    x = (x * 0xC4CEB9FE1A85EC53) & _MASK64
+    x ^= x >> 33
+    return x
+
+
+class RandomizedIndexing:
+    """Keyed set-index function; install as ``Cache.index_fn``.
+
+    Use :meth:`rekey` to model periodic re-randomisation.  ``epoch`` counts
+    re-keys so experiments can correlate attack success with key lifetime.
+    """
+
+    def __init__(self, key: int, line_size: int = 64) -> None:
+        self._key = key & _MASK64
+        self.line_size = line_size
+        self.epoch = 0
+
+    def __call__(self, addr: int) -> int:
+        line = addr // self.line_size
+        return _mix(line ^ self._key)
+
+    def rekey(self, new_key: int) -> None:
+        """Change the index key (the defender's periodic re-randomisation).
+
+        Note: in this model the caller must also flush the cache — with a
+        new mapping, resident lines would otherwise be found in stale sets.
+        Real CEASER migrates lines gradually; flush-on-rekey is the
+        conservative approximation.
+        """
+        self._key = new_key & _MASK64
+        self.epoch += 1
+
+    def colliding_addresses(self, target: int, candidates: list[int]) -> list[int]:
+        """Which candidate addresses map to the same set as ``target``.
+
+        Exists for *tests and oracle-grade analysis only* — a software
+        attacker has no such oracle, which is exactly the defence's point.
+        """
+        want = self(target)
+        return [addr for addr in candidates if self(addr) == want]

@@ -1,0 +1,37 @@
+"""Cross-cutting enums shared by CPU, memory and architecture layers."""
+
+from __future__ import annotations
+
+import enum
+
+
+class PrivilegeLevel(enum.IntEnum):
+    """CPU privilege ring, ordered so ``>=`` means 'at least as privileged'.
+
+    ``USER`` and ``KERNEL`` map onto any ISA's U/S modes.  ``MONITOR`` is
+    the most-privileged software level: Sanctum's security monitor,
+    TrustZone's monitor code (EL3), or x86 microcode-adjacent firmware.
+    """
+
+    USER = 0
+    KERNEL = 1
+    MONITOR = 2
+
+
+class World(enum.Enum):
+    """TrustZone-style security state of a core or transaction."""
+
+    NORMAL = "normal"
+    SECURE = "secure"
+
+    @property
+    def is_secure(self) -> bool:
+        return self is World.SECURE
+
+
+class PlatformClass(enum.Enum):
+    """The paper's three platform categories (Figure 1 columns)."""
+
+    SERVER_DESKTOP = "server-desktop"
+    MOBILE = "mobile"
+    EMBEDDED = "embedded"

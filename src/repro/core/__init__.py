@@ -1,0 +1,63 @@
+"""The paper's contribution: the cross-platform comparison framework.
+
+The survey's intellectual content is a taxonomy (adversaries × platforms
+× architectures) and a set of qualitative judgements (Figure 1, the
+Section 3-5 comparisons).  This package *derives* those judgements from
+experiment outcomes on the simulated stack instead of asserting them:
+
+* :mod:`repro.core.taxonomy` — adversary models and importance levels;
+* :mod:`repro.core.platforms` — the three platform profiles with their
+  exposure priors and measured performance/energy characteristics;
+* :mod:`repro.core.matrix` — runs the attack suite per platform and
+  aggregates per-category scores;
+* :mod:`repro.core.figure1` — regenerates Figure 1 from those scores;
+* :mod:`repro.core.comparison` — regenerates the Section 3/4 architecture
+  comparison tables from features + live attack outcomes;
+* :mod:`repro.core.advisor` — Section 6's closing advice ("select the
+  optimal security architecture given the energy and performance budget")
+  as a scoring engine.
+"""
+
+from repro.core.taxonomy import (
+    AdversaryModel,
+    Importance,
+    importance_from_score,
+)
+from repro.core.platforms import (
+    PlatformProfile,
+    STANDARD_PLATFORMS,
+    reference_workload,
+)
+from repro.core.matrix import CellResult, EvaluationMatrix
+from repro.core.figure1 import Figure1, generate_figure1
+from repro.core.comparison import (
+    architecture_feature_table,
+    cache_defence_table,
+    render_table,
+    transient_applicability_table,
+)
+from repro.core.advisor import (
+    Advice,
+    Requirements,
+    recommend_architecture,
+)
+
+__all__ = [
+    "Advice",
+    "AdversaryModel",
+    "CellResult",
+    "EvaluationMatrix",
+    "Figure1",
+    "Importance",
+    "PlatformProfile",
+    "Requirements",
+    "STANDARD_PLATFORMS",
+    "architecture_feature_table",
+    "cache_defence_table",
+    "generate_figure1",
+    "importance_from_score",
+    "recommend_architecture",
+    "reference_workload",
+    "render_table",
+    "transient_applicability_table",
+]

@@ -1,0 +1,260 @@
+"""Section 3/4 comparisons, regenerated from the models and live attacks.
+
+The survey compares architectures in prose; here every comparison row is
+materialised and, where it is a *security claim*, verified by running the
+corresponding attack:
+
+* :func:`architecture_feature_table` (TAB-S3) — feature rows from
+  :meth:`features` with the DMA-protection claim verified live by a
+  malicious DMA engine;
+* :func:`cache_defence_table` (TAB-S41) — cache-side-channel verdicts per
+  architecture from actually running Prime+Probe / Flush+Reload /
+  Evict+Time against the standard AES enclave;
+* :func:`transient_applicability_table` (TAB-S42) — Spectre/Meltdown/
+  Foreshadow outcomes across the microarchitectural design space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch import (
+    SGX,
+    SMART,
+    Sanctuary,
+    Sanctum,
+    Sancus,
+    TrustLite,
+    TrustZone,
+    TyTAN,
+)
+from repro.arch.null import NullArchitecture
+from repro.arch.smart import KEY_ADDR
+from repro.attacks.base import AttackerProcess
+from repro.attacks.cache_sca import (
+    EvictTimeAttack,
+    FlushReloadAttack,
+    PrimeProbeAttack,
+    _CacheAttackConfig,
+)
+from repro.attacks.foreshadow import ForeshadowAttack
+from repro.attacks.meltdown import MeltdownAttack
+from repro.attacks.software import DMAAttack
+from repro.attacks.spectre import SpectreBTBAttack, SpectreV1Attack
+from repro.common import PlatformClass
+from repro.cpu.predictor import PredictorConfig
+from repro.cpu.soc import (
+    SoC,
+    SoCConfig,
+    make_embedded_soc,
+    make_mobile_soc,
+    make_server_soc,
+)
+from repro.cpu.speculative import SpeculativeConfig
+from repro.crypto.rng import XorShiftRNG
+
+#: (architecture class, SoC factory) in the paper's presentation order.
+ARCH_HOSTS = (
+    (SGX, make_server_soc),
+    (Sanctum, make_server_soc),
+    (TrustZone, make_mobile_soc),
+    (Sanctuary, make_mobile_soc),
+    (SMART, make_embedded_soc),
+    (Sancus, make_embedded_soc),
+    (TrustLite, make_embedded_soc),
+    (TyTAN, make_embedded_soc),
+)
+
+
+def render_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Plain ASCII table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+
+    def fmt(cells) -> str:
+        return " | ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    return "\n".join([fmt(headers), sep] + [fmt(row) for row in rows])
+
+
+# -- TAB-S3 -------------------------------------------------------------------
+
+_SECRET_WORD = 0x5EC2E7C0DE5EC2E7
+
+
+def _verify_dma_claim(arch) -> str:
+    """Aim a malicious DMA engine at the architecture's protected asset."""
+    if isinstance(arch, (SMART, Sancus)):
+        if isinstance(arch, Sancus):
+            return "n/a (key never addressable)"
+        # SMART's key ROM port is gate-protected even against DMA, but the
+        # memory it attests — and the reports it writes — are plain RAM:
+        # that is what "DMA attacks not in the threat model" costs.
+        target = 0x8000_4000
+        arch.soc.memory.write_bytes(target, b"attested app")
+        result = DMAAttack(arch, target, expected=b"attested").run()
+        return "leaked" if result.success else "blocked"
+    try:
+        handle = arch.create_enclave("dma-probe-target")
+    except Exception:
+        return "n/a"
+    arch.enter_enclave(handle)
+    try:
+        arch.enclave_write(handle, 0, _SECRET_WORD)
+    finally:
+        arch.exit_enclave(handle)
+    expected = _SECRET_WORD.to_bytes(8, "little")
+    result = DMAAttack(arch, handle.paddr, expected=expected).run()
+    if result.success:
+        return "leaked plaintext"
+    if result.details.get("ciphertext_only"):
+        return "ciphertext only"
+    return "blocked"
+
+
+def architecture_feature_table() -> tuple[list[str], list[list[str]]]:
+    """TAB-S3: one verified feature row per architecture."""
+    headers = ["architecture", "platform", "software TCB", "enclaves",
+               "mem. encryption", "cache defence", "DMA protection",
+               "DMA verified", "attestation", "new HW"]
+    rows: list[list[str]] = []
+    for arch_cls, make_soc in ARCH_HOSTS:
+        arch = arch_cls(make_soc())
+        f = arch.features()
+        if f.llc_partitioning:
+            cache_defence = "LLC partitioning"
+        elif f.cache_exclusion:
+            cache_defence = "cache exclusion"
+        elif f.flush_on_switch:
+            cache_defence = "flush on switch"
+        else:
+            cache_defence = "none"
+        rows.append([
+            f.name, f.target_platform.value, f.software_tcb,
+            f.enclave_count, "yes" if f.memory_encryption else "no",
+            cache_defence, f.dma_protection, _verify_dma_claim(arch),
+            f.attestation, "yes" if f.requires_new_hardware else "no"])
+    return headers, rows
+
+
+# -- TAB-S41 --------------------------------------------------------------------
+
+@dataclass
+class CacheDefenceRow:
+    """Per-architecture cache-side-channel verdicts."""
+
+    architecture: str
+    defence: str
+    prime_probe: float
+    flush_reload: float
+    evict_time: float | None = None
+
+    @property
+    def protected(self) -> bool:
+        scores = [self.prime_probe, self.flush_reload]
+        if self.evict_time is not None:
+            scores.append(self.evict_time)
+        return all(s < 0.5 for s in scores)
+
+
+def cache_defence_table(quick: bool = True, include_evict_time: bool = False,
+                        seed: int = 0x41) -> list[CacheDefenceRow]:
+    """TAB-S41: run the cache attacks against each enclave-capable arch."""
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    config = _CacheAttackConfig(
+        samples_per_value=8 if quick else 14,
+        plaintext_values=8,
+        target_bytes=(0, 5) if quick else (0, 5, 10, 15))
+    hosts = [
+        (NullArchitecture, make_server_soc, "none (baseline)"),
+        (SGX, make_server_soc, "none (no LLC defence)"),
+        (Sanctum, make_server_soc, "LLC page colouring"),
+        (TrustZone, make_mobile_soc, "none (no LLC defence)"),
+        (Sanctuary, make_mobile_soc, "LLC exclusion + L1 flush"),
+    ]
+    rows: list[CacheDefenceRow] = []
+    for arch_cls, make_soc, defence in hosts:
+        arch = arch_cls(make_soc())
+        victim = arch.deploy_aes_victim(key, core_id=0)
+        attacker = AttackerProcess(arch, core_id=1)
+        rng = XorShiftRNG(seed)
+        pp = PrimeProbeAttack(victim, attacker, rng, config).run()
+        fr = FlushReloadAttack(victim, AttackerProcess(arch, core_id=1),
+                               XorShiftRNG(seed + 1), config).run()
+        et = None
+        if include_evict_time:
+            et = EvictTimeAttack(victim, AttackerProcess(arch, core_id=1),
+                                 XorShiftRNG(seed + 2), config).run().score
+        rows.append(CacheDefenceRow(
+            architecture=arch.NAME, defence=defence,
+            prime_probe=pp.score, flush_reload=fr.score, evict_time=et))
+    return rows
+
+
+def render_cache_defence_table(rows: list[CacheDefenceRow]) -> str:
+    headers = ["architecture", "defence", "prime+probe", "flush+reload",
+               "evict+time", "protected"]
+    table = []
+    for row in rows:
+        et = "-" if row.evict_time is None else f"{row.evict_time:.2f}"
+        table.append([row.architecture, row.defence,
+                      f"{row.prime_probe:.2f}", f"{row.flush_reload:.2f}",
+                      et, "yes" if row.protected else "NO"])
+    return render_table(headers, table)
+
+
+# -- TAB-S42 -----------------------------------------------------------------------
+
+def _soc_variant(name: str, **spec_kwargs) -> SoC:
+    return SoC(SoCConfig(
+        name=name, platform=PlatformClass.SERVER_DESKTOP, num_cores=2,
+        speculative=spec_kwargs.pop("speculative", True),
+        spec=SpeculativeConfig(**spec_kwargs)))
+
+
+def transient_applicability_table(secret: bytes = b"TRNS",
+                                  seed: int = 0x42
+                                  ) -> tuple[list[str], list[list[str]]]:
+    """TAB-S42: transient attacks across the microarchitectural design space.
+
+    Rows are design points; a cell shows the attack's key-recovery score.
+    The paper's qualitative claims appear as the pattern: everything works
+    on the commodity speculative design, each mitigation kills exactly its
+    attack, and the in-order (embedded) design is immune across the board.
+    """
+    designs = [
+        ("speculative (commodity)", {}),
+        ("in-order (embedded-class)", {"speculative": False}),
+        ("fault at issue (Meltdown fix)", {"fault_at_retirement": False}),
+        ("no L1TF forwarding (Foreshadow fix)", {"l1tf_forwarding": False}),
+        ("BTB tagged per context (v2 fix)",
+         {"predictor": PredictorConfig(btb_tag_with_asid=True)}),
+        ("no transient window", {"transient_window": 0}),
+    ]
+    headers = ["design point", "spectre-v1", "spectre-v2", "meltdown",
+               "foreshadow"]
+    rows: list[list[str]] = []
+    for label, kwargs in designs:
+        scores: list[str] = [label]
+        rng = XorShiftRNG(seed)
+        soc = _soc_variant(label, **kwargs)
+        scores.append(f"{SpectreV1Attack(soc, secret, rng=rng).run().score:.2f}")
+        soc = _soc_variant(label, **kwargs)
+        scores.append(
+            f"{SpectreBTBAttack(soc, secret, rng=rng).run().score:.2f}")
+        soc = _soc_variant(label, **kwargs)
+        scores.append(f"{MeltdownAttack(soc, secret).run().score:.2f}")
+        soc = _soc_variant(label, **kwargs)
+        if soc.config.speculative:
+            sgx = SGX(soc)
+            victim = sgx.deploy_aes_victim(
+                bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"))
+            fs = ForeshadowAttack(sgx, victim.handle).run()
+            scores.append(f"{fs.score:.2f}")
+        else:
+            scores.append("0.00")
+        rows.append(scores)
+    return headers, rows

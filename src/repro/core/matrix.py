@@ -1,0 +1,217 @@
+"""The evaluation matrix: attacks × platforms, measured.
+
+For each platform profile the engine builds the platform's SoC with **no
+TEE installed** (Figure 1 characterises platform classes, not specific
+architectures) and runs the representative attack of each adversary
+category against undefended software.  Scores are aggregated per category
+and weighted by the platform's exposure prior; the weighted score is what
+Figure 1 shades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.null import NullArchitecture
+from repro.attacks.base import AttackCategory, AttackResult, AttackerProcess
+from repro.attacks.cache_sca import (
+    FlushReloadAttack,
+    SharedAESService,
+    _CacheAttackConfig,
+)
+from repro.attacks.fault_attacks import (
+    BellcoreRSAAttack,
+    make_glitchable_aes_victim,
+    AESLastRoundDFA,
+)
+from repro.attacks.meltdown import MeltdownAttack
+from repro.attacks.software import (
+    CodeInjectionAttack,
+    DMAAttack,
+    KernelMemoryProbeAttack,
+)
+from repro.attacks.spectre import SpectreV1Attack
+from repro.attacks.timing import KocherTimingAttack
+from repro.common import PlatformClass
+from repro.core.platforms import (
+    PlatformProfile,
+    STANDARD_PLATFORMS,
+    WorkloadResult,
+    reference_workload,
+)
+from repro.core.taxonomy import Importance, importance_from_score
+from repro.crypto.aes import AES128
+from repro.crypto.rng import XorShiftRNG
+from repro.crypto.rsa import RSA, generate_rsa_key
+from repro.power.instrument import capture_aes_traces
+from repro.power.leakage import HammingWeightModel
+from repro.attacks.dpa import cpa_recover_key, key_recovery_rate
+
+
+@dataclass
+class CellResult:
+    """One (platform, adversary-category) cell."""
+
+    platform: PlatformClass
+    category: AttackCategory
+    attacks: list[AttackResult] = field(default_factory=list)
+    prior: float = 1.0
+
+    @property
+    def raw_score(self) -> float:
+        if not self.attacks:
+            return 0.0
+        return sum(a.score for a in self.attacks) / len(self.attacks)
+
+    @property
+    def score(self) -> float:
+        return min(self.raw_score * self.prior, 1.0)
+
+    @property
+    def importance(self) -> Importance:
+        return importance_from_score(self.score)
+
+
+@dataclass
+class _QuickKnobs:
+    """Attack sizing; quick mode keeps the matrix fast for tests."""
+
+    secret_len: int = 4
+    traces: int = 300
+    fr_samples: int = 8
+    fr_values: int = 8
+    rsa_bits: int = 64
+    timing_samples: int = 600
+    timing_bits: int = 8
+
+
+class EvaluationMatrix:
+    """Runs the whole grid and holds the results."""
+
+    def __init__(self, platforms: tuple[PlatformProfile, ...]
+                 = STANDARD_PLATFORMS, quick: bool = True,
+                 seed: int = 0x2019) -> None:
+        self.platforms = platforms
+        self.knobs = _QuickKnobs() if quick else _QuickKnobs(
+            secret_len=8, traces=1000, fr_samples=12, fr_values=8,
+            rsa_bits=96, timing_samples=1200, timing_bits=16)
+        self.seed = seed
+        self.cells: dict[tuple[PlatformClass, AttackCategory], CellResult] = {}
+        self.workloads: dict[PlatformClass, WorkloadResult] = {}
+
+    # -- category suites -----------------------------------------------------
+
+    def _remote_suite(self, arch: NullArchitecture,
+                      rng: XorShiftRNG) -> list[AttackResult]:
+        return [CodeInjectionAttack(arch).run()]
+
+    def _local_suite(self, arch: NullArchitecture,
+                     rng: XorShiftRNG) -> list[AttackResult]:
+        dram = arch.soc.regions.get("dram")
+        secret_paddr = dram.base + dram.size // 2 - 0x8000
+        secret = rng.bytes(8)
+        arch.soc.memory.write_bytes(secret_paddr, secret)
+        probe = KernelMemoryProbeAttack(arch, secret_paddr=secret_paddr,
+                                        secret_value=secret).run()
+        dma = DMAAttack(arch, secret_paddr, expected=secret).run()
+        return [probe, dma]
+
+    def _microarch_suite(self, arch: NullArchitecture,
+                         rng: XorShiftRNG) -> list[AttackResult]:
+        knobs = self.knobs
+        soc = arch.soc
+        secret = bytes(0x41 + rng.next_below(26)
+                       for _ in range(knobs.secret_len))
+        results = [SpectreV1Attack(soc, secret, rng=rng).run(),
+                   MeltdownAttack(soc, secret).run()]
+        service = SharedAESService(soc, rng.bytes(16), core_id=0)
+        attacker_core = min(1, len(soc.cores) - 1)
+        attacker = AttackerProcess(arch, core_id=attacker_core)
+        config = _CacheAttackConfig(
+            samples_per_value=knobs.fr_samples,
+            plaintext_values=knobs.fr_values,
+            target_bytes=(0, 5))
+        results.append(FlushReloadAttack(service, attacker, rng,
+                                         config).run())
+        return results
+
+    def _physical_suite(self, arch: NullArchitecture,
+                        rng: XorShiftRNG) -> list[AttackResult]:
+        knobs = self.knobs
+        # Power: CPA on an unprotected AES running on the device.
+        aes_key = rng.bytes(16)
+        traces = capture_aes_traces(
+            lambda leak: AES128(aes_key, leak_hook=leak), knobs.traces,
+            HammingWeightModel(noise_std=1.0, rng=XorShiftRNG(rng.next_u64())),
+            rng=XorShiftRNG(rng.next_u64()))
+        rate = key_recovery_rate(cpa_recover_key(traces), aes_key)
+        cpa_result = AttackResult(
+            name="cpa-power", category=AttackCategory.PHYSICAL,
+            success=rate >= 0.9, score=rate,
+            details={"traces": knobs.traces})
+        # Faults: Bellcore on an unprotected CRT signer.
+        rsa_key = generate_rsa_key(knobs.rsa_bits,
+                                   XorShiftRNG(rng.next_u64()))
+        bellcore = BellcoreRSAAttack(RSA(rsa_key),
+                                     rng=XorShiftRNG(rng.next_u64())).run()
+        # Timing: Kocher against square-and-multiply.
+        timing = KocherTimingAttack(
+            RSA(rsa_key), samples=knobs.timing_samples,
+            max_bits=knobs.timing_bits,
+            rng=XorShiftRNG(rng.next_u64())).run()
+        return [cpa_result, bellcore, timing]
+
+    # -- the grid --------------------------------------------------------------
+
+    def evaluate(self) -> dict[tuple[PlatformClass, AttackCategory],
+                               CellResult]:
+        """Run every cell; results cached on the instance."""
+        suites = {
+            AttackCategory.REMOTE: (self._remote_suite, None),
+            AttackCategory.LOCAL: (self._local_suite, None),
+            AttackCategory.MICROARCHITECTURAL:
+                (self._microarch_suite, "co_residency_prior"),
+            AttackCategory.PHYSICAL:
+                (self._physical_suite, "physical_access_prior"),
+        }
+        for profile in self.platforms:
+            rng = XorShiftRNG(self.seed ^ hash(profile.platform.value))
+            for category, (suite, prior_name) in suites.items():
+                soc = profile.make_soc()
+                arch = NullArchitecture(soc, profile.platform)
+                prior = getattr(profile, prior_name) if prior_name else 1.0
+                cell = CellResult(profile.platform, category,
+                                  suite(arch, rng), prior)
+                self.cells[(profile.platform, category)] = cell
+            self.workloads[profile.platform] = reference_workload(
+                profile.make_soc())
+        return self.cells
+
+    # -- requirement rows ----------------------------------------------------------
+
+    def performance_scores(self) -> dict[PlatformClass, float]:
+        """Relative throughput (1.0 = fastest platform)."""
+        if not self.workloads:
+            raise RuntimeError("call evaluate() first")
+        best = max(w.throughput_ops_per_s for w in self.workloads.values())
+        return {p: w.throughput_ops_per_s / best
+                for p, w in self.workloads.items()}
+
+    def energy_constraint_scores(self) -> dict[PlatformClass, float]:
+        """How tight each platform's energy budget is (1.0 = tightest).
+
+        Energy budgets span orders of magnitude (mains-powered servers to
+        coin-cell sensors), so the constraint level is positioned on a
+        *logarithmic* scale between the loosest and tightest measured
+        budget.
+        """
+        import math
+        if not self.workloads:
+            raise RuntimeError("call evaluate() first")
+        energies = {p: w.energy_per_op_pj for p, w in self.workloads.items()}
+        loosest = max(energies.values())
+        tightest = min(energies.values())
+        if loosest == tightest:
+            return {p: 1.0 for p in energies}
+        span = math.log(loosest / tightest)
+        return {p: math.log(loosest / e) / span for p, e in energies.items()}

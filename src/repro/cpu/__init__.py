@@ -1,0 +1,50 @@
+"""CPU cores and SoC composition.
+
+Two core types span the paper's spectrum:
+
+* :class:`Core` — in-order, no speculation: the embedded/IoT design point.
+  "IoT devices ... do not incorporate the performance enhancements found
+  in high-end CPUs.  Hence, they are less likely to be susceptible to
+  microarchitectural attacks."
+* :class:`SpeculativeCore` — adds branch prediction with transient
+  execution and (configurably) retirement-time fault delivery and L1
+  terminal-fault forwarding: the server/desktop design point, carrying
+  exactly the flaws Spectre, Meltdown and Foreshadow exploit.
+
+:class:`SoC` composes cores with the memory and cache substrates;
+:func:`make_server_soc` / :func:`make_mobile_soc` / :func:`make_embedded_soc`
+build the paper's three platform classes.
+"""
+
+from repro.cpu.exceptions import Trap, TrapCause, TrapInfo
+from repro.cpu.predictor import BranchPredictor, PredictorConfig
+from repro.cpu.core import Core, CoreConfig
+from repro.cpu.speculative import SpeculativeCore, SpeculativeConfig
+from repro.cpu.dvfs import DVFSController, OperatingPoint, VoltageDomain
+from repro.cpu.soc import (
+    SoC,
+    SoCConfig,
+    make_embedded_soc,
+    make_mobile_soc,
+    make_server_soc,
+)
+
+__all__ = [
+    "BranchPredictor",
+    "Core",
+    "CoreConfig",
+    "DVFSController",
+    "OperatingPoint",
+    "PredictorConfig",
+    "SoC",
+    "SoCConfig",
+    "SpeculativeConfig",
+    "SpeculativeCore",
+    "Trap",
+    "TrapCause",
+    "TrapInfo",
+    "VoltageDomain",
+    "make_embedded_soc",
+    "make_mobile_soc",
+    "make_server_soc",
+]

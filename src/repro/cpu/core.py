@@ -1,0 +1,412 @@
+"""In-order core: the interpreter for :mod:`repro.isa` programs.
+
+The in-order core is the *safe* end of the paper's spectrum — no
+speculation, no out-of-order window, faults delivered at issue.  It is the
+design point of the embedded platforms (SMART, TrustLite hosts), and the
+baseline against which :class:`repro.cpu.speculative.SpeculativeCore`
+demonstrates what performance enhancements cost in security.
+
+Memory accesses take the full path: MMU translation (with TLB charge),
+bus transaction (where TZASC / MPU / key-vault / MEE checks act, tagged
+with the current PC and world), and cache-hierarchy timing.  The cycle
+counter is architecturally readable (``rdcycle``), which is all an
+attacker needs for every timing channel in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common import PrivilegeLevel, World
+from repro.cpu.exceptions import Trap, TrapCause, TrapInfo
+from repro.errors import AccessFault, MemoryFault, PageFault
+from repro.isa.instructions import INSTR_SIZE, Instruction, InstrKind, WORD_MASK
+from repro.isa.program import Program
+from repro.memory.bus import BusMaster, SystemBus
+
+# Architectural CSR numbers.
+CSR_CYCLE = 0xC00
+CSR_EPC = 0x341
+CSR_CAUSE = 0x342
+CSR_TVAL = 0x343
+CSR_IE = 0x304  # interrupt enable (bit 0)
+CSR_DVFS_FREQ = 0x800
+CSR_DVFS_VOLT = 0x801
+
+#: CSRs a user-mode program may read.
+_USER_READABLE = frozenset({CSR_CYCLE})
+
+
+@dataclass
+class CoreConfig:
+    """Per-core identity and cost model."""
+
+    core_id: int = 0
+    name: str = "core0"
+    mispredict_penalty: int = 12
+    energy_per_instr_pj: float = 10.0
+    energy_per_mem_pj: float = 25.0
+    #: Check execute permission on instruction fetch when the MMU is on.
+    fetch_checks: bool = True
+
+
+class Core:
+    """One in-order hardware thread."""
+
+    def __init__(self, config: CoreConfig, bus: SystemBus, hierarchy,
+                 mmu) -> None:
+        self.config = config
+        self.bus = bus
+        self.hierarchy = hierarchy
+        self.mmu = mmu
+        self.master = BusMaster(config.name, kind="cpu", secure_capable=True)
+
+        self.regs = [0] * 16
+        self.pc = 0
+        self.privilege = PrivilegeLevel.KERNEL
+        self.world = World.NORMAL
+        self.domain: str | None = None  # cache security-domain label
+        self.csr: dict[int, int] = {CSR_IE: 1}
+        self.program: Program | None = None
+        self.halted = False
+        self.cycles = 0
+        self.instret = 0
+        self.energy_pj = 0.0
+
+        #: OS service entry point: handler(core, code) -> None.
+        self.syscall_handler: Callable[["Core", int], None] | None = None
+        #: Signal-handler analogue: on a fault, resume here instead of
+        #: trapping to Python (used by attack loops that expect faults).
+        self.fault_resume: int | None = None
+        #: Most recent trap delivered via fault_resume (attacker inspects it).
+        self.last_trap: TrapInfo | None = None
+        #: Pending asynchronous interrupts: list of Python ISRs.
+        self._pending_interrupts: list[Callable[["Core"], None]] = []
+        #: Where interrupts vector to.  Delivery moves the PC here for the
+        #: ISR's duration — so PC-gated windows (SMART's key vault) close
+        #: the moment an interrupt fires, exactly as on real hardware.
+        self.interrupt_vector: int | None = None
+        #: Hooks run when a CSR is written: csr -> hook(core, value).
+        self.csr_write_hooks: dict[int, Callable[["Core", int], None]] = {}
+        #: Audit log of traps taken (diagnostics).
+        self.trap_log: list[TrapInfo] = []
+        #: When set to a list, every *architectural* control-flow event is
+        #: appended as (kind, pc, target) — the raw material of C-FLAT
+        #: style control-flow attestation.  Transient (squashed) control
+        #: flow is never recorded.
+        self.cflow_collector: list | None = None
+
+    # -- register access --------------------------------------------------------
+
+    def get_reg(self, idx: int) -> int:
+        return 0 if idx == 0 else self.regs[idx]
+
+    def set_reg(self, idx: int, value: int) -> None:
+        if idx != 0:
+            self.regs[idx] = value & WORD_MASK
+
+    # -- interrupts --------------------------------------------------------------
+
+    @property
+    def interrupts_enabled(self) -> bool:
+        return bool(self.csr.get(CSR_IE, 1) & 1)
+
+    def disable_interrupts(self) -> None:
+        self.csr[CSR_IE] = 0
+
+    def enable_interrupts(self) -> None:
+        self.csr[CSR_IE] = 1
+
+    def pend_interrupt(self, isr: Callable[["Core"], None]) -> None:
+        """Queue an asynchronous interrupt; delivered at the next poll."""
+        self._pending_interrupts.append(isr)
+
+    def poll_interrupts(self) -> bool:
+        """Deliver pending interrupts if enabled; True if any ran."""
+        if not self.interrupts_enabled or not self._pending_interrupts:
+            return False
+        pending, self._pending_interrupts = self._pending_interrupts, []
+        saved_pc = self.pc
+        if self.interrupt_vector is not None:
+            self.pc = self.interrupt_vector
+        try:
+            for isr in pending:
+                isr(self)
+        finally:
+            self.pc = saved_pc
+        return True
+
+    # -- memory path --------------------------------------------------------------
+
+    def _charge(self, cycles: int, mem_ops: int = 0) -> None:
+        self.cycles += cycles
+        self.energy_pj += mem_ops * self.config.energy_per_mem_pj
+
+    def _translate(self, va: int, access: str):
+        walks_before = self.mmu.walk_count
+        result = self.mmu.translate(va, access, self.privilege,
+                                    secure=self.world.is_secure)
+        if self.mmu.tlb is not None:
+            hit = self.mmu.walk_count == walks_before
+            self._charge(self.mmu.tlb.access_latency(hit))
+        return result
+
+    def read_mem(self, va: int) -> int:
+        """Architectural word load at virtual address ``va``."""
+        tr = self._translate(va, "read")
+        value = self.bus.read_word(self.master, tr.paddr,
+                                   secure=self.world.is_secure, pc=self.pc)
+        access = self.hierarchy.access(self.config.core_id, tr.paddr,
+                                       is_write=False, domain=self.domain,
+                                       cacheable=tr.cacheable)
+        self._charge(access.latency, mem_ops=1)
+        self._note_l1_fill(tr.paddr, value)
+        return value
+
+    def write_mem(self, va: int, value: int) -> None:
+        """Architectural word store at virtual address ``va``."""
+        tr = self._translate(va, "write")
+        self.bus.write_word(self.master, tr.paddr, value,
+                            secure=self.world.is_secure, pc=self.pc)
+        access = self.hierarchy.access(self.config.core_id, tr.paddr,
+                                       is_write=True, domain=self.domain,
+                                       cacheable=tr.cacheable)
+        self._charge(access.latency, mem_ops=1)
+        self._note_l1_fill(tr.paddr, value & WORD_MASK)
+
+    def flush_line(self, va: int) -> None:
+        """clflush: evict the line containing ``va`` from every level."""
+        tr = self._translate(va, "read")
+        self.hierarchy.flush_line(tr.paddr)
+        self._charge(self.hierarchy.config.l2_latency)
+
+    def _note_l1_fill(self, paddr: int, value: int) -> None:
+        """Hook for the speculative core's L1 data view; no-op here."""
+
+    # -- program control ------------------------------------------------------------
+
+    def load_program(self, program: Program, entry: str | None = None) -> None:
+        """Install a program and point the PC at its entry."""
+        self.program = program
+        self.pc = program.address_of(entry) if entry else program.base
+        self.halted = False
+
+    def _fetch(self) -> Instruction:
+        if self.program is None:
+            raise Trap(TrapInfo(TrapCause.ILLEGAL_INSTRUCTION, self.pc,
+                                detail="no program loaded"))
+        if self.config.fetch_checks and self.mmu.root is not None:
+            self._translate(self.pc, "execute")
+        instr = self.program.fetch(self.pc)
+        if instr is None:
+            self._trap(TrapInfo(TrapCause.ILLEGAL_INSTRUCTION, self.pc,
+                                detail="fetch from unmapped address"))
+            # _trap either raised or redirected pc; refetch next step.
+            return Instruction(InstrKind.NOP)
+        return instr
+
+    # -- trap delivery ----------------------------------------------------------------
+
+    def _trap(self, info: TrapInfo) -> None:
+        self.trap_log.append(info)
+        self.csr[CSR_EPC] = info.pc
+        self.csr[CSR_TVAL] = info.value
+        self.last_trap = info
+        if self.fault_resume is not None and info.cause in (
+                TrapCause.PAGE_FAULT, TrapCause.ACCESS_FAULT):
+            self.pc = self.fault_resume
+            self._charge(self.config.mispredict_penalty)  # pipeline flush
+            return
+        raise Trap(info)
+
+    def _fault_to_trap(self, fault: MemoryFault) -> TrapInfo:
+        cause = TrapCause.PAGE_FAULT if isinstance(fault, PageFault) \
+            else TrapCause.ACCESS_FAULT
+        return TrapInfo(cause, self.pc, value=fault.addr, detail=fault.reason)
+
+    # -- execution ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute one instruction; returns False once halted."""
+        if self.halted:
+            return False
+        self.poll_interrupts()
+        try:
+            instr = self._fetch()
+        except MemoryFault as fault:
+            self._trap(self._fault_to_trap(fault))
+            return not self.halted
+        try:
+            self._execute(instr)
+        except MemoryFault as fault:
+            self._trap(self._fault_to_trap(fault))
+        self.instret += 1
+        self._charge(1)
+        self.energy_pj += self.config.energy_per_instr_pj
+        return not self.halted
+
+    def run(self, max_steps: int = 1_000_000) -> int:
+        """Run until halt or ``max_steps``; returns elapsed cycles."""
+        start = self.cycles
+        for _ in range(max_steps):
+            if not self.step():
+                break
+        return self.cycles - start
+
+    def _branch_taken(self, instr: Instruction) -> bool:
+        a = self.get_reg(instr.rs1)
+        b = self.get_reg(instr.rs2)
+        if instr.kind is InstrKind.BEQ:
+            return a == b
+        if instr.kind is InstrKind.BNE:
+            return a != b
+        if instr.kind is InstrKind.BLT:
+            return a < b
+        return a >= b  # BGE
+
+    def _resolve_target(self, instr: Instruction) -> int:
+        assert self.program is not None
+        return self.program.target_of(instr)
+
+    def _execute_branch(self, instr: Instruction, taken: bool) -> None:
+        """Redirect the PC; the speculative core overrides for prediction."""
+        self.pc = self._resolve_target(instr) if taken else self.pc + INSTR_SIZE
+
+    def _execute_ret(self, target: int) -> None:
+        self.pc = target
+
+    def _execute(self, instr: Instruction) -> None:
+        k = instr.kind
+        next_pc = self.pc + INSTR_SIZE
+
+        if k is InstrKind.NOP:
+            self.pc = next_pc
+        elif k is InstrKind.HALT:
+            self.halted = True
+        elif k is InstrKind.LI:
+            self.set_reg(instr.rd, instr.imm)
+            self.pc = next_pc
+        elif k is InstrKind.ADDI:
+            self.set_reg(instr.rd, self.get_reg(instr.rs1) + instr.imm)
+            self.pc = next_pc
+        elif k in (InstrKind.ADD, InstrKind.SUB, InstrKind.AND, InstrKind.OR,
+                   InstrKind.XOR, InstrKind.SHL, InstrKind.SHR, InstrKind.MUL):
+            self.set_reg(instr.rd, self._alu(k, self.get_reg(instr.rs1),
+                                             self.get_reg(instr.rs2)))
+            self.pc = next_pc
+        elif k is InstrKind.LOAD:
+            addr = (self.get_reg(instr.rs1) + instr.imm) & WORD_MASK
+            self.set_reg(instr.rd, self.read_mem(addr))
+            self.pc = next_pc
+        elif k is InstrKind.STORE:
+            addr = (self.get_reg(instr.rs1) + instr.imm) & WORD_MASK
+            self.write_mem(addr, self.get_reg(instr.rs2))
+            self.pc = next_pc
+        elif k is InstrKind.FLUSH:
+            addr = (self.get_reg(instr.rs1) + instr.imm) & WORD_MASK
+            self.flush_line(addr)
+            self.pc = next_pc
+        elif k is InstrKind.FENCE:
+            self.pc = next_pc  # meaningful only to the speculative core
+        elif instr.is_branch:
+            taken = self._branch_taken(instr)
+            if self.cflow_collector is not None:
+                self.cflow_collector.append(("br", self.pc, int(taken)))
+            self._execute_branch(instr, taken)
+        elif k is InstrKind.JMP:
+            target = self._resolve_target(instr)
+            if self.cflow_collector is not None:
+                self.cflow_collector.append(("jmp", self.pc, target))
+            self.pc = target
+        elif k is InstrKind.JAL:
+            target = self._resolve_target(instr)
+            if self.cflow_collector is not None:
+                self.cflow_collector.append(("call", self.pc, target))
+            self.set_reg(15, next_pc)
+            self._note_call(next_pc)
+            self.pc = target
+        elif k is InstrKind.RET:
+            target = self.get_reg(15)
+            if self.cflow_collector is not None:
+                self.cflow_collector.append(("ret", self.pc, target))
+            self._execute_ret(target)
+        elif k is InstrKind.ECALL:
+            if self.syscall_handler is not None:
+                self.pc = next_pc
+                self.syscall_handler(self, instr.imm)
+            else:
+                self._trap(TrapInfo(TrapCause.ECALL, self.pc, value=instr.imm))
+        elif k is InstrKind.CSRR:
+            self._csr_read(instr)
+            self.pc = next_pc
+        elif k is InstrKind.CSRW:
+            self._csr_write(instr)
+            self.pc = next_pc
+        elif k is InstrKind.RDCYCLE:
+            self.set_reg(instr.rd, self.cycles)
+            self.pc = next_pc
+        else:  # pragma: no cover - vocabulary is closed
+            self._trap(TrapInfo(TrapCause.ILLEGAL_INSTRUCTION, self.pc))
+
+    @staticmethod
+    def _alu(kind: InstrKind, a: int, b: int) -> int:
+        if kind is InstrKind.ADD:
+            return a + b
+        if kind is InstrKind.SUB:
+            return a - b
+        if kind is InstrKind.AND:
+            return a & b
+        if kind is InstrKind.OR:
+            return a | b
+        if kind is InstrKind.XOR:
+            return a ^ b
+        if kind is InstrKind.SHL:
+            return a << (b & 63)
+        if kind is InstrKind.SHR:
+            return a >> (b & 63)
+        return a * b  # MUL
+
+    def _note_call(self, return_addr: int) -> None:
+        """Hook for the speculative core's RSB; no-op in order."""
+
+    def _csr_read(self, instr: Instruction) -> None:
+        csr = instr.imm
+        if self.privilege == PrivilegeLevel.USER and csr not in _USER_READABLE:
+            self._trap(TrapInfo(TrapCause.ILLEGAL_INSTRUCTION, self.pc,
+                                value=csr, detail="privileged CSR"))
+            return
+        if csr == CSR_CYCLE:
+            self.set_reg(instr.rd, self.cycles)
+        else:
+            self.set_reg(instr.rd, self.csr.get(csr, 0))
+
+    def _csr_write(self, instr: Instruction) -> None:
+        csr = instr.imm
+        if self.privilege == PrivilegeLevel.USER:
+            self._trap(TrapInfo(TrapCause.ILLEGAL_INSTRUCTION, self.pc,
+                                value=csr, detail="privileged CSR"))
+            return
+        value = self.get_reg(instr.rs1)
+        self.csr[csr] = value
+        hook = self.csr_write_hooks.get(csr)
+        if hook is not None:
+            hook(self, value)
+
+    # -- firmware execution ------------------------------------------------------------
+
+    def execute_firmware(self, rom_pc: int, routine: Callable[["Core"], object]):
+        """Run a Python-level firmware routine "from" ROM address ``rom_pc``.
+
+        The routine's memory accesses go through :meth:`read_mem` /
+        :meth:`write_mem` with the PC pinned inside the ROM gate, so
+        PC-gated key vaults and execution-aware MPUs judge it as ROM code.
+        This is the altitude at which SMART/TrustLite firmware is modelled:
+        real enforcement on every access, Python for the arithmetic.
+        """
+        saved_pc = self.pc
+        self.pc = rom_pc
+        try:
+            return routine(self)
+        finally:
+            self.pc = saved_pc

@@ -1,0 +1,143 @@
+"""Dynamic Voltage and Frequency Scaling — and its abuse (CLKSCREW).
+
+CLKSCREW (paper ref [37]) "forces a processor to operate beyond its DVFS
+limits in order to leak cryptographic keys".  The enabling design flaws it
+documented on real SoCs, all modelled here:
+
+* regulators are **software-controllable** from kernel code;
+* regulator limits are **not bounded in hardware** (no interlock between
+  the requested frequency and the voltage-dependent maximum);
+* the regulator domain is **shared across security boundaries** — the
+  normal-world kernel can change the clock of the core executing
+  secure-world code.
+
+When a domain runs past its timing margin, each "critical operation"
+(modelled per crypto round) suffers a bit-fault with a probability that
+grows with the violation — the raw material of differential fault analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SecurityViolation
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One DVFS setting."""
+
+    freq_mhz: float
+    voltage_mv: float
+
+    def __post_init__(self) -> None:
+        if self.freq_mhz <= 0 or self.voltage_mv <= 0:
+            raise ValueError("frequency and voltage must be positive")
+
+
+@dataclass
+class VoltageDomain:
+    """One regulator domain (a cluster of cores).
+
+    The critical-path model is the standard linear approximation: the
+    maximum stable frequency scales with the overdrive voltage,
+    ``f_max = k * (V - V_th)``.
+    """
+
+    name: str
+    point: OperatingPoint
+    k_mhz_per_mv: float = 4.0
+    v_threshold_mv: float = 500.0
+    hardware_limit_mhz: float | None = None  # None = no hardware interlock
+    #: Core names whose execution is clocked by this domain.
+    cores: list[str] = field(default_factory=list)
+
+    def max_stable_freq(self, voltage_mv: float | None = None) -> float:
+        """Highest frequency the critical path meets at ``voltage_mv``."""
+        v = self.point.voltage_mv if voltage_mv is None else voltage_mv
+        return max(self.k_mhz_per_mv * (v - self.v_threshold_mv), 0.0)
+
+    def timing_margin(self) -> float:
+        """Positive = safe slack (MHz); negative = margin violated."""
+        return self.max_stable_freq() - self.point.freq_mhz
+
+    def glitch_probability(self) -> float:
+        """Per-critical-operation bit-fault probability at this point.
+
+        Zero inside the margin; ramps toward ~1 as the violation reaches
+        ~25% of the stable frequency.  The ramp shape is a modelling
+        choice; CLKSCREW's empirical curves are similarly steep.
+        """
+        margin = self.timing_margin()
+        if margin >= 0:
+            return 0.0
+        stable = max(self.max_stable_freq(), 1e-9)
+        violation = -margin / stable
+        return min(violation * 4.0, 1.0)
+
+
+class DVFSController:
+    """The SoC's power-management unit.
+
+    ``secure_world_gated`` is the mitigation knob: when True, requests
+    from the normal world targeting a domain that clocks a secure-world
+    core are rejected — exactly the missing check CLKSCREW exploited.
+    """
+
+    def __init__(self, software_controllable: bool = True,
+                 secure_world_gated: bool = False) -> None:
+        self.software_controllable = software_controllable
+        self.secure_world_gated = secure_world_gated
+        self._domains: dict[str, VoltageDomain] = {}
+        #: Names of cores currently executing secure-world code; maintained
+        #: by the TrustZone monitor model.
+        self.secure_active_cores: set[str] = set()
+
+    def add_domain(self, domain: VoltageDomain) -> None:
+        if domain.name in self._domains:
+            raise ValueError(f"duplicate DVFS domain {domain.name!r}")
+        self._domains[domain.name] = domain
+
+    def domain(self, name: str) -> VoltageDomain:
+        return self._domains[name]
+
+    def domains(self) -> list[VoltageDomain]:
+        return list(self._domains.values())
+
+    def domain_of_core(self, core_name: str) -> VoltageDomain | None:
+        for domain in self._domains.values():
+            if core_name in domain.cores:
+                return domain
+        return None
+
+    def _domain_clocks_secure_core(self, domain: VoltageDomain) -> bool:
+        return any(core in self.secure_active_cores for core in domain.cores)
+
+    def set_point(self, name: str, point: OperatingPoint, *,
+                  from_secure_world: bool = False) -> None:
+        """Software request to retune a domain.
+
+        Raises :class:`SecurityViolation` when regulators are hardware-only
+        or the secure-world gate rejects a cross-boundary change; raises
+        ``ValueError`` when a hardware frequency interlock exists and the
+        request exceeds it.
+        """
+        if not self.software_controllable:
+            raise SecurityViolation("DVFS regulators are not software-controllable")
+        domain = self._domains[name]
+        if (self.secure_world_gated and not from_secure_world
+                and self._domain_clocks_secure_core(domain)):
+            raise SecurityViolation(
+                f"domain {name!r} clocks secure-world code; "
+                "normal-world retune rejected")
+        if domain.hardware_limit_mhz is not None \
+                and point.freq_mhz > domain.hardware_limit_mhz:
+            raise ValueError(
+                f"requested {point.freq_mhz} MHz exceeds hardware limit "
+                f"{domain.hardware_limit_mhz} MHz")
+        domain.point = point
+
+    def glitch_probability_for_core(self, core_name: str) -> float:
+        """Fault probability currently imposed on ``core_name``'s domain."""
+        domain = self.domain_of_core(core_name)
+        return 0.0 if domain is None else domain.glitch_probability()

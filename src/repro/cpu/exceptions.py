@@ -1,0 +1,44 @@
+"""Trap model: causes, trap frames, and the Python-visible Trap exception."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+
+class TrapCause(enum.Enum):
+    """Why a core trapped."""
+
+    PAGE_FAULT = "page-fault"
+    ACCESS_FAULT = "access-fault"
+    ILLEGAL_INSTRUCTION = "illegal-instruction"
+    ECALL = "ecall"
+    BREAKPOINT = "breakpoint"
+    INTERRUPT = "interrupt"
+    HARDWARE_FAULT = "hardware-fault"  # injected glitch corrupted state
+
+
+@dataclass(frozen=True)
+class TrapInfo:
+    """Architectural trap frame.
+
+    ``detail`` carries the memory-fault reason (``"not-present"``, ...)
+    when the cause is a memory fault — handlers and attack code key on it.
+    """
+
+    cause: TrapCause
+    pc: int
+    value: int = 0  # faulting address or ecall code
+    detail: str = ""
+
+
+class Trap(ReproError):
+    """Raised to the Python caller when no in-simulation handler exists."""
+
+    def __init__(self, info: TrapInfo) -> None:
+        super().__init__(
+            f"unhandled trap {info.cause.value} at pc={info.pc:#x} "
+            f"value={info.value:#x} {info.detail}")
+        self.info = info

@@ -1,0 +1,117 @@
+"""Branch direction and target prediction.
+
+Direction prediction uses a gshare-style pattern history table of 2-bit
+saturating counters.  Target prediction for indirect control flow (``ret``)
+uses the :class:`~repro.cache.btb.BranchTargetBuffer` and, optionally, a
+return stack buffer.
+
+Design knobs map one-to-one onto attacks from Section 4.2:
+
+* PHT mistrainable from the same address space → Spectre-PHT (v1);
+* BTB "indexed using virtual addresses of the branch instructions" with no
+  domain tag → cross-address-space Spectre-BTB (v2);
+* RSB underflow falling back to the BTB → ret2spec-style variants [27].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.btb import BranchTargetBuffer
+
+
+@dataclass
+class PredictorConfig:
+    """Predictor sizing and mitigation toggles."""
+
+    pht_entries: int = 1024
+    history_bits: int = 8
+    btb_sets: int = 64
+    btb_ways: int = 4
+    btb_tag_bits: int = 8
+    btb_tag_with_asid: bool = False  # True = mitigated (per-context tags)
+    rsb_depth: int = 8
+    use_rsb: bool = True
+    flush_on_context_switch: bool = False  # IBPB-style barrier
+
+
+class BranchPredictor:
+    """gshare PHT + BTB + RSB."""
+
+    def __init__(self, config: PredictorConfig | None = None) -> None:
+        self.config = config or PredictorConfig()
+        cfg = self.config
+        if cfg.pht_entries & (cfg.pht_entries - 1):
+            raise ValueError("pht_entries must be a power of two")
+        self._pht = [2] * cfg.pht_entries  # weakly-taken start
+        self._history = 0
+        self.btb = BranchTargetBuffer(
+            cfg.btb_sets, cfg.btb_ways, cfg.btb_tag_bits,
+            tag_with_asid=cfg.btb_tag_with_asid)
+        self._rsb: list[int] = []
+        self.predictions = 0
+        self.mispredictions = 0
+
+    # -- direction ---------------------------------------------------------
+
+    def _pht_index(self, pc: int) -> int:
+        mask = self.config.pht_entries - 1
+        history = self._history & ((1 << self.config.history_bits) - 1)
+        return ((pc >> 2) ^ history) & mask
+
+    def predict_taken(self, pc: int) -> bool:
+        """Predicted direction for the conditional branch at ``pc``."""
+        return self._pht[self._pht_index(pc)] >= 2
+
+    def update_direction(self, pc: int, taken: bool) -> None:
+        """Train the PHT with the resolved direction."""
+        idx = self._pht_index(pc)
+        counter = self._pht[idx]
+        self._pht[idx] = min(counter + 1, 3) if taken else max(counter - 1, 0)
+        self._history = ((self._history << 1) | int(taken)) & \
+            ((1 << self.config.history_bits) - 1)
+
+    # -- targets --------------------------------------------------------------
+
+    def predict_target(self, pc: int, asid: int = 0) -> int | None:
+        """Predicted target for an indirect branch at ``pc``."""
+        return self.btb.predict(pc, asid)
+
+    def update_target(self, pc: int, target: int, asid: int = 0) -> None:
+        """Train the BTB with the resolved indirect target."""
+        self.btb.update(pc, target, asid)
+
+    # -- return stack -----------------------------------------------------------
+
+    def push_return(self, addr: int) -> None:
+        """Record a call's return address."""
+        self._rsb.append(addr)
+        if len(self._rsb) > self.config.rsb_depth:
+            self._rsb.pop(0)
+
+    def predict_return(self, pc: int, asid: int = 0) -> int | None:
+        """Predicted target for ``ret``; RSB first, BTB on underflow."""
+        if self.config.use_rsb and self._rsb:
+            return self._rsb.pop()
+        return self.btb.predict(pc, asid)
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def record_outcome(self, correct: bool) -> None:
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+
+    def context_switch(self) -> None:
+        """Apply the configured context-switch hygiene."""
+        if self.config.flush_on_context_switch:
+            self.btb.flush()
+            self._pht = [2] * self.config.pht_entries
+            self._rsb.clear()
+            self._history = 0
+
+    @property
+    def misprediction_rate(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return self.mispredictions / self.predictions

@@ -1,0 +1,250 @@
+"""Speculative core: branch prediction, transient execution, late faults.
+
+This core implements the three performance enhancements whose security
+consequences Section 4.2 of the paper surveys, each behind a config knob
+so the benches can sweep the design space:
+
+* **Branch prediction with transient execution** — on a misprediction the
+  core executes up to ``transient_window`` instructions down the wrong
+  path.  Register writes are squashed; *cache fills are not*.  That
+  asymmetry is the entire transmission channel of Spectre.
+* **Fault delivery at retirement** (``fault_at_retirement``) — a load that
+  fails the *privilege* check still forwards its data to dependent
+  transient instructions during "the time window between the cause of an
+  exception and its actual raise at retirement".  Meltdown.
+* **L1 terminal-fault forwarding** (``l1tf_forwarding``) — a load whose
+  translation aborts on a cleared present/reserved bit forwards whatever
+  the L1 holds for the *stale physical address in the PTE*.  Foreshadow.
+
+Setting all three knobs off (or using :class:`repro.cpu.core.Core`)
+reproduces the in-order embedded design the paper calls "less likely to be
+susceptible to microarchitectural attacks".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.core import Core, CoreConfig
+from repro.cpu.predictor import BranchPredictor, PredictorConfig
+from repro.errors import MemoryFault, PageFault
+from repro.isa.instructions import INSTR_SIZE, Instruction, InstrKind, WORD_MASK
+
+
+@dataclass
+class SpeculativeConfig:
+    """Microarchitectural design knobs (TAB-S42 sweeps these)."""
+
+    transient_window: int = 64
+    fault_at_retirement: bool = True  # Meltdown-vulnerable when True
+    l1tf_forwarding: bool = True  # Foreshadow-vulnerable when True
+    predictor: PredictorConfig = field(default_factory=PredictorConfig)
+
+
+class SpeculativeCore(Core):
+    """Out-of-order-flavoured core built on the in-order interpreter.
+
+    The simulator stays in-order architecturally; speculation is modelled
+    as an explicit *transient excursion* at every misprediction or late
+    fault, which reproduces the attacker-visible effects (cache state,
+    timing) without a full OoO pipeline model.
+    """
+
+    def __init__(self, config: CoreConfig, bus, hierarchy, mmu,
+                 spec: SpeculativeConfig | None = None) -> None:
+        super().__init__(config, bus, hierarchy, mmu)
+        self.spec = spec or SpeculativeConfig()
+        self.predictor = BranchPredictor(self.spec.predictor)
+        self.transient_runs = 0
+        self.transient_instrs = 0
+        #: Word-granular plaintext view of recently CPU-touched data; the
+        #: model of "what the L1 data array holds".  Consulted only when the
+        #: tag check (hierarchy L1 presence) also passes.
+        self._l1_view: dict[int, int] = {}
+
+    # -- L1 data view -------------------------------------------------------
+
+    def _note_l1_fill(self, paddr: int, value: int) -> None:
+        self._l1_view[paddr] = value
+        if len(self._l1_view) > 65536:
+            # Crude bound; correctness is guarded by the L1 tag check.
+            self._l1_view.clear()
+
+    def _l1_data(self, paddr: int) -> int:
+        """What a terminal-faulting load sees: L1 data or zeros."""
+        if self.hierarchy.present_in_l1(self.config.core_id, paddr):
+            return self._l1_view.get(paddr, 0)
+        return 0
+
+    # -- control flow with prediction ------------------------------------------
+
+    @property
+    def _asid(self) -> int:
+        return getattr(self.mmu, "asid", 0)
+
+    def _execute_branch(self, instr: Instruction, taken: bool) -> None:
+        branch_pc = self.pc
+        predicted = self.predictor.predict_taken(branch_pc)
+        target = self._resolve_target(instr)
+        fallthrough = branch_pc + INSTR_SIZE
+        self.predictor.update_direction(branch_pc, taken)
+        self.predictor.record_outcome(predicted == taken)
+        if predicted != taken:
+            wrong_path = target if predicted else fallthrough
+            self._run_transient(wrong_path)
+            self._charge(self.config.mispredict_penalty)
+        self.pc = target if taken else fallthrough
+
+    def _execute_ret(self, target: int) -> None:
+        ret_pc = self.pc
+        predicted = self.predictor.predict_return(ret_pc, self._asid)
+        if predicted is not None:
+            self.predictor.record_outcome(predicted == target)
+            if predicted != target:
+                self._run_transient(predicted)
+                self._charge(self.config.mispredict_penalty)
+        self.predictor.update_target(ret_pc, target, self._asid)
+        self.pc = target
+
+    def _note_call(self, return_addr: int) -> None:
+        self.predictor.push_return(return_addr)
+
+    # -- faulting loads (Meltdown / Foreshadow windows) ----------------------------
+
+    def _forwarded_value(self, fault: PageFault) -> int | None:
+        """Data a faulting load transiently forwards, or None (no window)."""
+        paddr = getattr(fault, "paddr", None)
+        if paddr is None:
+            return None
+        if fault.reason == "privilege" and self.spec.fault_at_retirement:
+            # Meltdown: permission checked at retirement; until then the
+            # load pipes physical-memory data to dependents.
+            return self.bus.memory.read_word(paddr)
+        if fault.reason in ("not-present", "reserved") \
+                and self.spec.l1tf_forwarding:
+            # L1TF: translation aborted, but the stale PTE address is
+            # matched against L1 tags; a hit forwards the L1 *data*.
+            return self._l1_data(paddr)
+        return None
+
+    def _execute(self, instr: Instruction) -> None:
+        if instr.kind is not InstrKind.LOAD:
+            super()._execute(instr)
+            return
+        addr = (self.get_reg(instr.rs1) + instr.imm) & WORD_MASK
+        next_pc = self.pc + INSTR_SIZE
+        try:
+            value = self.read_mem(addr)
+        except PageFault as fault:
+            forwarded = self._forwarded_value(fault)
+            if forwarded is not None:
+                self._run_transient(next_pc, preload={instr.rd: forwarded})
+            raise
+        self.set_reg(instr.rd, value)
+        self.pc = next_pc
+
+    # -- the transient excursion -----------------------------------------------------
+
+    def _run_transient(self, start_pc: int,
+                       preload: dict[int, int] | None = None) -> int:
+        """Execute wrong-path/late-fault instructions; squash registers.
+
+        Returns the number of transient instructions executed.  Cache and
+        TLB state changes made by transient loads are permanent — that is
+        the microarchitectural side channel.
+        """
+        if self.program is None or self.spec.transient_window <= 0:
+            return 0
+        self.transient_runs += 1
+        shadow = list(self.regs)
+        for reg, value in (preload or {}).items():
+            if reg != 0:
+                shadow[reg] = value & WORD_MASK
+        pc = start_pc
+        executed = 0
+
+        def get(reg: int) -> int:
+            return 0 if reg == 0 else shadow[reg]
+
+        def put(reg: int, value: int) -> None:
+            if reg != 0:
+                shadow[reg] = value & WORD_MASK
+
+        while executed < self.spec.transient_window:
+            instr = self.program.fetch(pc)
+            if instr is None:
+                break
+            k = instr.kind
+            executed += 1
+            next_pc = pc + INSTR_SIZE
+            if k is InstrKind.FENCE or k in (
+                    InstrKind.ECALL, InstrKind.HALT, InstrKind.CSRW):
+                break
+            if k is InstrKind.NOP or k is InstrKind.STORE \
+                    or k is InstrKind.FLUSH:
+                # Stores are buffered and squashed; clflush is serialising
+                # enough that we conservatively skip its effect.
+                pc = next_pc
+                continue
+            if k is InstrKind.LI:
+                put(instr.rd, instr.imm)
+            elif k is InstrKind.ADDI:
+                put(instr.rd, get(instr.rs1) + instr.imm)
+            elif k in (InstrKind.ADD, InstrKind.SUB, InstrKind.AND,
+                       InstrKind.OR, InstrKind.XOR, InstrKind.SHL,
+                       InstrKind.SHR, InstrKind.MUL):
+                put(instr.rd, self._alu(k, get(instr.rs1), get(instr.rs2)))
+            elif k is InstrKind.LOAD:
+                value = self._transient_load(
+                    (get(instr.rs1) + instr.imm) & WORD_MASK)
+                if value is None:
+                    break
+                put(instr.rd, value)
+            elif k in (InstrKind.CSRR, InstrKind.RDCYCLE):
+                put(instr.rd, self.cycles)
+            elif instr.is_branch:
+                a, b = get(instr.rs1), get(instr.rs2)
+                if k is InstrKind.BEQ:
+                    taken = a == b
+                elif k is InstrKind.BNE:
+                    taken = a != b
+                elif k is InstrKind.BLT:
+                    taken = a < b
+                else:
+                    taken = a >= b
+                pc = self._resolve_target(instr) if taken else next_pc
+                continue
+            elif k is InstrKind.JMP:
+                pc = self._resolve_target(instr)
+                continue
+            elif k is InstrKind.JAL:
+                put(15, next_pc)
+                pc = self._resolve_target(instr)
+                continue
+            elif k is InstrKind.RET:
+                pc = get(15)
+                continue
+            pc = next_pc
+
+        self.transient_instrs += executed
+        return executed
+
+    def _transient_load(self, va: int) -> int | None:
+        """A load on the wrong path: real cache fill, squashable value."""
+        try:
+            tr = self.mmu.translate(va, "read", self.privilege,
+                                    secure=self.world.is_secure)
+        except PageFault as fault:
+            # A *nested* faulting load inside the window can itself forward
+            # (Meltdown gadgets chain this way).
+            return self._forwarded_value(fault)
+        try:
+            value = self.bus.read_word(self.master, tr.paddr,
+                                       secure=self.world.is_secure,
+                                       pc=self.pc)
+        except MemoryFault:
+            return None  # bus-level denial: no fill, excursion ends
+        self.hierarchy.access(self.config.core_id, tr.paddr, is_write=False,
+                              domain=self.domain, cacheable=tr.cacheable)
+        self._note_l1_fill(tr.paddr, value)
+        return value

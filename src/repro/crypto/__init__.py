@@ -1,0 +1,49 @@
+"""From-scratch cryptographic implementations — the attack *targets*.
+
+Every physical and cache attack in the paper needs a real cipher producing
+real key-dependent intermediates.  This package provides them, each in the
+variants the countermeasure discussion (Section 5) requires:
+
+* :class:`TTableAES` — table-based AES-128 whose lookups are observable
+  (cache side channels) and whose intermediates leak (power analysis).
+* :class:`ConstantTimeAES` — touches every table entry per lookup, the
+  software countermeasure of refs [3, 34].
+* :class:`MaskedAES` — first-order boolean masking (Section 5's "masking").
+* :class:`RSA` — square-and-multiply (timing-leaky, Kocher [23]),
+  Montgomery-ladder (constant-time), and CRT signing with/without result
+  verification (the Bellcore fault-attack countermeasure [5]).
+* :func:`sha256` / :func:`hmac_sha256` — the attestation MAC substrate.
+"""
+
+from repro.crypto.sha256 import sha256
+from repro.crypto.hmacmod import hmac_sha256, hmac_verify
+from repro.crypto.rng import XorShiftRNG
+from repro.crypto.aes import (
+    AES128,
+    ConstantTimeAES,
+    MaskedAES,
+    TTableAES,
+)
+from repro.crypto.modexp import (
+    ModExpResult,
+    modexp_ladder,
+    modexp_square_multiply,
+)
+from repro.crypto.rsa import RSA, RSAKey, generate_rsa_key
+
+__all__ = [
+    "AES128",
+    "ConstantTimeAES",
+    "MaskedAES",
+    "ModExpResult",
+    "RSA",
+    "RSAKey",
+    "TTableAES",
+    "XorShiftRNG",
+    "generate_rsa_key",
+    "hmac_sha256",
+    "hmac_verify",
+    "modexp_ladder",
+    "modexp_square_multiply",
+    "sha256",
+]

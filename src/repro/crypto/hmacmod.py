@@ -1,0 +1,28 @@
+"""HMAC-SHA256 (RFC 2104) over the local SHA-256."""
+
+from __future__ import annotations
+
+from repro.crypto.sha256 import sha256
+
+_BLOCK = 64
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """MAC ``message`` under ``key``; returns 32 bytes."""
+    if len(key) > _BLOCK:
+        key = sha256(key)
+    key = key.ljust(_BLOCK, b"\x00")
+    ipad = bytes(b ^ 0x36 for b in key)
+    opad = bytes(b ^ 0x5C for b in key)
+    return sha256(opad + sha256(ipad + message))
+
+
+def hmac_verify(key: bytes, message: bytes, tag: bytes) -> bool:
+    """Constant-time-style tag comparison (no early exit on mismatch)."""
+    expected = hmac_sha256(key, message)
+    if len(tag) != len(expected):
+        return False
+    diff = 0
+    for a, b in zip(expected, tag):
+        diff |= a ^ b
+    return diff == 0

@@ -1,0 +1,62 @@
+"""Deterministic seeded RNG used throughout the simulation.
+
+Experiments must be reproducible, so everything that needs randomness
+(masks, nonces, key generation, noise, glitch timing) draws from an
+explicitly seeded :class:`XorShiftRNG` rather than global state.
+"""
+
+from __future__ import annotations
+
+_M64 = (1 << 64) - 1
+
+
+class XorShiftRNG:
+    """xorshift64* generator — fast, seedable, and stdlib-independent."""
+
+    def __init__(self, seed: int = 0x9E3779B97F4A7C15) -> None:
+        self._state = (seed or 1) & _M64
+
+    def next_u64(self) -> int:
+        """Next 64-bit value."""
+        x = self._state
+        x ^= (x >> 12) & _M64
+        x = (x ^ (x << 25)) & _M64
+        x ^= x >> 27
+        self._state = x
+        return (x * 0x2545F4914F6CDD1D) & _M64
+
+    def next_below(self, bound: int) -> int:
+        """Uniform integer in ``[0, bound)``."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        return self.next_u64() % bound
+
+    def next_byte(self) -> int:
+        return self.next_u64() & 0xFF
+
+    def bytes(self, n: int) -> bytes:
+        """``n`` pseudo-random bytes."""
+        out = bytearray()
+        while len(out) < n:
+            out.extend(self.next_u64().to_bytes(8, "little"))
+        return bytes(out[:n])
+
+    def gauss(self, mean: float = 0.0, std: float = 1.0) -> float:
+        """Gaussian sample via the sum of 12 uniforms (Irwin–Hall)."""
+        total = sum(self.next_u64() / _M64 for _ in range(12)) - 6.0
+        return mean + std * total
+
+    def shuffle(self, items: list) -> None:
+        """In-place Fisher–Yates shuffle."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.next_below(i + 1)
+            items[i], items[j] = items[j], items[i]
+
+    def odd_integer(self, bits: int) -> int:
+        """Random odd integer with the top bit set (prime candidates)."""
+        if bits < 2:
+            raise ValueError("need at least 2 bits")
+        value = int.from_bytes(self.bytes((bits + 7) // 8), "little")
+        value &= (1 << bits) - 1
+        value |= (1 << (bits - 1)) | 1
+        return value

@@ -1,0 +1,173 @@
+"""RSA: key generation, (timing-leaky) decryption, CRT signing.
+
+The CRT signer is the Bellcore fault-attack target (paper ref [5]): a
+fault in exactly one CRT half yields a signature that is correct mod one
+prime and wrong mod the other, and ``gcd(sig^e - m, n)`` factors the
+modulus.  The countermeasure — verify the signature before releasing it —
+is a constructor flag, so the fault bench can measure both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import Callable
+
+from repro.crypto.modexp import (
+    ModExpResult,
+    modexp_ladder,
+    modexp_square_multiply,
+)
+from repro.crypto.rng import XorShiftRNG
+from repro.errors import SecurityViolation
+
+#: Witnesses making Miller-Rabin deterministic for all n < 3.3 * 10^24.
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_probable_prime(n: int) -> bool:
+    """Miller-Rabin with fixed witnesses (deterministic below 3.3e24)."""
+    if n < 2:
+        return False
+    for p in _MR_WITNESSES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: XorShiftRNG) -> int:
+    while True:
+        candidate = rng.odd_integer(bits)
+        if is_probable_prime(candidate):
+            return candidate
+
+
+@dataclass(frozen=True)
+class RSAKey:
+    """Private key with CRT parameters."""
+
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+    dp: int
+    dq: int
+    qinv: int
+
+    @property
+    def bits(self) -> int:
+        return self.n.bit_length()
+
+    def public(self) -> tuple[int, int]:
+        return self.n, self.e
+
+
+def generate_rsa_key(bits: int = 256, rng: XorShiftRNG | None = None,
+                     e: int = 65537) -> RSAKey:
+    """Generate an RSA key (default small for simulation speed)."""
+    if bits < 32:
+        raise ValueError("key too small even for simulation")
+    rng = rng or XorShiftRNG(0xC0FFEE)
+    half = bits // 2
+    while True:
+        p = _random_prime(half, rng)
+        q = _random_prime(bits - half, rng)
+        if p == q:
+            continue
+        phi = (p - 1) * (q - 1)
+        if gcd(e, phi) != 1:
+            continue
+        d = pow(e, -1, phi)
+        return RSAKey(n=p * q, e=e, d=d, p=p, q=q,
+                      dp=d % (p - 1), dq=d % (q - 1),
+                      qinv=pow(q, -1, p))
+
+
+#: Fault hook signature for CRT halves: hook(half_name, value) -> new value.
+CRTFaultHook = Callable[[str, int], int]
+
+
+class RSA:
+    """RSA operations over one key.
+
+    ``constant_time=True`` switches private exponentiation to the
+    Montgomery ladder (timing countermeasure); ``verify_signatures=True``
+    enables the Bellcore countermeasure on :meth:`sign_crt`.
+    """
+
+    def __init__(self, key: RSAKey, constant_time: bool = False,
+                 verify_signatures: bool = False) -> None:
+        self.key = key
+        self.constant_time = constant_time
+        self.verify_signatures = verify_signatures
+
+    # -- public operations ---------------------------------------------------
+
+    def encrypt(self, message: int) -> int:
+        """Public-key operation ``m^e mod n``."""
+        self._check_range(message)
+        return pow(message, self.key.e, self.key.n)
+
+    def verify(self, message: int, signature: int) -> bool:
+        """True when ``signature^e mod n == message``."""
+        return pow(signature, self.key.e, self.key.n) == message % self.key.n
+
+    # -- private operations ---------------------------------------------------
+
+    def decrypt_timed(self, ciphertext: int,
+                      noise_rng: XorShiftRNG | None = None,
+                      noise_std: float = 0.0) -> ModExpResult:
+        """Private-key operation with its timing trace (the SCA target)."""
+        self._check_range(ciphertext)
+        modexp = modexp_ladder if self.constant_time \
+            else modexp_square_multiply
+        return modexp(ciphertext, self.key.d, self.key.n,
+                      noise_rng=noise_rng, noise_std=noise_std)
+
+    def decrypt(self, ciphertext: int) -> int:
+        """Private-key operation, value only."""
+        return self.decrypt_timed(ciphertext).value
+
+    def sign_crt(self, message: int,
+                 fault_hook: CRTFaultHook | None = None) -> int:
+        """CRT signature ``m^d mod n`` via the two half-exponentiations.
+
+        ``fault_hook`` models a glitch: it may corrupt either half-result.
+        With ``verify_signatures`` the (possibly faulty) signature is
+        checked against the public key before release and a
+        :class:`SecurityViolation` is raised instead of emitting it —
+        Bellcore's countermeasure.
+        """
+        self._check_range(message)
+        key = self.key
+        sp = pow(message % key.p, key.dp, key.p)
+        sq = pow(message % key.q, key.dq, key.q)
+        if fault_hook is not None:
+            sp = fault_hook("p", sp) % key.p
+            sq = fault_hook("q", sq) % key.q
+        h = (key.qinv * (sp - sq)) % key.p
+        signature = (sq + h * key.q) % key.n
+        if self.verify_signatures and not self.verify(message, signature):
+            raise SecurityViolation(
+                "CRT signature failed self-verification; withheld")
+        return signature
+
+    def _check_range(self, value: int) -> None:
+        if not 0 <= value < self.key.n:
+            raise ValueError("value out of range for modulus")

@@ -1,0 +1,68 @@
+"""Exception hierarchy shared across the simulation.
+
+Faults mirror real hardware: a :class:`MemoryFault` carries the faulting
+address and access type, and :class:`PageFault` additionally carries which
+permission check failed — Foreshadow, for instance, depends on
+distinguishing a *present-bit* fault (terminal fault) from a permission
+fault.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all simulator errors."""
+
+
+class ConfigurationError(ReproError):
+    """A component was wired or parameterised inconsistently."""
+
+
+class MemoryFault(ReproError):
+    """An access was rejected by the memory system.
+
+    Attributes:
+        addr: faulting (virtual or physical) address.
+        access: one of ``"read"``, ``"write"``, ``"execute"``.
+        reason: short machine-readable cause, e.g. ``"unmapped"``.
+    """
+
+    def __init__(self, addr: int, access: str, reason: str) -> None:
+        super().__init__(f"{access} fault at {addr:#x}: {reason}")
+        self.addr = addr
+        self.access = access
+        self.reason = reason
+
+
+class AccessFault(MemoryFault):
+    """A bus-level access-control unit (TZASC, MPU, DMA filter) said no."""
+
+
+class PageFault(MemoryFault):
+    """The MMU rejected a translation.
+
+    ``reason`` is one of ``"not-present"``, ``"reserved"``, ``"privilege"``,
+    ``"write-protect"``, ``"no-execute"``, ``"unmapped"``.  A ``"not-present"``
+    or ``"reserved"`` fault on a page whose data still sits in L1 is exactly
+    Intel's *L1 Terminal Fault* precondition.
+    """
+
+
+class SecurityViolation(ReproError):
+    """A TEE invariant was violated (e.g. writing a locked MPU)."""
+
+
+class AttestationError(ReproError):
+    """An attestation report failed verification."""
+
+
+class EnclaveError(ReproError):
+    """Enclave lifecycle misuse (double create, call before init, ...)."""
+
+
+class FaultInjectionError(ReproError):
+    """The fault-injection engine was asked for an impossible glitch."""
+
+
+class DeviceError(ReproError):
+    """A peripheral/device model failed."""

@@ -1,0 +1,30 @@
+"""Fault injection: glitch models, campaign runner, CLKSCREW coupling.
+
+Section 5: "intrusive attacks induce faults in the system ... by
+'glitching' the device, i.e., forcing changes in the values of relevant
+physical parameters outside the specified intervals."  The engine turns a
+glitch specification into the corrupted intermediates that fault analysis
+(Bellcore RSA-CRT, AES DFA) consumes, and couples to the DVFS model so
+CLKSCREW-style software-induced glitches use the same machinery as
+bench-top clock/voltage/EM/laser glitches.
+"""
+
+from repro.fault.models import (
+    FaultKind,
+    FaultSpec,
+    GlitchChannel,
+    apply_fault,
+)
+from repro.fault.injector import CampaignResult, FaultCampaign, GlitchInjector
+from repro.fault.clkscrew import ClkscrewGlitcher
+
+__all__ = [
+    "CampaignResult",
+    "ClkscrewGlitcher",
+    "FaultCampaign",
+    "FaultKind",
+    "FaultSpec",
+    "GlitchChannel",
+    "GlitchInjector",
+    "apply_fault",
+]

@@ -1,0 +1,77 @@
+"""CLKSCREW: DVFS abuse as a software-only glitch source.
+
+Couples the :class:`~repro.cpu.dvfs.DVFSController` to the fault engine:
+the *glitch probability* of each shot is whatever the current operating
+point's timing-margin violation implies.  If the attacker cannot push the
+regulator past the margin — hardware limits, or the secure-world gate —
+the probability stays zero and downstream fault analysis starves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cpu.dvfs import DVFSController, OperatingPoint
+from repro.crypto.rng import XorShiftRNG
+from repro.errors import SecurityViolation
+from repro.fault.models import FaultKind, FaultSpec, GlitchChannel, apply_fault
+
+
+class ClkscrewGlitcher:
+    """Normal-world software stressing the clock of a victim core.
+
+    ``overdrive`` pushes the victim core's domain to ``freq_mhz`` /
+    ``voltage_mv`` *as the normal world* — the call the paper's ref [37]
+    showed was possible on commodity phones.  The returned AES fault hook
+    fires per round with the resulting margin-violation probability.
+    """
+
+    def __init__(self, dvfs: DVFSController, victim_core: str,
+                 rng: XorShiftRNG | None = None,
+                 target_round: int | None = None) -> None:
+        self.dvfs = dvfs
+        self.victim_core = victim_core
+        self.rng = rng or XorShiftRNG(0xC15C)
+        self.target_round = target_round
+        # Timing-margin violations flip late-arriving flip-flops: single-
+        # bit upsets, which is also what last-round DFA wants to consume.
+        self.spec = FaultSpec(GlitchChannel.DVFS, FaultKind.BIT_FLIP,
+                              target_round=target_round)
+        self.denied = False
+
+    def overdrive(self, freq_mhz: float, voltage_mv: float = 700.0) -> bool:
+        """Attempt the malicious retune; returns False when blocked."""
+        domain = self.dvfs.domain_of_core(self.victim_core)
+        if domain is None:
+            self.denied = True
+            return False
+        try:
+            self.dvfs.set_point(domain.name,
+                                OperatingPoint(freq_mhz, voltage_mv),
+                                from_secure_world=False)
+        except (SecurityViolation, ValueError):
+            self.denied = True
+            return False
+        return True
+
+    @property
+    def glitch_probability(self) -> float:
+        """Per-round fault probability at the current operating point."""
+        return self.dvfs.glitch_probability_for_core(self.victim_core)
+
+    def aes_fault_hook(self) -> Callable[[int, bytearray], None]:
+        """Fault hook whose firing rate tracks the DVFS margin violation."""
+
+        def hook(rnd: int, state: bytearray) -> None:
+            if self.target_round is not None and rnd != self.target_round:
+                return
+            probability = self.glitch_probability
+            if probability <= 0.0:
+                return
+            if self.rng.next_u64() / ((1 << 64) - 1) >= probability:
+                return
+            byte_index = self.rng.next_below(16)
+            state[byte_index] = apply_fault(self.spec, state[byte_index],
+                                            self.rng)
+
+        return hook

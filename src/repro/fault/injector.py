@@ -1,0 +1,120 @@
+"""Glitch injector and fault campaigns.
+
+:class:`GlitchInjector` turns a :class:`~repro.fault.models.FaultSpec`
+into the hook shapes the crypto layer accepts (an AES ``fault_hook`` or an
+RSA ``CRTFaultHook``), firing with a configurable probability per shot —
+real glitch rigs are probabilistic too.  :class:`FaultCampaign` runs many
+shots and separates clean, faulty and crashed outcomes, which is the raw
+material every fault-analysis attack starts from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.crypto.rng import XorShiftRNG
+from repro.fault.models import FaultKind, FaultSpec, apply_fault
+
+
+class GlitchInjector:
+    """Arms a fault spec and produces crypto-layer hooks."""
+
+    def __init__(self, spec: FaultSpec, rng: XorShiftRNG | None = None,
+                 success_probability: float = 1.0) -> None:
+        if not 0.0 <= success_probability <= 1.0:
+            raise ValueError("success_probability must be in [0, 1]")
+        self.spec = spec
+        self.rng = rng or XorShiftRNG(0xFA17)
+        self.success_probability = success_probability
+        self.shots = 0
+        self.effective_faults = 0
+
+    def _fires(self) -> bool:
+        self.shots += 1
+        if self.success_probability >= 1.0:
+            fired = True
+        else:
+            fired = self.rng.next_u64() / ((1 << 64) - 1) \
+                < self.success_probability
+        if fired:
+            self.effective_faults += 1
+        return fired
+
+    # -- AES hook -----------------------------------------------------------
+
+    def aes_fault_hook(self) -> Callable[[int, bytearray], None]:
+        """Hook for ``AES128(fault_hook=...)``: corrupts one state byte."""
+        spec = self.spec
+
+        def hook(rnd: int, state: bytearray) -> None:
+            if spec.target_round is not None and rnd != spec.target_round:
+                return
+            if not self._fires():
+                return
+            byte_index = spec.target_byte if spec.target_byte is not None \
+                else self.rng.next_below(16)
+            state[byte_index] = apply_fault(spec, state[byte_index], self.rng)
+
+        return hook
+
+    # -- RSA-CRT hook ---------------------------------------------------------
+
+    def crt_fault_hook(self) -> Callable[[str, int], int]:
+        """Hook for ``RSA.sign_crt(fault_hook=...)``: corrupts one half."""
+        spec = self.spec
+
+        def hook(half: str, value: int) -> int:
+            if spec.crt_half is not None and half != spec.crt_half:
+                return value
+            if not self._fires():
+                return value
+            return apply_fault(spec, value, self.rng,
+                               width_bits=max(value.bit_length(), 8))
+
+        return hook
+
+
+@dataclass
+class CampaignResult:
+    """Outcome sets from a fault campaign."""
+
+    clean: list = field(default_factory=list)
+    faulty: list = field(default_factory=list)
+    crashes: int = 0
+
+    @property
+    def fault_rate(self) -> float:
+        total = len(self.clean) + len(self.faulty) + self.crashes
+        return len(self.faulty) / total if total else 0.0
+
+
+class FaultCampaign:
+    """Run an operation repeatedly under glitching; bin the outcomes.
+
+    ``operation()`` must return the (possibly faulty) output;
+    ``reference()`` returns the correct output for comparison.  Exceptions
+    from the operation (e.g. the Bellcore verification refusing to emit a
+    signature) count as crashes — from the attacker's perspective, a lost
+    shot.
+    """
+
+    def __init__(self, operation: Callable[[], object],
+                 reference: Callable[[], object]) -> None:
+        self.operation = operation
+        self.reference = reference
+
+    def run(self, shots: int) -> CampaignResult:
+        result = CampaignResult()
+        expected = self.reference()
+        for _ in range(shots):
+            try:
+                output = self.operation()
+            except Exception:
+                result.crashes += 1
+                continue
+            if output == expected:
+                result.clean.append(output)
+            else:
+                result.faulty.append(output)
+        return result

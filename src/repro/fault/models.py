@@ -1,0 +1,71 @@
+"""Fault specifications: what a glitch does to a value, and how it is induced."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.crypto.rng import XorShiftRNG
+from repro.errors import FaultInjectionError
+
+
+class GlitchChannel(enum.Enum):
+    """Physical mechanism of the glitch (Section 5's enumeration)."""
+
+    CLOCK = "clock"
+    VOLTAGE = "voltage"
+    EM_PULSE = "em-pulse"
+    OPTICAL = "optical"
+    DVFS = "dvfs"  # CLKSCREW: software-induced, no physical access needed
+
+
+class FaultKind(enum.Enum):
+    """Corruption applied to the targeted value."""
+
+    BIT_FLIP = "bit-flip"
+    BYTE_RANDOM = "byte-random"
+    STUCK_AT_ZERO = "stuck-at-zero"
+    SKIP = "instruction-skip"  # value passes through unchanged; the *step*
+    # it fed (e.g. a verification) is skipped
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One glitch: where it lands and what it does.
+
+    ``target_round`` / ``target_byte`` select the AES injection point
+    (``None`` byte = chosen at random per shot).  For RSA-CRT the target
+    is a half ("p" or "q") instead.
+    """
+
+    channel: GlitchChannel
+    kind: FaultKind
+    target_round: int | None = None
+    target_byte: int | None = None
+    target_bit: int | None = None
+    crt_half: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.crt_half is not None and self.crt_half not in ("p", "q"):
+            raise FaultInjectionError(f"bad CRT half {self.crt_half!r}")
+        if self.target_bit is not None and not 0 <= self.target_bit < 8:
+            raise FaultInjectionError(f"bad bit index {self.target_bit}")
+
+
+def apply_fault(spec: FaultSpec, value: int, rng: XorShiftRNG,
+                width_bits: int = 8) -> int:
+    """Corrupt ``value`` per ``spec``; ``width_bits`` bounds the target."""
+    mask = (1 << width_bits) - 1
+    value &= mask
+    if spec.kind is FaultKind.BIT_FLIP:
+        bit = spec.target_bit if spec.target_bit is not None \
+            else rng.next_below(width_bits)
+        return value ^ (1 << bit)
+    if spec.kind is FaultKind.BYTE_RANDOM:
+        while True:
+            corrupted = rng.next_u64() & mask
+            if corrupted != value:
+                return corrupted
+    if spec.kind is FaultKind.STUCK_AT_ZERO:
+        return 0
+    return value  # SKIP: corruption happens at the control-flow level

@@ -1,0 +1,80 @@
+"""A small RISC-like instruction set used by the simulated cores.
+
+The paper's attack families (cache side channels, Spectre, Meltdown,
+Foreshadow) exploit architectural *concepts* — memory loads that touch
+caches, branches that can be mispredicted, faulting loads whose results are
+forwarded transiently — rather than any particular vendor encoding.  This
+package provides the minimal instruction vocabulary needed to express both
+victims and attackers for all of them: ALU operations, loads/stores that go
+through the full MMU/cache path, branches, a cache-line flush (the analogue
+of ``clflush``, required by Flush+Reload), fences, CSR access and traps.
+"""
+
+from repro.isa.instructions import (
+    Instruction,
+    InstrKind,
+    Reg,
+    add,
+    addi,
+    and_,
+    beq,
+    bge,
+    blt,
+    bne,
+    csrr,
+    csrw,
+    ecall,
+    fence,
+    flush,
+    halt,
+    jal,
+    jmp,
+    li,
+    load,
+    mul,
+    nop,
+    or_,
+    ret,
+    shl,
+    shr,
+    store,
+    sub,
+    xor,
+)
+from repro.isa.program import Program
+from repro.isa.assembler import AssemblyError, assemble
+
+__all__ = [
+    "AssemblyError",
+    "InstrKind",
+    "Instruction",
+    "Program",
+    "Reg",
+    "add",
+    "addi",
+    "and_",
+    "assemble",
+    "beq",
+    "bge",
+    "blt",
+    "bne",
+    "csrr",
+    "csrw",
+    "ecall",
+    "fence",
+    "flush",
+    "halt",
+    "jal",
+    "jmp",
+    "li",
+    "load",
+    "mul",
+    "nop",
+    "or_",
+    "ret",
+    "shl",
+    "shr",
+    "store",
+    "sub",
+    "xor",
+]

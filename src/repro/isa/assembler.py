@@ -1,0 +1,203 @@
+"""Two-pass assembler for the simulated ISA.
+
+The textual syntax mirrors :meth:`Instruction.__str__`, so a program can be
+round-tripped through its printed form::
+
+    victim:
+        li   r1, 0x1000      # base of the secret array
+        load r2, 8(r1)       # r2 = mem[r1 + 8]
+        beq  r2, r0, done
+        flush 0(r1)
+        jmp  victim
+    done:
+        halt
+
+Comments start with ``#`` or ``;``.  Labels are identifiers followed by a
+colon.  Immediates may be decimal, hex (``0x..``) or negative.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa import instructions as ins
+from repro.isa.instructions import INSTR_SIZE, Instruction, InstrKind
+from repro.isa.program import Program
+
+
+class AssemblyError(ValueError):
+    """Raised for malformed assembly input, with line information."""
+
+    def __init__(self, lineno: int, line: str, reason: str) -> None:
+        super().__init__(f"line {lineno}: {reason}: {line.strip()!r}")
+        self.lineno = lineno
+        self.reason = reason
+
+
+_REG_ALIASES = {"sp": 14, "lr": 15, "zero": 0}
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):\s*(.*)$")
+_MEM_RE = re.compile(r"^(-?(?:0x[0-9a-fA-F]+|\d+))\(([A-Za-z0-9]+)\)$")
+
+
+def _parse_reg(token: str, lineno: int, line: str) -> int:
+    token = token.lower()
+    if token in _REG_ALIASES:
+        return _REG_ALIASES[token]
+    if token.startswith("r") and token[1:].isdigit():
+        num = int(token[1:])
+        if 0 <= num < ins.NUM_REGS:
+            return num
+    raise AssemblyError(lineno, line, f"bad register {token!r}")
+
+
+def _parse_imm(token: str, lineno: int, line: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(lineno, line, f"bad immediate {token!r}") from None
+
+
+def _parse_mem_operand(token: str, lineno: int, line: str) -> tuple[int, int]:
+    """Parse ``offset(reg)`` into ``(offset, reg)``; bare ``(reg)`` means 0."""
+    match = _MEM_RE.match(token)
+    if match:
+        return (_parse_imm(match.group(1), lineno, line),
+                _parse_reg(match.group(2), lineno, line))
+    if token.startswith("(") and token.endswith(")"):
+        return 0, _parse_reg(token[1:-1], lineno, line)
+    raise AssemblyError(lineno, line, f"bad memory operand {token!r}")
+
+
+def _split_operands(rest: str) -> list[str]:
+    return [part.strip() for part in rest.split(",") if part.strip()]
+
+
+# Three-register ALU mnemonics share one decode path.
+_ALU3 = {
+    "add": InstrKind.ADD, "sub": InstrKind.SUB, "and": InstrKind.AND,
+    "or": InstrKind.OR, "xor": InstrKind.XOR, "shl": InstrKind.SHL,
+    "shr": InstrKind.SHR, "mul": InstrKind.MUL,
+}
+_BRANCHES = {
+    "beq": InstrKind.BEQ, "bne": InstrKind.BNE,
+    "blt": InstrKind.BLT, "bge": InstrKind.BGE,
+}
+
+
+def _decode(mnemonic: str, ops: list[str], lineno: int,
+            line: str) -> Instruction:
+    def need(count: int) -> None:
+        if len(ops) != count:
+            raise AssemblyError(
+                lineno, line,
+                f"{mnemonic} expects {count} operand(s), got {len(ops)}")
+
+    if mnemonic in _ALU3:
+        need(3)
+        return Instruction(
+            _ALU3[mnemonic],
+            rd=_parse_reg(ops[0], lineno, line),
+            rs1=_parse_reg(ops[1], lineno, line),
+            rs2=_parse_reg(ops[2], lineno, line))
+    if mnemonic == "addi":
+        need(3)
+        return ins.addi(_parse_reg(ops[0], lineno, line),
+                        _parse_reg(ops[1], lineno, line),
+                        _parse_imm(ops[2], lineno, line))
+    if mnemonic == "li":
+        need(2)
+        return ins.li(_parse_reg(ops[0], lineno, line),
+                      _parse_imm(ops[1], lineno, line))
+    if mnemonic == "load":
+        need(2)
+        offset, base = _parse_mem_operand(ops[1], lineno, line)
+        return ins.load(_parse_reg(ops[0], lineno, line), base, offset)
+    if mnemonic == "store":
+        need(2)
+        offset, base = _parse_mem_operand(ops[1], lineno, line)
+        return ins.store(_parse_reg(ops[0], lineno, line), base, offset)
+    if mnemonic == "flush":
+        need(1)
+        offset, base = _parse_mem_operand(ops[0], lineno, line)
+        return ins.flush(base, offset)
+    if mnemonic == "fence":
+        need(0)
+        return ins.fence()
+    if mnemonic in _BRANCHES:
+        need(3)
+        return Instruction(
+            _BRANCHES[mnemonic],
+            rs1=_parse_reg(ops[0], lineno, line),
+            rs2=_parse_reg(ops[1], lineno, line),
+            label=ops[2])
+    if mnemonic in ("jmp", "jal"):
+        need(1)
+        kind = InstrKind.JMP if mnemonic == "jmp" else InstrKind.JAL
+        return Instruction(kind, label=ops[0])
+    if mnemonic == "ret":
+        need(0)
+        return ins.ret()
+    if mnemonic == "ecall":
+        if len(ops) > 1:
+            raise AssemblyError(lineno, line, "ecall takes at most 1 operand")
+        code = _parse_imm(ops[0], lineno, line) if ops else 0
+        return ins.ecall(code)
+    if mnemonic == "csrr":
+        need(2)
+        return ins.csrr(_parse_reg(ops[0], lineno, line),
+                        _parse_imm(ops[1], lineno, line))
+    if mnemonic == "csrw":
+        need(2)
+        return ins.csrw(_parse_imm(ops[0], lineno, line),
+                        _parse_reg(ops[1], lineno, line))
+    if mnemonic == "rdcycle":
+        need(1)
+        return ins.rdcycle(_parse_reg(ops[0], lineno, line))
+    if mnemonic == "nop":
+        need(0)
+        return ins.nop()
+    if mnemonic == "halt":
+        need(0)
+        return ins.halt()
+    raise AssemblyError(lineno, line, f"unknown mnemonic {mnemonic!r}")
+
+
+def assemble(text: str, base: int = 0x1000, name: str = "program",
+             allow_undefined: bool = False) -> Program:
+    """Assemble ``text`` into a :class:`Program` at address ``base``.
+
+    Labels may be referenced before definition (two-pass assembly).
+    Branch/jump labels are kept symbolic in the instruction so the program
+    stays relocatable; undefined references raise :class:`AssemblyError`
+    unless ``allow_undefined`` is set (for fragments that will be merged
+    with :func:`repro.isa.program.merge_programs`, which re-resolves).
+    """
+    instrs: list[Instruction] = []
+    labels: dict[str, int] = {}
+    pending: list[tuple[int, str, str]] = []  # (lineno, line, label)
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        while line:
+            match = _LABEL_RE.match(line)
+            if match:
+                label, line = match.group(1), match.group(2).strip()
+                if label in labels:
+                    raise AssemblyError(lineno, raw,
+                                        f"duplicate label {label!r}")
+                labels[label] = base + len(instrs) * INSTR_SIZE
+                continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            ops = _split_operands(parts[1]) if len(parts) > 1 else []
+            instr = _decode(mnemonic, ops, lineno, raw)
+            if instr.label is not None:
+                pending.append((lineno, raw, instr.label))
+            instrs.append(instr)
+            line = ""
+
+    if not allow_undefined:
+        for lineno, raw, label in pending:
+            if label not in labels:
+                raise AssemblyError(lineno, raw, f"undefined label {label!r}")
+    return Program(instrs, base=base, labels=labels, name=name)

@@ -1,0 +1,99 @@
+"""Program container: a label-resolved instruction sequence at a base address."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+from repro.isa.instructions import INSTR_SIZE, Instruction
+
+
+@dataclass
+class Program:
+    """A sequence of instructions placed at ``base`` in the address space.
+
+    Labels map symbolic names to absolute addresses; branch/jump
+    instructions whose ``label`` is set are resolved lazily through
+    :meth:`target_of`, so the same gadget can be relocated by changing
+    ``base`` alone.
+    """
+
+    instructions: Sequence[Instruction]
+    base: int = 0x1000
+    labels: Mapping[str, int] = field(default_factory=dict)
+    name: str = "program"
+
+    def __post_init__(self) -> None:
+        if self.base % INSTR_SIZE:
+            raise ValueError(f"base {self.base:#x} not {INSTR_SIZE}-byte aligned")
+        self._by_addr = {
+            self.base + i * INSTR_SIZE: instr
+            for i, instr in enumerate(self.instructions)
+        }
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    @property
+    def end(self) -> int:
+        """First address past the program."""
+        return self.base + len(self.instructions) * INSTR_SIZE
+
+    def fetch(self, addr: int) -> Instruction | None:
+        """Return the instruction at absolute address ``addr``, if any."""
+        return self._by_addr.get(addr)
+
+    def address_of(self, label: str) -> int:
+        """Absolute address of ``label``.
+
+        Raises ``KeyError`` when the label is unknown.
+        """
+        return self.labels[label]
+
+    def target_of(self, instr: Instruction) -> int:
+        """Resolve the control-flow target of a branch/jump instruction."""
+        if instr.label is not None:
+            return self.address_of(instr.label)
+        return instr.imm
+
+    def contains(self, addr: int) -> bool:
+        """True when ``addr`` falls inside this program's footprint."""
+        return self.base <= addr < self.end
+
+
+def merge_programs(programs: Sequence[Program], name: str = "merged") -> Program:
+    """Combine non-overlapping programs into one fetchable image.
+
+    Used to lay victim and attacker gadgets into a single instruction
+    address space.  Raises ``ValueError`` on footprint or label collisions.
+    """
+    if not programs:
+        raise ValueError("need at least one program")
+    ordered = sorted(programs, key=lambda p: p.base)
+    for before, after in zip(ordered, ordered[1:]):
+        if before.end > after.base:
+            raise ValueError(
+                f"programs {before.name!r} and {after.name!r} overlap at "
+                f"{after.base:#x}"
+            )
+    labels: dict[str, int] = {}
+    for prog in ordered:
+        for label, addr in prog.labels.items():
+            if label in labels and labels[label] != addr:
+                raise ValueError(f"conflicting definitions of label {label!r}")
+            labels[label] = addr
+
+    merged = Program(ordered[0].instructions, base=ordered[0].base,
+                     labels=labels, name=name)
+    # Rebuild the address map to span every fragment; Program.__post_init__
+    # only indexed the first fragment's instructions.
+    by_addr: dict[int, Instruction] = {}
+    for prog in ordered:
+        for i, instr in enumerate(prog.instructions):
+            by_addr[prog.base + i * INSTR_SIZE] = instr
+    merged._by_addr = by_addr
+    merged.instructions = [instr for _, instr in sorted(by_addr.items())]
+    return merged

@@ -1,0 +1,63 @@
+"""Memory subsystem: physical memory, bus, paging/MMU, MPU, TZASC, DMA, MEE.
+
+Everything a hardware-assisted security architecture hangs off lives here:
+
+* :class:`PhysicalMemory` — byte-addressable backing store.
+* :class:`SystemBus` — routes master transactions through pluggable access
+  control (this is where TrustZone's TZASC, Sanctum's DMA filter and SMART's
+  PC-gated key vault are enforced).
+* :mod:`repro.memory.paging` / :class:`MMU` — radix page tables *stored in
+  simulated physical memory* so an untrusted OS really can flip
+  present/reserved bits (the Foreshadow precondition).
+* :class:`MPU` / :class:`ExecutionAwareMPU` — embedded-class protection
+  (TrustLite/TyTAN).
+* :class:`DMAEngine` — a non-CPU bus master for DMA-attack experiments.
+* :class:`MemoryEncryptionEngine` — SGX-style transparent encryption of a
+  protected physical range.
+"""
+
+from repro.memory.phys import PhysicalMemory
+from repro.memory.regions import MemoryRegion, RegionMap, Permissions
+from repro.memory.bus import BusMaster, BusTransaction, SystemBus
+from repro.memory.paging import (
+    PAGE_SIZE,
+    PageFlags,
+    PageTable,
+    pte_pack,
+    pte_unpack,
+)
+from repro.memory.mmu import MMU, TranslationResult
+from repro.memory.mpu import ExecutionAwareMPU, MPU, MPURegion
+from repro.memory.tzasc import TrustZoneAddressSpaceController, WorldState
+from repro.memory.dma import DMAEngine
+from repro.memory.mee import MemoryEncryptionEngine
+from repro.memory.rom import KeyVault, ROMRegion
+from repro.memory.disturbance import DisturbanceModel, ROW_SIZE
+
+__all__ = [
+    "BusMaster",
+    "BusTransaction",
+    "DMAEngine",
+    "DisturbanceModel",
+    "ExecutionAwareMPU",
+    "KeyVault",
+    "MMU",
+    "MPU",
+    "MPURegion",
+    "MemoryEncryptionEngine",
+    "MemoryRegion",
+    "PAGE_SIZE",
+    "PageFlags",
+    "PageTable",
+    "Permissions",
+    "PhysicalMemory",
+    "ROMRegion",
+    "ROW_SIZE",
+    "RegionMap",
+    "SystemBus",
+    "TranslationResult",
+    "TrustZoneAddressSpaceController",
+    "WorldState",
+    "pte_pack",
+    "pte_unpack",
+]

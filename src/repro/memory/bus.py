@@ -1,0 +1,203 @@
+"""System bus: routes master transactions through access control to memory.
+
+The bus is the chokepoint where hardware-assisted security is enforced in
+real SoCs, and it is modelled the same way here:
+
+* *access controllers* (TZASC, Sanctum's DMA filter, SMART's key vault
+  gate, TrustLite's EA-MPU) veto transactions before they reach memory;
+* *transforms* (SGX's memory encryption engine) rewrite data on its way
+  in/out of protected physical ranges;
+* *snoopers* observe every transaction — this is how a physical bus-probing
+  adversary (and the test suite) sees what actually crossed the interconnect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.errors import AccessFault, ConfigurationError, MemoryFault
+from repro.memory.phys import PhysicalMemory, WORD_SIZE
+from repro.memory.regions import MemoryRegion, RegionMap
+
+
+@dataclass(frozen=True)
+class BusMaster:
+    """A component that can initiate bus transactions.
+
+    ``kind`` distinguishes CPUs from DMA-capable peripherals: several
+    access-control units (e.g. Sanctum's DMA filter) discriminate on it.
+    """
+
+    name: str
+    kind: str = "cpu"  # "cpu" | "dma" | "debug"
+    secure_capable: bool = False
+
+
+@dataclass(frozen=True)
+class BusTransaction:
+    """One read or write request travelling over the bus."""
+
+    master: BusMaster
+    addr: int
+    access: str  # "read" | "write"
+    size: int = WORD_SIZE
+    secure: bool = False  # TrustZone NS-bit analogue (True = secure world)
+    pc: int | None = None  # program counter of the issuing core, if any
+    context: dict = field(default_factory=dict, compare=False, hash=False)
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.size
+
+
+class AccessController(Protocol):
+    """Vetoes transactions; raise :class:`AccessFault` to deny."""
+
+    def check(self, txn: BusTransaction, region: MemoryRegion | None) -> None:
+        """Raise :class:`AccessFault` if ``txn`` must not proceed."""
+
+
+class BusTransform(Protocol):
+    """Rewrites data crossing the bus (e.g. memory encryption)."""
+
+    def on_write(self, txn: BusTransaction, data: bytes) -> bytes:
+        """Return the bytes actually stored for ``txn``."""
+
+    def on_read(self, txn: BusTransaction, data: bytes) -> bytes:
+        """Return the bytes actually delivered to the master for ``txn``."""
+
+
+Snooper = Callable[[BusTransaction], None]
+
+
+class SystemBus:
+    """The SoC interconnect.
+
+    All CPU cache refills, DMA transfers, and page-table walks go through
+    :meth:`read` / :meth:`write`, making this the single place where an
+    architecture's bus-level protections act on *every* path — which is
+    exactly why DMA attacks work against architectures that forgot to put
+    a check here (SMART, TrustLite) and fail against those that did not
+    (Sanctum, TrustZone with TZASC).
+    """
+
+    def __init__(self, memory: PhysicalMemory, regions: RegionMap) -> None:
+        self.memory = memory
+        self.regions = regions
+        self._controllers: list[tuple[str, AccessController]] = []
+        self._transforms: list[tuple[str, BusTransform]] = []
+        self._snoopers: list[Snooper] = []
+        self._devices: dict[str, object] = {}
+        self.transaction_count = 0
+        self.denied_count = 0
+
+    # -- configuration -----------------------------------------------------
+
+    def add_controller(self, name: str, controller: AccessController) -> None:
+        """Install an access-control unit; checks run in insertion order."""
+        if any(existing == name for existing, _ in self._controllers):
+            raise ConfigurationError(f"duplicate controller {name!r}")
+        self._controllers.append((name, controller))
+
+    def remove_controller(self, name: str) -> None:
+        """Uninstall a named access-control unit."""
+        before = len(self._controllers)
+        self._controllers = [(n, c) for n, c in self._controllers if n != name]
+        if len(self._controllers) == before:
+            raise KeyError(name)
+
+    def controller_names(self) -> list[str]:
+        """Installed controller names, in check order."""
+        return [name for name, _ in self._controllers]
+
+    def add_transform(self, name: str, transform: BusTransform) -> None:
+        """Install a data transform (applied innermost-last on writes)."""
+        if any(existing == name for existing, _ in self._transforms):
+            raise ConfigurationError(f"duplicate transform {name!r}")
+        self._transforms.append((name, transform))
+
+    def add_snooper(self, snooper: Snooper) -> None:
+        """Attach a transaction observer (bus-probing adversary, stats)."""
+        self._snoopers.append(snooper)
+
+    def attach_device(self, region_name: str, device: object) -> None:
+        """Map a device model over an existing MMIO region."""
+        region = self.regions.get(region_name)
+        if not region.device:
+            raise ConfigurationError(
+                f"region {region_name!r} is not a device region")
+        self._devices[region_name] = device
+
+    # -- transaction path ---------------------------------------------------
+
+    def _route(self, txn: BusTransaction) -> MemoryRegion | None:
+        self.transaction_count += 1
+        for snooper in self._snoopers:
+            snooper(txn)
+        region = self.regions.find(txn.addr)
+        try:
+            for _, controller in self._controllers:
+                controller.check(txn, region)
+        except AccessFault:
+            self.denied_count += 1
+            raise
+        return region
+
+    def read(self, txn: BusTransaction) -> bytes:
+        """Perform a read transaction; returns ``txn.size`` bytes."""
+        if txn.access != "read":
+            raise ValueError("read() requires a read transaction")
+        region = self._route(txn)
+        if region is None:
+            raise MemoryFault(txn.addr, "read",
+                              "bus decode error: no region at address")
+        if region.device:
+            device = self._devices.get(region.name)
+            if device is None:
+                raise MemoryFault(txn.addr, "read", "no device mapped")
+            data = device.mmio_read(txn.addr - region.base, txn.size)
+        else:
+            data = self.memory.read_bytes(txn.addr, txn.size)
+        for _, transform in reversed(self._transforms):
+            data = transform.on_read(txn, data)
+        return data
+
+    def write(self, txn: BusTransaction, data: bytes) -> None:
+        """Perform a write transaction with payload ``data``."""
+        if txn.access != "write":
+            raise ValueError("write() requires a write transaction")
+        if len(data) != txn.size:
+            raise ValueError(f"payload is {len(data)} bytes, txn.size={txn.size}")
+        region = self._route(txn)
+        if region is None:
+            raise MemoryFault(txn.addr, "write",
+                              "bus decode error: no region at address")
+        if not region.perms.write:
+            raise AccessFault(txn.addr, "write",
+                              f"region {region.name!r} is read-only")
+        for _, transform in self._transforms:
+            data = transform.on_write(txn, data)
+        if region.device:
+            device = self._devices.get(region.name)
+            if device is None:
+                raise MemoryFault(txn.addr, "write", "no device mapped")
+            device.mmio_write(txn.addr - region.base, data)
+        else:
+            self.memory.write_bytes(txn.addr, data)
+
+    # -- convenience word interface ------------------------------------------
+
+    def read_word(self, master: BusMaster, addr: int, *, secure: bool = False,
+                  pc: int | None = None) -> int:
+        """Read one little-endian word as ``master``."""
+        txn = BusTransaction(master, addr, "read", WORD_SIZE,
+                             secure=secure, pc=pc)
+        return int.from_bytes(self.read(txn), "little")
+
+    def write_word(self, master: BusMaster, addr: int, value: int, *,
+                   secure: bool = False, pc: int | None = None) -> None:
+        """Write one little-endian word as ``master``."""
+        txn = BusTransaction(master, addr, "write", WORD_SIZE,
+                             secure=secure, pc=pc)
+        self.write(txn, (value & ((1 << 64) - 1)).to_bytes(WORD_SIZE, "little"))

@@ -1,0 +1,101 @@
+"""DRAM disturbance (Rowhammer-class) physics model (paper ref [18]).
+
+The paper's outlook cites SPOILER, whose punchline is that speculative
+leaks "boost Rowhammer": once an attacker knows physical adjacency,
+repeated activations of one DRAM row flip bits in its neighbours.  This
+module models that physics so the *consequences per architecture* can be
+measured:
+
+* against **Sanctum** (no memory encryption/integrity) a flip in enclave
+  memory is silent corruption;
+* against **SGX** the MEE's integrity tag turns the same flip into a
+  detected violation on the next read — corruption becomes (at worst)
+  denial of service.
+
+Install a :class:`DisturbanceModel` on the bus as a snooper; it counts
+row activations and, past the threshold, flips a pseudo-random bit in an
+adjacent row.  The model is deterministic under its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.rng import XorShiftRNG
+from repro.memory.bus import BusTransaction
+from repro.memory.phys import PhysicalMemory
+
+#: DRAM row size (8 KiB: typical x8 DDR3/DDR4 row).
+ROW_SIZE = 8192
+
+
+@dataclass
+class FlipEvent:
+    """One induced bit flip (for diagnostics and grading)."""
+
+    victim_row: int
+    addr: int
+    bit: int
+    aggressor_row: int
+
+
+class DisturbanceModel:
+    """Counts activations per row; flips bits in neighbours past threshold.
+
+    ``threshold`` is the activation count per refresh window after which
+    each further batch of ``threshold`` activations induces one flip in a
+    randomly chosen neighbour row.  Real thresholds are ~50-140K; the
+    default is scaled down so simulated hammer loops stay fast — the
+    *shape* (hammer long enough and a neighbour bit flips) is what the
+    experiments consume.
+    """
+
+    def __init__(self, memory: PhysicalMemory, dram_base: int,
+                 dram_size: int, threshold: int = 2000,
+                 rng: XorShiftRNG | None = None) -> None:
+        self.memory = memory
+        self.dram_base = dram_base
+        self.dram_size = dram_size
+        self.threshold = threshold
+        self.rng = rng or XorShiftRNG(0x20BB)
+        self.activations: dict[int, int] = {}
+        self.flips: list[FlipEvent] = []
+
+    def row_of(self, addr: int) -> int:
+        return (addr - self.dram_base) // ROW_SIZE
+
+    def row_base(self, row: int) -> int:
+        return self.dram_base + row * ROW_SIZE
+
+    # -- bus snooper ----------------------------------------------------------
+
+    def on_transaction(self, txn: BusTransaction) -> None:
+        """Count one activation per read transaction into DRAM."""
+        if txn.access != "read":
+            return
+        if not self.dram_base <= txn.addr < self.dram_base + self.dram_size:
+            return
+        row = self.row_of(txn.addr)
+        count = self.activations.get(row, 0) + 1
+        self.activations[row] = count
+        if count % self.threshold == 0:
+            self._disturb(row)
+
+    def _disturb(self, aggressor_row: int) -> None:
+        """Flip one bit in a neighbour of the hammered row."""
+        last_row = (self.dram_size // ROW_SIZE) - 1
+        neighbours = [r for r in (aggressor_row - 1, aggressor_row + 1)
+                      if 0 <= r <= last_row]
+        if not neighbours:
+            return
+        victim_row = neighbours[self.rng.next_below(len(neighbours))]
+        offset = self.rng.next_below(ROW_SIZE)
+        bit = self.rng.next_below(8)
+        addr = self.row_base(victim_row) + offset
+        value = self.memory.read_byte(addr)
+        self.memory.write_byte(addr, value ^ (1 << bit))
+        self.flips.append(FlipEvent(victim_row, addr, bit, aggressor_row))
+
+    def refresh(self) -> None:
+        """DRAM refresh: activation counters reset (defender's clock)."""
+        self.activations.clear()

@@ -1,0 +1,193 @@
+"""Hardware page-table walker and permission checks (the MMU).
+
+Two microarchitectural details are modelled explicitly because the paper's
+attacks depend on them:
+
+* **Faults carry the translated physical address.**  When a permission or
+  present-bit check fails, the raised :class:`~repro.errors.PageFault` still
+  carries the physical address the walker computed (``fault.paddr``) and the
+  PTE flags (``fault.flags``).  Architecturally the load never happens, but
+  a Meltdown/Foreshadow-style core *transiently forwards* data from exactly
+  that address before the fault retires — the speculative engine in
+  :mod:`repro.cpu.speculative` reads these attributes.
+* **Walk hooks.**  Sanctum's defining hardware change is "small hardware
+  changes around the page table walker"; :attr:`MMU.walk_hooks` is that
+  insertion point.  A hook sees every completed walk and may veto it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common import PrivilegeLevel
+from repro.errors import PageFault
+from repro.memory.bus import BusMaster, SystemBus
+from repro.memory.paging import (
+    PAGE_MASK,
+    PAGE_SHIFT,
+    PTE_SIZE,
+    LEVEL_BITS,
+    LEVEL_ENTRIES,
+    PageFlags,
+    pte_unpack,
+    vpn_split,
+)
+from repro.memory.regions import MemoryRegion
+
+#: Signature: hook(va, paddr, flags, privilege, secure) -> None or raise.
+WalkHook = Callable[[int, int, PageFlags, PrivilegeLevel, bool], None]
+
+
+@dataclass(frozen=True)
+class TranslationResult:
+    """Outcome of a successful translation."""
+
+    vaddr: int
+    paddr: int
+    flags: PageFlags
+    region: MemoryRegion | None
+    cacheable: bool
+
+    @property
+    def page_paddr(self) -> int:
+        return self.paddr & ~PAGE_MASK
+
+
+def _fault(va: int, access: str, reason: str, *, paddr: int | None = None,
+           flags: PageFlags = PageFlags(0)) -> PageFault:
+    fault = PageFault(va, access, reason)
+    fault.paddr = paddr
+    fault.flags = flags
+    return fault
+
+
+class MMU:
+    """Per-core MMU: optional TLB, bus-based walker, permission checks.
+
+    With ``root is None`` translation is identity (MMU disabled) — the
+    configuration of MMU-less embedded devices, whose protection, if any,
+    comes from an MPU on the bus instead.
+    """
+
+    def __init__(self, bus: SystemBus, core_name: str = "core0",
+                 tlb=None) -> None:
+        self.bus = bus
+        self.tlb = tlb
+        self.walker_master = BusMaster(f"{core_name}-ptw", kind="cpu",
+                                       secure_capable=True)
+        self.root: int | None = None
+        self.asid: int = 0
+        self.walk_hooks: list[WalkHook] = []
+        self.walk_count = 0
+
+    # -- context management -------------------------------------------------
+
+    def set_context(self, root: int | None, asid: int = 0) -> None:
+        """Switch address space (satp/TTBR write)."""
+        self.root = root
+        self.asid = asid
+
+    def flush_tlb(self, asid: int | None = None) -> None:
+        """Flush the TLB, optionally only entries of one ASID."""
+        if self.tlb is not None:
+            self.tlb.flush(asid)
+
+    # -- translation -----------------------------------------------------------
+
+    def _walk(self, va: int, access: str, secure: bool) -> tuple[int, PageFlags]:
+        """Hardware walk; returns (leaf page paddr, flags) or faults."""
+        assert self.root is not None
+        self.walk_count += 1
+        idx1, idx0 = vpn_split(va)
+        pte1 = self.bus.read_word(
+            self.walker_master, self.root + idx1 * PTE_SIZE, secure=secure)
+        table, flags1 = pte_unpack(pte1)
+        if not flags1 & PageFlags.PRESENT:
+            raise _fault(va, access, "unmapped")
+        if not flags1 & PageFlags.NONLEAF:
+            raise _fault(va, access, "unmapped")
+        pte0 = self.bus.read_word(
+            self.walker_master, table + idx0 * PTE_SIZE, secure=secure)
+        paddr, flags = pte_unpack(pte0)
+        if pte0 == 0:
+            raise _fault(va, access, "unmapped")
+        return paddr, flags
+
+    def _check_leaf(self, va: int, paddr: int, flags: PageFlags, access: str,
+                    privilege: PrivilegeLevel) -> None:
+        """Raise the architecturally correct fault for a bad leaf PTE.
+
+        Faults carry the *word-resolved* physical address (PTE frame bits
+        combined with the VA's page offset) because that is exactly the
+        address the L1 tag match / fill-buffer forwarding uses on
+        L1TF/Meltdown-class cores.
+        """
+        full = paddr | (va & PAGE_MASK)
+        if not flags & PageFlags.PRESENT:
+            # The terminal-fault case: translation aborted, but the stale
+            # physical address remains in the PTE — Foreshadow's foothold.
+            raise _fault(va, access, "not-present", paddr=full, flags=flags)
+        if flags & PageFlags.RESERVED:
+            raise _fault(va, access, "reserved", paddr=full, flags=flags)
+        if privilege == PrivilegeLevel.USER and not flags & PageFlags.USER:
+            # Meltdown's foothold: a privilege fault whose physical address
+            # is fully resolved.
+            raise _fault(va, access, "privilege", paddr=full, flags=flags)
+        if access == "write" and not flags & PageFlags.WRITABLE:
+            raise _fault(va, access, "write-protect", paddr=full, flags=flags)
+        if access == "execute" and not flags & PageFlags.EXECUTE:
+            raise _fault(va, access, "no-execute", paddr=full, flags=flags)
+
+    def translate(self, va: int, access: str,
+                  privilege: PrivilegeLevel = PrivilegeLevel.KERNEL,
+                  secure: bool = False) -> TranslationResult:
+        """Translate ``va`` for ``access``; raise :class:`PageFault` on denial."""
+        if self.root is None:
+            region = self.bus.regions.find(va)
+            cacheable = region.cacheable if region is not None else True
+            return TranslationResult(va, va, PageFlags(0), region, cacheable)
+
+        page_va = va & ~PAGE_MASK
+        entry = self.tlb.lookup(self.asid, page_va) if self.tlb else None
+        if entry is not None:
+            paddr, flags = entry
+        else:
+            paddr, flags = self._walk(va, access, secure)
+            if self.tlb is not None and flags & PageFlags.PRESENT:
+                self.tlb.insert(self.asid, page_va, paddr, flags)
+
+        self._check_leaf(va, paddr, flags, access, privilege)
+        for hook in self.walk_hooks:
+            hook(va, paddr, flags, privilege, secure)
+
+        full_paddr = paddr | (va & PAGE_MASK)
+        region = self.bus.regions.find(full_paddr)
+        cacheable = region.cacheable if region is not None else True
+        return TranslationResult(va, full_paddr, flags, region, cacheable)
+
+    def probe(self, va: int) -> tuple[int, PageFlags] | None:
+        """Walk without permission checks or hooks (debug/tests)."""
+        if self.root is None:
+            return va & ~PAGE_MASK, PageFlags(0)
+        try:
+            return self._walk(va, "read", secure=False)
+        except PageFault:
+            return None
+
+
+def identity_mmu(bus: SystemBus, core_name: str = "core0") -> MMU:
+    """An MMU left disabled (identity translation) — embedded-device default."""
+    return MMU(bus, core_name=core_name, tlb=None)
+
+
+# Re-export for convenience of callers that pattern-match walk parameters.
+__all__ = [
+    "MMU",
+    "TranslationResult",
+    "WalkHook",
+    "identity_mmu",
+    "LEVEL_BITS",
+    "LEVEL_ENTRIES",
+    "PAGE_SHIFT",
+]

@@ -1,0 +1,174 @@
+"""Memory Protection Units for embedded devices (TrustLite / TyTAN class).
+
+Embedded systems in the paper "use primitive access controllers" instead of
+fully-fledged MMUs.  Two are modelled:
+
+* :class:`MPU` — a classic region-register MPU: N (base, size, perms)
+  slots checked against every bus transaction from the CPU.
+* :class:`ExecutionAwareMPU` — TrustLite's EA-MPU: each region's
+  permissions additionally depend on *where the code performing the access
+  executes* (the transaction's program counter).  This is what lets a
+  trustlet's data be readable only by that trustlet's own code.
+
+Both are installed on the :class:`~repro.memory.bus.SystemBus` as access
+controllers, and both support a **lock** — TrustLite locks the EA-MPU after
+the Secure Loader runs so a compromised OS cannot reconfigure it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AccessFault, ConfigurationError, SecurityViolation
+from repro.memory.bus import BusTransaction
+from repro.memory.regions import MemoryRegion, Permissions
+
+
+@dataclass(frozen=True)
+class MPURegion:
+    """One MPU slot.
+
+    ``code_base``/``code_size`` (EA-MPU only) restrict which instruction
+    addresses may exercise ``perms`` on the data range; other code falls
+    back to ``other_perms`` (default: no access).
+    """
+
+    name: str
+    base: int
+    size: int
+    perms: Permissions
+    code_base: int | None = None
+    code_size: int | None = None
+    other_perms: Permissions = field(
+        default_factory=lambda: Permissions(False, False, False))
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigurationError(f"MPU region {self.name!r}: size {self.size}")
+        if (self.code_base is None) != (self.code_size is None):
+            raise ConfigurationError(
+                f"MPU region {self.name!r}: code_base and code_size must be "
+                "set together")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def code_contains(self, pc: int | None) -> bool:
+        """True when ``pc`` is inside this region's owning code range."""
+        if self.code_base is None or self.code_size is None:
+            return True  # not execution-aware: everyone is "owner"
+        if pc is None:
+            return False  # non-CPU master (e.g. DMA) is never the owner
+        return self.code_base <= pc < self.code_base + self.code_size
+
+
+class MPU:
+    """Region-register MPU enforcing permissions on CPU transactions.
+
+    Non-CPU masters (DMA) are *not* checked — faithfully reproducing the
+    gap the paper notes for SMART/TrustLite ("DMA attacks are not part of
+    the attacker model").  Architectures that do filter DMA install a
+    separate controller for it.
+    """
+
+    #: Matches real embedded MPUs (e.g. ARMv7-M supports 8 or 16 regions).
+    def __init__(self, max_regions: int = 16,
+                 default_allow: bool = True) -> None:
+        self.max_regions = max_regions
+        self.default_allow = default_allow
+        self._regions: list[MPURegion] = []
+        self._locked = False
+
+    # -- configuration -----------------------------------------------------
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def lock(self) -> None:
+        """Make the configuration immutable (TrustLite's post-boot state)."""
+        self._locked = True
+
+    def configure(self, region: MPURegion) -> None:
+        """Add a region slot; fails when locked or full."""
+        if self._locked:
+            raise SecurityViolation("MPU is locked; reconfiguration denied")
+        if len(self._regions) >= self.max_regions:
+            raise ConfigurationError(
+                f"MPU supports at most {self.max_regions} regions")
+        if any(existing.name == region.name for existing in self._regions):
+            raise ConfigurationError(f"duplicate MPU region {region.name!r}")
+        self._regions.append(region)
+
+    def remove(self, name: str) -> None:
+        """Remove a region slot by name; fails when locked."""
+        if self._locked:
+            raise SecurityViolation("MPU is locked; reconfiguration denied")
+        before = len(self._regions)
+        self._regions = [r for r in self._regions if r.name != name]
+        if len(self._regions) == before:
+            raise KeyError(name)
+
+    def regions(self) -> list[MPURegion]:
+        """Configured slots (copy)."""
+        return list(self._regions)
+
+    # -- enforcement -------------------------------------------------------
+
+    def _effective_perms(self, region: MPURegion,
+                         txn: BusTransaction) -> Permissions:
+        return region.perms if region.code_contains(txn.pc) \
+            else region.other_perms
+
+    def check(self, txn: BusTransaction,
+              mem_region: MemoryRegion | None) -> None:
+        """Bus access-controller hook."""
+        if txn.master.kind != "cpu":
+            return  # classic MPUs do not see DMA traffic
+        matched = False
+        for region in self._regions:
+            if not region.contains(txn.addr):
+                continue
+            matched = True
+            if self._effective_perms(region, txn).allows(txn.access):
+                return
+        if matched:
+            raise AccessFault(txn.addr, txn.access,
+                              "denied by MPU region policy")
+        if not self.default_allow:
+            raise AccessFault(txn.addr, txn.access,
+                              "no MPU region matches (default-deny)")
+
+
+class ExecutionAwareMPU(MPU):
+    """TrustLite's EA-MPU: convenience constructor for trustlet regions.
+
+    Functionally :class:`MPU` already supports execution-aware slots; this
+    subclass adds the trustlet idiom — pairing a code range with its private
+    data range in one call — and defaults to deny-by-default inside
+    protected ranges.
+    """
+
+    def protect_trustlet(self, name: str, code_base: int, code_size: int,
+                         data_base: int, data_size: int) -> None:
+        """Protect a trustlet: code is execute-only, data owner-only.
+
+        * Anyone may *execute* the trustlet code (that is how it is
+          invoked), but only the trustlet itself may read it (no
+          introspection of embedded secrets).
+        * The data region is readable/writable exclusively by code running
+          from within the trustlet's code range.
+        """
+        self.configure(MPURegion(
+            name=f"{name}-code", base=code_base, size=code_size,
+            perms=Permissions(read=True, write=False, execute=True),
+            code_base=code_base, code_size=code_size,
+            other_perms=Permissions(read=False, write=False, execute=True)))
+        self.configure(MPURegion(
+            name=f"{name}-data", base=data_base, size=data_size,
+            perms=Permissions.rw(),
+            code_base=code_base, code_size=code_size))

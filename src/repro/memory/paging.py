@@ -1,0 +1,245 @@
+"""Radix page tables stored in simulated physical memory.
+
+Page tables live *in* :class:`~repro.memory.phys.PhysicalMemory`, not in a
+Python-side dict, because the paper's sharpest attack — Foreshadow — exists
+precisely because "the OS is in control of all page tables".  An untrusted
+OS in this simulation manipulates translations the same way a real one
+does: by writing page-table entry words into physical memory
+(:meth:`PageTable.update_flags`, or raw writes to :meth:`PageTable.pte_addr`).
+
+Format: 32-bit virtual addresses, 4 KiB pages, two radix levels of 10 bits
+each.  A PTE is one 64-bit word::
+
+    bits 63..12   physical page number << 12
+    bit  8        GLOBAL   (survives ASID-scoped TLB flushes)
+    bit  7        NONLEAF  (points at a second-level table)
+    bit  6        RESERVED (must be zero; set -> terminal fault)
+    bit  5        DIRTY
+    bit  4        ACCESSED
+    bit  3        EXECUTE
+    bit  2        USER
+    bit  1        WRITABLE
+    bit  0        PRESENT
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator
+
+from repro.errors import ConfigurationError, MemoryFault
+from repro.memory.phys import PhysicalMemory
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+LEVEL_BITS = 10
+LEVEL_ENTRIES = 1 << LEVEL_BITS
+PTE_SIZE = 8
+VA_BITS = PAGE_SHIFT + 2 * LEVEL_BITS  # 32
+#: One table = 1024 PTEs x 8 bytes = two page frames.
+TABLE_SIZE = LEVEL_ENTRIES * PTE_SIZE
+TABLE_FRAMES = TABLE_SIZE // PAGE_SIZE
+
+
+class PageFlags(enum.IntFlag):
+    """PTE permission/status bits (see module docstring for layout)."""
+
+    PRESENT = 1 << 0
+    WRITABLE = 1 << 1
+    USER = 1 << 2
+    EXECUTE = 1 << 3
+    ACCESSED = 1 << 4
+    DIRTY = 1 << 5
+    RESERVED = 1 << 6
+    NONLEAF = 1 << 7
+    GLOBAL = 1 << 8
+
+
+_FLAGS_MASK = 0xFFF
+_PPN_MASK = ~_FLAGS_MASK & ((1 << 64) - 1)
+
+
+def pte_pack(paddr: int, flags: PageFlags) -> int:
+    """Encode a PTE word from a (page-aligned) physical address and flags."""
+    if paddr & PAGE_MASK:
+        raise ValueError(f"physical address {paddr:#x} not page-aligned")
+    return (paddr & _PPN_MASK) | int(flags)
+
+
+def pte_unpack(pte: int) -> tuple[int, PageFlags]:
+    """Decode a PTE word into (physical page address, flags)."""
+    return pte & _PPN_MASK, PageFlags(pte & _FLAGS_MASK)
+
+
+def vpn_split(va: int) -> tuple[int, int]:
+    """Split a virtual address into (level-1 index, level-0 index)."""
+    return (va >> (PAGE_SHIFT + LEVEL_BITS)) & (LEVEL_ENTRIES - 1), \
+           (va >> PAGE_SHIFT) & (LEVEL_ENTRIES - 1)
+
+
+class FrameAllocator:
+    """Bump allocator handing out page frames from a physical range."""
+
+    def __init__(self, base: int, frames: int) -> None:
+        if base & PAGE_MASK:
+            raise ConfigurationError(f"allocator base {base:#x} not aligned")
+        self.base = base
+        self.limit = base + frames * PAGE_SIZE
+        self._next = base
+
+    def alloc(self) -> int:
+        """Return the base address of a fresh page frame."""
+        if self._next >= self.limit:
+            raise MemoryFault(self._next, "write", "out of page frames")
+        frame = self._next
+        self._next += PAGE_SIZE
+        return frame
+
+    @property
+    def allocated(self) -> int:
+        """Number of frames handed out so far."""
+        return (self._next - self.base) // PAGE_SIZE
+
+
+class PageTable:
+    """One address space: a two-level radix tree rooted at ``root``.
+
+    This class is the *software* (OS/monitor) view: it reads and writes PTE
+    words directly in physical memory.  The *hardware* view — the page-table
+    walker — lives in :class:`repro.memory.mmu.MMU` and goes through the bus.
+    """
+
+    def __init__(self, memory: PhysicalMemory, allocator: FrameAllocator,
+                 asid: int = 0) -> None:
+        self.memory = memory
+        self.allocator = allocator
+        self.asid = asid
+        self.root = self._alloc_table()
+
+    def _alloc_table(self) -> int:
+        """Allocate one zeroed table (``TABLE_FRAMES`` consecutive frames)."""
+        base = self.allocator.alloc()
+        for i in range(1, TABLE_FRAMES):
+            follow = self.allocator.alloc()
+            if follow != base + i * PAGE_SIZE:
+                raise ConfigurationError(
+                    "frame allocator did not yield consecutive frames "
+                    "for a page table")
+        self.memory.clear_range(base, TABLE_SIZE)
+        return base
+
+    # -- internal ------------------------------------------------------------
+
+    def _l1_pte_addr(self, va: int) -> int:
+        idx1, _ = vpn_split(va)
+        return self.root + idx1 * PTE_SIZE
+
+    def _leaf_table(self, va: int, create: bool) -> int | None:
+        pte = self.memory.read_word(self._l1_pte_addr(va))
+        paddr, flags = pte_unpack(pte)
+        if flags & PageFlags.PRESENT and flags & PageFlags.NONLEAF:
+            return paddr
+        if not create:
+            return None
+        table = self._alloc_table()
+        self.memory.write_word(
+            self._l1_pte_addr(va),
+            pte_pack(table, PageFlags.PRESENT | PageFlags.NONLEAF))
+        return table
+
+    # -- OS-facing API ---------------------------------------------------------
+
+    def pte_addr(self, va: int, create: bool = False) -> int:
+        """Physical address of the *leaf* PTE covering ``va``.
+
+        With ``create=True`` intermediate tables are allocated.  Exposing
+        this address is deliberate: a malicious OS writes here directly to
+        stage Foreshadow (clear PRESENT) or remap pages under an enclave.
+        """
+        table = self._leaf_table(va, create)
+        if table is None:
+            raise MemoryFault(va, "read", "unmapped")
+        _, idx0 = vpn_split(va)
+        return table + idx0 * PTE_SIZE
+
+    def map(self, va: int, pa: int, flags: PageFlags) -> None:
+        """Install a leaf translation ``va -> pa`` with ``flags``."""
+        if va & PAGE_MASK or pa & PAGE_MASK:
+            raise ValueError(f"map({va:#x}, {pa:#x}): addresses must be aligned")
+        if va >> VA_BITS:
+            raise ValueError(f"virtual address {va:#x} exceeds {VA_BITS} bits")
+        addr = self.pte_addr(va, create=True)
+        self.memory.write_word(addr, pte_pack(pa, flags))
+
+    def map_range(self, va: int, pa: int, size: int, flags: PageFlags) -> None:
+        """Map a contiguous range of whole pages."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        pages = (size + PAGE_SIZE - 1) // PAGE_SIZE
+        for i in range(pages):
+            self.map(va + i * PAGE_SIZE, pa + i * PAGE_SIZE, flags)
+
+    def unmap(self, va: int) -> None:
+        """Clear the leaf PTE for ``va`` (no-op if the range was never mapped)."""
+        table = self._leaf_table(va, create=False)
+        if table is None:
+            return
+        _, idx0 = vpn_split(va)
+        self.memory.write_word(table + idx0 * PTE_SIZE, 0)
+
+    def lookup(self, va: int) -> tuple[int, PageFlags] | None:
+        """Raw software walk: (physical page address, flags) or None.
+
+        Performs **no** permission checking — this is the OS reading its own
+        tables, not a hardware translation.
+        """
+        table = self._leaf_table(va, create=False)
+        if table is None:
+            return None
+        _, idx0 = vpn_split(va)
+        pte = self.memory.read_word(table + idx0 * PTE_SIZE)
+        if pte == 0:
+            return None  # empty slot: never mapped, or unmapped
+        paddr, flags = pte_unpack(pte)
+        if flags & PageFlags.NONLEAF:
+            return None
+        return paddr, flags
+
+    def update_flags(self, va: int, *, set_flags: PageFlags = PageFlags(0),
+                     clear_flags: PageFlags = PageFlags(0)) -> PageFlags:
+        """Set/clear flag bits on the leaf PTE for ``va``; returns new flags.
+
+        ``update_flags(va, clear_flags=PageFlags.PRESENT)`` is the exact
+        OS-level primitive Foreshadow/L1TF abuses.
+        """
+        addr = self.pte_addr(va)
+        paddr, flags = pte_unpack(self.memory.read_word(addr))
+        flags = PageFlags((flags | set_flags) & ~clear_flags)
+        self.memory.write_word(addr, pte_pack(paddr, flags))
+        return flags
+
+    def remap(self, va: int, new_pa: int) -> None:
+        """Point the existing leaf PTE for ``va`` at ``new_pa``, keeping flags."""
+        if new_pa & PAGE_MASK:
+            raise ValueError(f"physical address {new_pa:#x} not aligned")
+        addr = self.pte_addr(va)
+        _, flags = pte_unpack(self.memory.read_word(addr))
+        self.memory.write_word(addr, pte_pack(new_pa, flags))
+
+    def mappings(self) -> Iterator[tuple[int, int, PageFlags]]:
+        """Yield every installed leaf mapping as (va, pa, flags)."""
+        for idx1 in range(LEVEL_ENTRIES):
+            pte1 = self.memory.read_word(self.root + idx1 * PTE_SIZE)
+            table, flags1 = pte_unpack(pte1)
+            if not (flags1 & PageFlags.PRESENT and flags1 & PageFlags.NONLEAF):
+                continue
+            for idx0 in range(LEVEL_ENTRIES):
+                pte0 = self.memory.read_word(table + idx0 * PTE_SIZE)
+                if pte0 == 0:
+                    continue
+                paddr, flags0 = pte_unpack(pte0)
+                if flags0 & PageFlags.NONLEAF:
+                    continue
+                va = (idx1 << (PAGE_SHIFT + LEVEL_BITS)) | (idx0 << PAGE_SHIFT)
+                yield va, paddr, flags0

@@ -1,0 +1,181 @@
+"""Named physical memory regions with permissions.
+
+A :class:`RegionMap` describes the SoC's physical address layout (DRAM,
+ROM, device MMIO, enclave page cache, ...).  Architectures consult it when
+configuring bus access control, and tests use it to build realistic
+memory maps compactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Permissions:
+    """Read/write/execute permission triple."""
+
+    read: bool = True
+    write: bool = True
+    execute: bool = False
+
+    @classmethod
+    def rwx(cls) -> "Permissions":
+        return cls(True, True, True)
+
+    @classmethod
+    def rx(cls) -> "Permissions":
+        return cls(True, False, True)
+
+    @classmethod
+    def ro(cls) -> "Permissions":
+        return cls(True, False, False)
+
+    @classmethod
+    def rw(cls) -> "Permissions":
+        return cls(True, True, False)
+
+    def allows(self, access: str) -> bool:
+        """True when this triple permits ``access`` (read/write/execute)."""
+        if access == "read":
+            return self.read
+        if access == "write":
+            return self.write
+        if access == "execute":
+            return self.execute
+        raise ValueError(f"unknown access kind {access!r}")
+
+    def __str__(self) -> str:
+        return ("r" if self.read else "-") + \
+               ("w" if self.write else "-") + \
+               ("x" if self.execute else "-")
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """One contiguous physical region.
+
+    Attributes:
+        name: human-readable identifier (``"dram"``, ``"boot-rom"``...).
+        base: first byte address.
+        size: length in bytes.
+        perms: default permissions.
+        secure: TrustZone-style secure-world-only marking.
+        device: True for MMIO (never cached).
+        cacheable: False forces uncached access even for normal memory —
+            Sanctuary's defence marks enclave memory this way.
+    """
+
+    name: str
+    base: int
+    size: int
+    perms: Permissions = field(default_factory=Permissions.rwx)
+    secure: bool = False
+    device: bool = False
+    cacheable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigurationError(f"region {self.name!r} has size {self.size}")
+        if self.base < 0:
+            raise ConfigurationError(f"region {self.name!r} has base {self.base}")
+
+    @property
+    def end(self) -> int:
+        """First address past the region."""
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        """True when ``addr`` falls in this region."""
+        return self.base <= addr < self.end
+
+    def overlaps(self, other: "MemoryRegion") -> bool:
+        """True when the two regions share any address."""
+        return self.base < other.end and other.base < self.end
+
+    def with_secure(self, secure: bool) -> "MemoryRegion":
+        """Copy of this region with the secure bit changed."""
+        return replace(self, secure=secure)
+
+    def with_cacheable(self, cacheable: bool) -> "MemoryRegion":
+        """Copy of this region with the cacheable bit changed."""
+        return replace(self, cacheable=cacheable)
+
+
+class RegionMap:
+    """An ordered, non-overlapping set of :class:`MemoryRegion`."""
+
+    def __init__(self, regions: list[MemoryRegion] | None = None) -> None:
+        self._regions: list[MemoryRegion] = []
+        for region in regions or []:
+            self.add(region)
+
+    def add(self, region: MemoryRegion) -> None:
+        """Insert a region; rejects overlaps and duplicate names."""
+        for existing in self._regions:
+            if existing.name == region.name:
+                raise ConfigurationError(f"duplicate region name {region.name!r}")
+            if existing.overlaps(region):
+                raise ConfigurationError(
+                    f"region {region.name!r} overlaps {existing.name!r}")
+        self._regions.append(region)
+        self._regions.sort(key=lambda r: r.base)
+
+    def remove(self, name: str) -> MemoryRegion:
+        """Remove and return the region called ``name``."""
+        for i, region in enumerate(self._regions):
+            if region.name == name:
+                return self._regions.pop(i)
+        raise KeyError(name)
+
+    def replace(self, region: MemoryRegion) -> None:
+        """Swap the same-named region for ``region`` (used to retag)."""
+        self.remove(region.name)
+        self.add(region)
+
+    def find(self, addr: int) -> MemoryRegion | None:
+        """Region containing ``addr``, or None."""
+        for region in self._regions:
+            if region.contains(addr):
+                return region
+        return None
+
+    def get(self, name: str) -> MemoryRegion:
+        """Region called ``name``; raises ``KeyError`` if missing."""
+        for region in self._regions:
+            if region.name == name:
+                return region
+        raise KeyError(name)
+
+    def __contains__(self, name: str) -> bool:
+        return any(region.name == name for region in self._regions)
+
+    def __iter__(self) -> Iterator[MemoryRegion]:
+        return iter(self._regions)
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+
+def standard_layout(dram_size: int = 1 << 28) -> RegionMap:
+    """A conventional SoC layout: boot ROM, MMIO window, DRAM.
+
+    ======== =========== ==========================
+    name     base        purpose
+    ======== =========== ==========================
+    boot-rom 0x0000_0000 immutable first-stage code
+    mmio     0x1000_0000 device registers
+    dram     0x8000_0000 main memory
+    ======== =========== ==========================
+    """
+    return RegionMap([
+        MemoryRegion("boot-rom", 0x0000_0000, 0x1_0000,
+                     perms=Permissions.rx(), cacheable=True),
+        MemoryRegion("mmio", 0x1000_0000, 0x100_0000,
+                     perms=Permissions.rw(), device=True, cacheable=False),
+        MemoryRegion("dram", 0x8000_0000, dram_size,
+                     perms=Permissions.rwx()),
+    ])

@@ -1,0 +1,89 @@
+"""ROM write-protection and the SMART-style PC-gated key vault.
+
+SMART's hardware change is tiny and precise: a secret key "can only be
+accessed if the program counter is pointing to the ROM region".
+:class:`KeyVault` is that comparator, installed on the bus as an access
+controller.  :class:`ROMRegion` additionally hard-denies writes into the
+ROM range from *any* master (the region permission check on the bus covers
+CPU stores; this also stops DMA writes into ROM address decoding quirks).
+"""
+
+from __future__ import annotations
+
+from repro.errors import AccessFault
+from repro.memory.bus import BusTransaction
+from repro.memory.phys import PhysicalMemory
+from repro.memory.regions import MemoryRegion
+
+
+class ROMRegion:
+    """Access controller denying every write into ``[base, base+size)``."""
+
+    def __init__(self, base: int, size: int, name: str = "rom") -> None:
+        self.base = base
+        self.size = size
+        self.name = name
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def check(self, txn: BusTransaction, region: MemoryRegion | None) -> None:
+        """Bus hook: ROM is immutable after manufacturing."""
+        if txn.access != "write":
+            return
+        if txn.addr < self.end and self.base < txn.end:
+            raise AccessFault(txn.addr, "write", f"{self.name} is read-only")
+
+
+class KeyVault:
+    """A secret key readable only by code executing inside a gate range.
+
+    The key is provisioned directly into physical memory at construction
+    (the manufacturing step).  At run time the vault compares each read's
+    program counter against the gate: only instruction addresses inside
+    ``[gate_base, gate_base+gate_size)`` — SMART's ROM-resident attestation
+    routine — may read the key bytes.  Writes are always denied.
+
+    The gate can be widened/narrowed for ablation (ABL-2): removing the
+    gate entirely is the "what if the key were plain memory" lesion.
+    """
+
+    def __init__(self, memory: PhysicalMemory, key_base: int, key: bytes,
+                 gate_base: int, gate_size: int, name: str = "keyvault") -> None:
+        if not key:
+            raise ValueError("key must be non-empty")
+        self.key_base = key_base
+        self.key_size = len(key)
+        self.gate_base = gate_base
+        self.gate_size = gate_size
+        self.name = name
+        self.enabled = True
+        self.denied_reads = 0
+        memory.write_bytes(key_base, key)
+
+    @property
+    def key_end(self) -> int:
+        return self.key_base + self.key_size
+
+    def _pc_gated(self, pc: int | None) -> bool:
+        if pc is None:
+            return False
+        return self.gate_base <= pc < self.gate_base + self.gate_size
+
+    def check(self, txn: BusTransaction, region: MemoryRegion | None) -> None:
+        """Bus hook: enforce the PC gate over the key bytes."""
+        overlaps = txn.addr < self.key_end and self.key_base < txn.end
+        if not overlaps:
+            return
+        if txn.access == "write":
+            raise AccessFault(txn.addr, "write",
+                              f"{self.name}: key region is immutable")
+        if not self.enabled:
+            return  # ablated vault: key readable by anyone
+        if txn.master.kind != "cpu" or not self._pc_gated(txn.pc):
+            self.denied_reads += 1
+            raise AccessFault(
+                txn.addr, "read",
+                f"{self.name}: key readable only from gated code "
+                f"[{self.gate_base:#x}, {self.gate_base + self.gate_size:#x})")

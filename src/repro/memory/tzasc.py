@@ -1,0 +1,116 @@
+"""TrustZone Address Space Controller (TZASC) and world state.
+
+TrustZone tags every bus transaction with an NS ("non-secure") bit.  The
+TZASC partitions physical memory into secure and non-secure windows and
+rejects non-secure transactions into secure windows.  It also implements
+the paper's observation that TrustZone provides "DMA access control by
+temporarily assigning memory regions exclusively to SoC components": a
+region can be *claimed* for a single named master, locking out everyone
+else until it is released.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import World
+from repro.errors import AccessFault, ConfigurationError, SecurityViolation
+from repro.memory.bus import BusTransaction
+from repro.memory.regions import MemoryRegion
+
+
+@dataclass
+class WorldState:
+    """Tracks the current world of each core (set by the monitor)."""
+
+    def __init__(self) -> None:
+        self._worlds: dict[str, World] = {}
+
+    def world_of(self, core_name: str) -> World:
+        return self._worlds.get(core_name, World.NORMAL)
+
+    def set_world(self, core_name: str, world: World) -> None:
+        self._worlds[core_name] = world
+
+
+@dataclass(frozen=True)
+class SecureWindow:
+    """One TZASC region descriptor."""
+
+    name: str
+    base: int
+    size: int
+    secure_only: bool = True
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains_range(self, start: int, end: int) -> bool:
+        return start < self.end and self.base < end
+
+
+class TrustZoneAddressSpaceController:
+    """Bus access controller enforcing secure/non-secure partitioning."""
+
+    def __init__(self) -> None:
+        self._windows: list[SecureWindow] = []
+        self._claims: dict[str, str] = {}  # window name -> master name
+        self._locked = False
+
+    # -- configuration (monitor-only in a real system) -----------------------
+
+    def lock(self) -> None:
+        """Prevent further window changes (set once secure boot completes)."""
+        self._locked = True
+
+    def add_window(self, window: SecureWindow) -> None:
+        """Declare a secure window."""
+        if self._locked:
+            raise SecurityViolation("TZASC locked; reconfiguration denied")
+        if any(w.name == window.name for w in self._windows):
+            raise ConfigurationError(f"duplicate TZASC window {window.name!r}")
+        self._windows.append(window)
+
+    def windows(self) -> list[SecureWindow]:
+        return list(self._windows)
+
+    # -- exclusive claims (DMA access control) -------------------------------
+
+    def claim(self, window_name: str, master_name: str) -> None:
+        """Assign a window exclusively to one master (e.g. the GPU)."""
+        if not any(w.name == window_name for w in self._windows):
+            raise KeyError(window_name)
+        holder = self._claims.get(window_name)
+        if holder is not None and holder != master_name:
+            raise SecurityViolation(
+                f"window {window_name!r} already claimed by {holder!r}")
+        self._claims[window_name] = master_name
+
+    def release(self, window_name: str, master_name: str) -> None:
+        """Release a previously claimed window."""
+        if self._claims.get(window_name) != master_name:
+            raise SecurityViolation(
+                f"{master_name!r} does not hold window {window_name!r}")
+        del self._claims[window_name]
+
+    def holder(self, window_name: str) -> str | None:
+        return self._claims.get(window_name)
+
+    # -- enforcement -------------------------------------------------------
+
+    def check(self, txn: BusTransaction,
+              region: MemoryRegion | None) -> None:
+        """Bus access-controller hook."""
+        for window in self._windows:
+            if not window.contains_range(txn.addr, txn.end):
+                continue
+            holder = self._claims.get(window.name)
+            if holder is not None and txn.master.name != holder:
+                raise AccessFault(
+                    txn.addr, txn.access,
+                    f"window {window.name!r} exclusively claimed by {holder!r}")
+            if window.secure_only and not txn.secure:
+                raise AccessFault(
+                    txn.addr, txn.access,
+                    f"non-secure access into secure window {window.name!r}")

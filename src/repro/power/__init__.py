@@ -1,0 +1,27 @@
+"""Physical side-channel signal simulation (power / EM traces).
+
+The standard SCA-research leakage abstraction: each key-dependent
+intermediate byte produces one trace sample, ``L(v) = scale * HW(v) +
+N(0, sigma)``.  DPA/CPA mathematics are identical on simulated and
+oscilloscope-measured traces; what the simulation removes is only the
+lab equipment, which is exactly the substitution DESIGN.md documents.
+"""
+
+from repro.power.leakage import (
+    HammingDistanceModel,
+    HammingWeightModel,
+    IdentityModel,
+    hamming_weight,
+)
+from repro.power.trace import TraceSet
+from repro.power.instrument import PowerInstrument, capture_aes_traces
+
+__all__ = [
+    "HammingDistanceModel",
+    "HammingWeightModel",
+    "IdentityModel",
+    "PowerInstrument",
+    "TraceSet",
+    "capture_aes_traces",
+    "hamming_weight",
+]

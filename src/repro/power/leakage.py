@@ -1,0 +1,72 @@
+"""Leakage models mapping intermediate values to analogue samples."""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.crypto.rng import XorShiftRNG
+
+
+def hamming_weight(value: int) -> int:
+    """Number of set bits."""
+    return bin(value).count("1")
+
+
+class LeakageModel(Protocol):
+    """Maps a processed value to one side-channel sample."""
+
+    def leak(self, value: int) -> float:
+        """Analogue sample for processing ``value``."""
+
+
+class HammingWeightModel:
+    """``scale * HW(v) + N(0, noise_std)`` — the CMOS power workhorse.
+
+    ``scale`` and ``noise_std`` set the signal-to-noise ratio; the DPA
+    bench sweeps ``noise_std`` to show trace-count requirements growing
+    with noise (the "hiding" countermeasure in its amplitude form).
+    """
+
+    def __init__(self, scale: float = 1.0, noise_std: float = 0.5,
+                 rng: XorShiftRNG | None = None) -> None:
+        self.scale = scale
+        self.noise_std = noise_std
+        self.rng = rng or XorShiftRNG(0xA11CE)
+
+    def leak(self, value: int) -> float:
+        sample = self.scale * hamming_weight(value)
+        if self.noise_std > 0:
+            sample += self.rng.gauss(0.0, self.noise_std)
+        return sample
+
+
+class HammingDistanceModel:
+    """``scale * HW(v ^ previous) + noise`` — register-update leakage.
+
+    Models a bus/register whose power draw tracks toggled bits.  Keeps the
+    previous value internally; call :meth:`reset` between traces.
+    """
+
+    def __init__(self, scale: float = 1.0, noise_std: float = 0.5,
+                 rng: XorShiftRNG | None = None) -> None:
+        self.scale = scale
+        self.noise_std = noise_std
+        self.rng = rng or XorShiftRNG(0xB0B)
+        self._previous = 0
+
+    def reset(self, value: int = 0) -> None:
+        self._previous = value
+
+    def leak(self, value: int) -> float:
+        sample = self.scale * hamming_weight(value ^ self._previous)
+        self._previous = value
+        if self.noise_std > 0:
+            sample += self.rng.gauss(0.0, self.noise_std)
+        return sample
+
+
+class IdentityModel:
+    """Noise-free value leakage — the oracle used in sanity tests."""
+
+    def leak(self, value: int) -> float:
+        return float(value)

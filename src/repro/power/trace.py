@@ -1,0 +1,67 @@
+"""Trace storage: aligned power/EM samples with their plaintexts."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class TraceSet:
+    """``n`` traces of ``m`` aligned samples plus per-trace metadata.
+
+    Backing arrays are numpy so the correlation analyses in
+    :mod:`repro.attacks.dpa` vectorise.
+    """
+
+    def __init__(self, num_samples: int) -> None:
+        if num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        self.num_samples = num_samples
+        self._samples: list[np.ndarray] = []
+        self._plaintexts: list[bytes] = []
+        self._ciphertexts: list[bytes] = []
+
+    def add(self, samples: list[float], plaintext: bytes,
+            ciphertext: bytes) -> None:
+        """Append one trace; sample count must match the set geometry."""
+        if len(samples) != self.num_samples:
+            raise ValueError(
+                f"trace has {len(samples)} samples, expected {self.num_samples}")
+        self._samples.append(np.asarray(samples, dtype=np.float64))
+        self._plaintexts.append(plaintext)
+        self._ciphertexts.append(ciphertext)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> np.ndarray:
+        """(n_traces, n_samples) matrix."""
+        if not self._samples:
+            return np.empty((0, self.num_samples))
+        return np.vstack(self._samples)
+
+    @property
+    def plaintexts(self) -> list[bytes]:
+        return list(self._plaintexts)
+
+    @property
+    def ciphertexts(self) -> list[bytes]:
+        return list(self._ciphertexts)
+
+    def plaintext_bytes(self, index: int) -> np.ndarray:
+        """Column vector of plaintext byte ``index`` across traces."""
+        return np.array([pt[index] for pt in self._plaintexts], dtype=np.int64)
+
+    def ciphertext_bytes(self, index: int) -> np.ndarray:
+        """Column vector of ciphertext byte ``index`` across traces."""
+        return np.array([ct[index] for ct in self._ciphertexts], dtype=np.int64)
+
+    def subset(self, count: int) -> "TraceSet":
+        """First ``count`` traces as a new set (trace-count sweeps)."""
+        if count > len(self):
+            raise ValueError(f"only {len(self)} traces available")
+        out = TraceSet(self.num_samples)
+        out._samples = self._samples[:count]
+        out._plaintexts = self._plaintexts[:count]
+        out._ciphertexts = self._ciphertexts[:count]
+        return out

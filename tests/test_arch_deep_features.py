@@ -1,0 +1,131 @@
+"""Deep architecture capabilities: Sancus modules, SGX local attestation."""
+
+import pytest
+
+from repro.arch import SGX, Sancus
+from repro.attacks.base import AttackerProcess
+from repro.cpu import make_embedded_soc, make_server_soc
+from repro.errors import AccessFault, EnclaveError
+
+
+class TestSancusModules:
+    @pytest.fixture
+    def sancus(self, embedded_soc):
+        return Sancus(embedded_soc)
+
+    def test_module_data_roundtrip(self, sancus):
+        module = sancus.create_enclave("sensor-driver")
+        sancus.enclave_write(module, 0, 0x5EC2E7)
+        assert sancus.enclave_read(module, 0) == 0x5EC2E7
+
+    def test_module_data_isolated_from_os(self, sancus):
+        module = sancus.create_enclave("sensor-driver")
+        sancus.enclave_write(module, 0, 1)
+        attacker = AttackerProcess(sancus, core_id=0)
+        ok, _ = attacker.try_read(module.paddr)
+        assert not ok
+
+    def test_modules_mutually_isolated(self, sancus):
+        a = sancus.create_enclave("a")
+        b = sancus.create_enclave("b")
+        sancus.enclave_write(b, 0, 42)
+        core = sancus.soc.cores[0]
+        with pytest.raises(AccessFault, match="module text"):
+            core.execute_firmware(a.metadata["text_base"] + 0x10,
+                                  lambda c: c.read_mem(b.paddr))
+
+    def test_no_configuration_interface_exists(self, sancus):
+        """The zero-software-TCB property: nothing like lock()/configure()
+        is exposed for software to abuse."""
+        assert not hasattr(sancus.access_logic, "configure")
+        assert not hasattr(sancus.access_logic, "remove")
+        assert not hasattr(sancus.access_logic, "lock")
+
+    def test_module_key_bound_to_identity(self, sancus):
+        a = sancus.create_enclave("app")
+        key_a = a.metadata["module_key"]
+        # Tamper with the module text: the derived identity (and thus the
+        # key a provider would derive) no longer matches.
+        sancus.soc.memory.write_byte(a.metadata["text_base"] + 8, 0xFF)
+        new_identity = sancus.engine.measure(a.metadata["text_base"], 64)
+        assert new_identity != a.measurement
+        assert sancus.engine.derive_module_key(
+            sancus.provider_id, new_identity) != key_a
+
+    def test_module_attestation_verifies_with_derived_key(self, sancus):
+        module = sancus.create_enclave("app")
+        nonce = b"n" * 16
+        report = sancus.attest(module, nonce)
+        provider_key = sancus.module_key_for_verifier(module)
+        assert report.verify(provider_key)
+        assert report.measurement == module.measurement
+
+    def test_other_modules_key_rejects_report(self, sancus):
+        a = sancus.create_enclave("a")
+        b = sancus.create_enclave("b")
+        report = sancus.attest(a, b"n" * 16)
+        assert not report.verify(sancus.module_key_for_verifier(b))
+
+    def test_node_attestation_still_available(self, sancus):
+        sancus.soc.memory.write_bytes(0x8000_4000, b"firmware")
+        report = sancus.attest_region(0x8000_4000, 64, b"n" * 16)
+        assert report.verify(sancus.shared_key_for_verifier())
+
+    def test_dma_still_out_of_threat_model(self, sancus):
+        module = sancus.create_enclave("app")
+        sancus.enclave_write(module, 0, 0xBEEF)
+        engine = sancus.soc.add_dma_engine("evil")
+        assert engine.read(module.paddr, 2) == b"\xef\xbe"
+
+
+class TestSGXLocalAttestation:
+    @pytest.fixture
+    def sgx(self, server_soc):
+        return SGX(server_soc)
+
+    def test_target_verifies_report_about_source(self, sgx):
+        a = sgx.create_enclave("service-a")
+        b = sgx.create_enclave("service-b", core_id=1)
+        nonce = b"n" * 16
+        report = sgx.local_attest(a, b, nonce)
+        sgx.enter_enclave(b)
+        try:
+            key = sgx.egetkey(b)
+        finally:
+            sgx.exit_enclave(b)
+        assert report.verify(key)
+        assert report.measurement == a.measurement
+
+    def test_third_enclave_cannot_verify(self, sgx):
+        a = sgx.create_enclave("a")
+        b = sgx.create_enclave("b", core_id=1)
+        c = sgx.create_enclave("c", core_id=2)
+        report = sgx.local_attest(a, b, b"n" * 16)
+        sgx.enter_enclave(c)
+        try:
+            key_c = sgx.egetkey(c)
+        finally:
+            sgx.exit_enclave(c)
+        assert not report.verify(key_c)
+
+    def test_egetkey_only_inside_enclave_context(self, sgx):
+        a = sgx.create_enclave("a")
+        with pytest.raises(EnclaveError, match="EGETKEY"):
+            sgx.egetkey(a)  # no enclave is executing
+
+    def test_egetkey_not_for_other_enclave(self, sgx):
+        a = sgx.create_enclave("a")
+        b = sgx.create_enclave("b", core_id=0)
+        sgx.enter_enclave(a)
+        try:
+            with pytest.raises(EnclaveError):
+                sgx.egetkey(b)
+        finally:
+            sgx.exit_enclave(a)
+
+    def test_uninitialised_enclaves_rejected(self, sgx):
+        from repro.arch.base import EnclaveHandle
+        a = sgx.create_enclave("a")
+        ghost = EnclaveHandle(99, "ghost", 0, 0, 4096, 0, "d")
+        with pytest.raises(EnclaveError):
+            sgx.local_attest(a, ghost, b"n" * 16)

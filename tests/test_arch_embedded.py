@@ -1,0 +1,206 @@
+"""Embedded architectures: SMART, Sancus, TrustLite, TyTAN."""
+
+import pytest
+
+from repro.arch import SMART, Sancus, TrustLite, TyTAN
+from repro.arch.smart import KEY_ADDR, KEY_SIZE, SCRATCH_ADDR
+from repro.attacks.base import AttackerProcess
+from repro.cpu import make_embedded_soc
+from repro.errors import EnclaveError, SecurityViolation
+
+REGION = 0x8000_4000
+NONCE = b"fresh-nonce-0001"
+
+
+class TestSMARTAttestation:
+    @pytest.fixture
+    def smart(self, embedded_soc):
+        return SMART(embedded_soc)
+
+    def test_attest_and_verify(self, smart):
+        smart.soc.memory.write_bytes(REGION, b"application image v1")
+        report = smart.attest_region(REGION, 64, NONCE)
+        assert SMART.verify_report(
+            smart.shared_key_for_verifier(), report,
+            smart.expected_measurement(REGION, 64), NONCE)
+
+    def test_modified_code_detected(self, smart):
+        smart.soc.memory.write_bytes(REGION, b"application image v1")
+        expected = smart.expected_measurement(REGION, 64)
+        smart.soc.memory.write_bytes(REGION, b"TROJANED image    v1")
+        report = smart.attest_region(REGION, 64, NONCE)
+        assert not SMART.verify_report(
+            smart.shared_key_for_verifier(), report, expected, NONCE)
+
+    def test_report_written_to_ram(self, smart):
+        from repro.attestation.report import AttestationReport
+        smart.attest_region(REGION, 64, NONCE, report_addr=0x8000_E000)
+        packed = smart.soc.memory.read_bytes(0x8000_E000, 256)
+        report = AttestationReport.unpack(packed)
+        assert report.verify(smart.shared_key_for_verifier())
+
+    def test_key_unreadable_by_normal_code(self, smart):
+        attacker = AttackerProcess(smart, core_id=0)
+        ok, _ = attacker.try_read(KEY_ADDR)
+        assert not ok
+
+    def test_scratch_cleaned_after_attest(self, smart):
+        smart.attest_region(REGION, 64, NONCE)
+        scratch = smart.soc.memory.read_bytes(SCRATCH_ADDR, KEY_SIZE)
+        assert scratch == bytes(KEY_SIZE)
+
+    def test_scratch_left_dirty_without_cleanup(self, embedded_soc):
+        smart = SMART(embedded_soc, cleanup=False)
+        smart.attest_region(REGION, 64, NONCE)
+        scratch = smart.soc.memory.read_bytes(SCRATCH_ADDR, KEY_SIZE)
+        assert scratch == smart.shared_key_for_verifier()
+
+    def test_interrupts_deferred_during_attest(self, smart):
+        core = smart.soc.cores[0]
+        fired_during = []
+        core.pend_interrupt(
+            lambda c: fired_during.append(
+                smart.soc.memory.read_bytes(SCRATCH_ADDR, 8)))
+        smart.attest_region(REGION, 1024, NONCE)
+        # The ISR only ran after cleanup: it saw zeroed scratch.
+        assert fired_during == [bytes(8)]
+
+    def test_no_isolation(self, smart):
+        with pytest.raises(EnclaveError):
+            smart.create_enclave("x")
+        assert not smart.features().code_isolation
+        assert not smart.features().realtime_capable
+
+
+class TestSancus:
+    @pytest.fixture
+    def sancus(self, embedded_soc):
+        return Sancus(embedded_soc)
+
+    def test_attest_and_verify(self, sancus):
+        sancus.soc.memory.write_bytes(REGION, b"node firmware")
+        report = sancus.attest_region(REGION, 64, NONCE)
+        assert report.measurement == sancus.expected_measurement(REGION, 64)
+        assert report.verify(sancus.shared_key_for_verifier())
+
+    def test_key_has_no_address(self, sancus):
+        # Nothing at any bus address holds the key: the whole DRAM and
+        # ROM contain no 32-byte window equal to it.
+        key = sancus.shared_key_for_verifier()
+        dram = sancus.soc.regions.get("dram")
+        blob = sancus.soc.memory.read_bytes(dram.base, 1 << 16)
+        assert key not in blob
+
+    def test_zero_software_tcb(self, sancus):
+        assert sancus.features().software_tcb == "none"
+        assert sancus.features().realtime_capable
+
+    def test_engine_reads_via_bus(self, sancus):
+        before = sancus.soc.bus.transaction_count
+        sancus.attest_region(REGION, 64, NONCE)
+        assert sancus.soc.bus.transaction_count > before
+
+
+class TestTrustLite:
+    @pytest.fixture
+    def trustlite(self, embedded_soc):
+        return TrustLite(embedded_soc)
+
+    def test_trustlet_data_isolated(self, trustlite):
+        handle = trustlite.create_enclave("wallet")
+        trustlite.finish_boot()
+        trustlite.enclave_write(handle, 0, 0x5EC2E7)
+        assert trustlite.enclave_read(handle, 0) == 0x5EC2E7
+        attacker = AttackerProcess(trustlite, core_id=0)
+        ok, _ = attacker.try_read(handle.paddr)
+        assert not ok
+
+    def test_no_trustlets_after_boot(self, trustlite):
+        trustlite.create_enclave("a")
+        trustlite.finish_boot()
+        with pytest.raises(SecurityViolation, match="locked"):
+            trustlite.create_enclave("late")
+
+    def test_two_trustlets_mutually_isolated(self, trustlite):
+        a = trustlite.create_enclave("a")
+        b = trustlite.create_enclave("b")
+        trustlite.finish_boot()
+        trustlite.enclave_write(a, 0, 1)
+        trustlite.enclave_write(b, 0, 2)
+        # Reading b's data from a's code region must fail.
+        core = trustlite.soc.cores[0]
+        from repro.errors import AccessFault
+        with pytest.raises(AccessFault):
+            core.execute_firmware(a.metadata["code_base"] + 0x10,
+                                  lambda c: c.read_mem(b.paddr))
+
+    def test_dma_not_in_threat_model(self, trustlite):
+        handle = trustlite.create_enclave("wallet")
+        trustlite.finish_boot()
+        trustlite.enclave_write(handle, 0, 0xBEEF)
+        engine = trustlite.soc.add_dma_engine("evil")
+        # The EA-MPU never sees DMA: the read sails through.
+        assert engine.read(handle.paddr, 2) == b"\xef\xbe"
+
+    def test_attestation(self, trustlite):
+        from repro.attestation.protocol import RemoteVerifier
+        handle = trustlite.create_enclave("a")
+        verifier = RemoteVerifier(trustlite.attestation_key_for_verifier)
+        verifier.trust_measurement(handle.measurement)
+        nonce = verifier.challenge()
+        assert verifier.verify(trustlite.attest(handle, nonce)).accepted
+
+
+class TestTyTAN:
+    @pytest.fixture
+    def tytan(self, embedded_soc):
+        return TyTAN(embedded_soc)
+
+    def test_secure_boot_gate(self, tytan):
+        tytan.create_enclave("rt-task")
+        expected = tytan.boot_aggregate.value
+        tytan.expect_boot_state(expected)
+        tytan.finish_boot()  # matches: boots
+
+    def test_secure_boot_rejects_wrong_state(self, embedded_soc):
+        tytan = TyTAN(embedded_soc)
+        tytan.expect_boot_state(b"\xAB" * 32)
+        tytan.create_enclave("rt-task")
+        with pytest.raises(SecurityViolation, match="secure boot"):
+            tytan.finish_boot()
+
+    def test_seal_unseal_roundtrip(self, tytan):
+        tytan.create_enclave("a")
+        package = tytan.seal(b"persistent secret")
+        assert tytan.unseal(package) == b"persistent secret"
+
+    def test_unseal_fails_after_boot_change(self, tytan):
+        package = tytan.seal(b"persistent secret")
+        tytan.create_enclave("new-trustlet")  # boot state changed
+        with pytest.raises(SecurityViolation, match="unseal"):
+            tytan.unseal(package)
+
+    def test_unseal_detects_tamper(self, tytan):
+        package = bytearray(tytan.seal(b"secret"))
+        package[6] ^= 1
+        with pytest.raises(SecurityViolation):
+            tytan.unseal(bytes(package))
+
+    def test_realtime_capable_unlike_smart(self, tytan, embedded_soc):
+        assert tytan.features().realtime_capable
+
+    def test_interruptible_trustlet_stays_protected(self, tytan):
+        handle = tytan.create_enclave("rt")
+        tytan.finish_boot()
+        tytan.enclave_write(handle, 0, 0x111)
+        core = tytan.soc.cores[0]
+        leaked = []
+
+        def isr(c):
+            attacker = AttackerProcess(tytan, core_id=0)
+            leaked.append(attacker.try_read(handle.paddr)[0])
+
+        core.pend_interrupt(isr)
+        assert tytan.enclave_read(handle, 0) == 0x111
+        core.poll_interrupts()
+        assert leaked == [False]  # interrupt ran, data stayed protected

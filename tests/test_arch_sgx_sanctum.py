@@ -1,0 +1,250 @@
+"""SGX and Sanctum architecture models."""
+
+import pytest
+
+from repro.arch import SGX, Sanctum
+from repro.arch.base import AES_KEY_OFFSET
+from repro.attacks.base import AttackerProcess
+from repro.attestation.protocol import RemoteVerifier
+from repro.errors import AccessFault, EnclaveError
+from repro.memory.paging import PAGE_SIZE, PageFlags
+from tests.conftest import AES_KEY2
+
+
+@pytest.fixture
+def sgx(server_soc):
+    return SGX(server_soc)
+
+
+@pytest.fixture
+def sanctum(server_soc):
+    return Sanctum(server_soc)
+
+
+class TestSGXEnclaves:
+    def test_enclave_readback(self, sgx):
+        handle = sgx.create_enclave("e1")
+        sgx.enter_enclave(handle)
+        try:
+            sgx.enclave_write(handle, 0x100, 0xDEAD)
+            assert sgx.enclave_read(handle, 0x100) == 0xDEAD
+        finally:
+            sgx.exit_enclave(handle)
+
+    def test_multiple_enclaves(self, sgx):
+        a = sgx.create_enclave("a")
+        b = sgx.create_enclave("b")
+        assert a.domain != b.domain
+        assert a.paddr != b.paddr
+
+    def test_epc_holds_ciphertext(self, sgx):
+        handle = sgx.create_enclave("e1")
+        sgx.enter_enclave(handle)
+        try:
+            sgx.enclave_write(handle, 0, 0x1122334455667788)
+        finally:
+            sgx.exit_enclave(handle)
+        raw = sgx.soc.memory.read_word(handle.paddr)
+        assert raw != 0x1122334455667788
+
+    def test_os_cpu_read_of_epc_denied(self, sgx):
+        handle = sgx.create_enclave("e1")
+        attacker = AttackerProcess(sgx, core_id=0)
+        ok, _ = attacker.try_read(handle.paddr)
+        assert not ok
+
+    def test_other_enclave_cannot_read(self, sgx):
+        a = sgx.create_enclave("a")
+        b = sgx.create_enclave("b", core_id=0)
+        sgx.enter_enclave(a)
+        try:
+            sgx.enclave_write(a, 0, 42)
+        finally:
+            sgx.exit_enclave(a)
+        sgx.enter_enclave(b)
+        try:
+            # b's VA window maps only b's pages; reading a's physical
+            # page through b's context hits the EPC owner check.
+            core = sgx.soc.cores[0]
+            with pytest.raises(AccessFault):
+                sgx.soc.bus.read_word(core.master, a.paddr)
+        finally:
+            sgx.exit_enclave(b)
+
+    def test_dma_into_epc_aborted(self, sgx):
+        handle = sgx.create_enclave("e1")
+        engine = sgx.soc.add_dma_engine("evil")
+        with pytest.raises(AccessFault):
+            engine.read(handle.paddr, 16)
+
+    def test_offset_bounds(self, sgx):
+        handle = sgx.create_enclave("e1", size=PAGE_SIZE)
+        with pytest.raises(EnclaveError):
+            sgx.enclave_read(handle, handle.size)
+
+    def test_destroy_releases_ownership(self, sgx):
+        handle = sgx.create_enclave("e1")
+        page = handle.paddr
+        sgx.destroy_enclave(handle)
+        assert page not in sgx.epc_owner
+
+
+class TestSGXAttestation:
+    def test_report_verifies(self, sgx):
+        handle = sgx.create_enclave("e1")
+        verifier = RemoteVerifier(sgx.attestation_key_for_verifier)
+        verifier.trust_measurement(handle.measurement)
+        nonce = verifier.challenge()
+        report = sgx.attest(handle, nonce)
+        assert verifier.verify(report).accepted
+
+    def test_forged_report_rejected(self, sgx):
+        handle = sgx.create_enclave("e1")
+        verifier = RemoteVerifier(sgx.attestation_key_for_verifier)
+        nonce = verifier.challenge()
+        from repro.attestation.report import AttestationReport
+        forged = AttestationReport.create(b"wrong-key" * 4,
+                                          handle.measurement, nonce)
+        assert not verifier.verify(forged).accepted
+
+
+class TestSGXPageSwap:
+    def test_swap_roundtrip_preserves_data(self, sgx):
+        handle = sgx.create_enclave("e1")
+        sgx.enter_enclave(handle)
+        try:
+            sgx.enclave_write(handle, 0x40, 0xCAFE)
+        finally:
+            sgx.exit_enclave(handle)
+        sgx.swap_out(handle, 0)
+        sgx.swap_in(handle, 0)
+        sgx.enter_enclave(handle)
+        try:
+            assert sgx.enclave_read(handle, 0x40) == 0xCAFE
+        finally:
+            sgx.exit_enclave(handle)
+
+    def test_swapped_out_page_unmapped(self, sgx):
+        handle = sgx.create_enclave("e1")
+        sgx.swap_out(handle, 0)
+        entry = sgx.os_page_table.lookup(handle.base)
+        assert not entry[1] & PageFlags.PRESENT
+        sgx.swap_in(handle, 0)
+
+    def test_swap_in_loads_plaintext_into_l1(self, sgx):
+        """The Foreshadow precondition, verified directly."""
+        handle = sgx.create_enclave("e1")
+        sgx.enter_enclave(handle)
+        try:
+            sgx.enclave_write(handle, 0, 0xFEED)
+        finally:
+            sgx.exit_enclave(handle)
+        sgx.swap_out(handle, 0)
+        sgx.soc.hierarchy.flush_all()
+        sgx.swap_in(handle, 0)
+        new_paddr = sgx.os_page_table.lookup(handle.base)[0]
+        assert sgx.soc.hierarchy.present_in_l1(handle.core_id, new_paddr)
+
+    def test_swap_errors(self, sgx):
+        handle = sgx.create_enclave("e1")
+        with pytest.raises(EnclaveError):
+            sgx.swap_out(handle, 0x40)  # unaligned
+        with pytest.raises(EnclaveError):
+            sgx.swap_in(handle, 0)  # not swapped out
+
+
+class TestSanctum:
+    def test_enclave_readback(self, sanctum):
+        handle = sanctum.create_enclave("e1")
+        sanctum.enter_enclave(handle)
+        try:
+            sanctum.enclave_write(handle, 0x80, 77)
+            assert sanctum.enclave_read(handle, 0x80) == 77
+        finally:
+            sanctum.exit_enclave(handle)
+
+    def test_no_memory_encryption(self, sanctum):
+        handle = sanctum.create_enclave("e1")
+        sanctum.enter_enclave(handle)
+        try:
+            sanctum.enclave_write(handle, 0, 0x11223344)
+        finally:
+            sanctum.exit_enclave(handle)
+        # A physical probe of DRAM sees plaintext (contrast with SGX).
+        assert sanctum.soc.memory.read_word(handle.paddr) == 0x11223344
+
+    def test_enclave_frames_have_reserved_color(self, sanctum):
+        from repro.cache.partition import color_of
+        handle = sanctum.create_enclave("e1")
+        llc = sanctum.soc.hierarchy.l2
+        for frame in handle.metadata["frames"]:
+            assert color_of(frame, llc.num_sets, llc.line_size) \
+                in sanctum.enclave_colors
+
+    def test_attacker_pages_never_enclave_colored(self, sanctum):
+        from repro.cache.partition import color_of
+        llc = sanctum.soc.hierarchy.l2
+        for _ in range(64):
+            page = sanctum.alloc_attacker_page()
+            assert color_of(page, llc.num_sets, llc.line_size) \
+                not in sanctum.enclave_colors
+
+    def test_walker_blocks_foreign_mapping(self, sanctum):
+        handle = sanctum.create_enclave("e1")
+        assert not sanctum.attacker_can_map(handle.paddr)
+        assert sanctum.attacker_can_map(sanctum.alloc_attacker_page())
+
+    def test_dma_filter_blocks_enclave(self, sanctum):
+        handle = sanctum.create_enclave("e1")
+        engine = sanctum.soc.add_dma_engine("evil")
+        with pytest.raises(AccessFault, match="whitelist"):
+            engine.read(handle.paddr, 16)
+
+    def test_dma_window_usable(self, sanctum):
+        engine = sanctum.soc.add_dma_engine("nic")
+        engine.write(sanctum.dma_window_base, b"netdata!")
+        assert engine.read(sanctum.dma_window_base, 8) == b"netdata!"
+
+    def test_l1_flushed_on_switch(self, sanctum):
+        handle = sanctum.create_enclave("e1")
+        sanctum.enter_enclave(handle)
+        try:
+            sanctum.enclave_read(handle, 0)
+            assert sanctum.soc.hierarchy.present_in_l1(0, handle.paddr)
+        finally:
+            sanctum.exit_enclave(handle)
+        assert not sanctum.soc.hierarchy.present_in_l1(0, handle.paddr)
+
+    def test_destroy_scrubs_memory(self, sanctum):
+        handle = sanctum.create_enclave("e1")
+        sanctum.enter_enclave(handle)
+        try:
+            sanctum.enclave_write(handle, 0, 0x5EC2E7)
+        finally:
+            sanctum.exit_enclave(handle)
+        paddr = handle.paddr
+        sanctum.destroy_enclave(handle)
+        assert sanctum.soc.memory.read_word(paddr) == 0
+
+    def test_attestation(self, sanctum):
+        handle = sanctum.create_enclave("e1")
+        verifier = RemoteVerifier(sanctum.attestation_key_for_verifier)
+        verifier.trust_measurement(handle.measurement)
+        nonce = verifier.challenge()
+        assert verifier.verify(sanctum.attest(handle, nonce)).accepted
+
+
+class TestFeatureContrast:
+    """The Section 3.1 comparison, asserted."""
+
+    def test_sgx_vs_sanctum(self, server_soc):
+        sgx_features = SGX(server_soc).features()
+        from repro.cpu import make_server_soc
+        sanctum_features = Sanctum(make_server_soc()).features()
+        assert sgx_features.memory_encryption
+        assert not sanctum_features.memory_encryption
+        assert not sgx_features.llc_partitioning
+        assert sanctum_features.llc_partitioning
+        assert sgx_features.dma_protection == "mee-abort"
+        assert sanctum_features.dma_protection == "mc-filter"
+        assert "monitor" in sanctum_features.software_tcb

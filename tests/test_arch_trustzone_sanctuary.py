@@ -1,0 +1,170 @@
+"""TrustZone and Sanctuary architecture models."""
+
+import pytest
+
+from repro.arch import Sanctuary, TrustZone
+from repro.attacks.base import AttackerProcess
+from repro.common import World
+from repro.errors import AccessFault, EnclaveError, SecurityViolation
+
+
+@pytest.fixture
+def tz(mobile_soc):
+    return TrustZone(mobile_soc)
+
+
+@pytest.fixture
+def sanctuary(mobile_soc):
+    return Sanctuary(mobile_soc)
+
+
+class TestSecureBoot:
+    def test_verified_image_boots(self, tz):
+        image = b"secure os v1"
+        assert tz.provision_secure_image(image, tz.sign_image(image))
+        assert tz.secure_boot_ok
+
+    def test_tampered_image_rejected(self, tz):
+        image = b"secure os v1"
+        signature = tz.sign_image(image)
+        with pytest.raises(SecurityViolation, match="secure boot"):
+            tz.provision_secure_image(b"evil os v1", signature)
+        assert not tz.secure_boot_ok
+
+    def test_smc_refused_before_boot(self, tz):
+        with pytest.raises(SecurityViolation, match="verified boot"):
+            tz.smc(0, to_secure=True)
+
+    def test_boot_measurement_covers_image(self, tz):
+        image = b"secure os v1"
+        tz.provision_secure_image(image, tz.sign_image(image))
+        a = tz.boot_measurement()
+        tz.secure_boot_ok = False
+        tz.provision_secure_image(b"secure os v2",
+                                  tz.sign_image(b"secure os v2"))
+        assert tz.boot_measurement() != a
+
+
+class TestWorlds:
+    def test_single_enclave_limit(self, tz):
+        tz.create_enclave("secure-app")
+        with pytest.raises(EnclaveError, match="single enclave"):
+            tz.create_enclave("another")
+
+    def test_secure_world_memory_protected_from_normal(self, tz):
+        handle = tz.create_enclave("app")
+        tz.enter_enclave(handle)
+        try:
+            tz.enclave_write(handle, 0, 0x5EC2E7)
+        finally:
+            tz.exit_enclave(handle)
+        attacker = AttackerProcess(tz, core_id=1)
+        ok, _ = attacker.try_read(handle.paddr)
+        assert not ok
+
+    def test_secure_world_readback(self, tz):
+        handle = tz.create_enclave("app")
+        tz.enter_enclave(handle)
+        try:
+            tz.enclave_write(handle, 8, 99)
+            assert tz.enclave_read(handle, 8) == 99
+        finally:
+            tz.exit_enclave(handle)
+
+    def test_world_switch_tracked(self, tz):
+        handle = tz.create_enclave("app")
+        tz.enter_enclave(handle)
+        assert tz.soc.cores[0].world is World.SECURE
+        tz.exit_enclave(handle)
+        assert tz.soc.cores[0].world is World.NORMAL
+
+    def test_dma_into_secure_world_denied(self, tz):
+        handle = tz.create_enclave("app")
+        engine = tz.soc.add_dma_engine("evil")
+        with pytest.raises(AccessFault):
+            engine.read(handle.paddr, 16)
+
+
+class TestPeripheralChannels:
+    def test_claimed_window_exclusive(self, tz):
+        tz.create_enclave("app")
+        base = tz.soc.regions.get("dram").base + 0x500_0000
+        tz.secure_channel("touchscreen", "touch-buf", base, 0x1000)
+        attacker = AttackerProcess(tz, core_id=1)
+        ok, _ = attacker.try_read(base)
+        assert not ok
+
+    def test_features_advertise_channel(self, tz):
+        assert tz.features().peripheral_secure_channel
+
+
+class TestSanctuaryEnclaves:
+    def test_multiple_enclaves_unlike_trustzone(self, sanctuary):
+        a = sanctuary.create_enclave("a", core_id=0)
+        b = sanctuary.create_enclave("b", core_id=1)
+        assert a.enclave_id != b.enclave_id
+
+    def test_core_dedicated_to_one_enclave(self, sanctuary):
+        sanctuary.create_enclave("a", core_id=1)
+        with pytest.raises(EnclaveError, match="already dedicated"):
+            sanctuary.create_enclave("b", core_id=1)
+
+    def test_other_core_cannot_read_enclave(self, sanctuary):
+        handle = sanctuary.create_enclave("a", core_id=0)
+        sanctuary.enter_enclave(handle)
+        try:
+            sanctuary.enclave_write(handle, 0, 1)
+        finally:
+            sanctuary.exit_enclave(handle)
+        attacker = AttackerProcess(sanctuary, core_id=1)
+        ok, _ = attacker.try_read(handle.paddr)
+        assert not ok
+
+    def test_dma_cannot_read_enclave(self, sanctuary):
+        handle = sanctuary.create_enclave("a", core_id=0)
+        engine = sanctuary.soc.add_dma_engine("evil")
+        with pytest.raises(AccessFault, match="claimed"):
+            engine.read(handle.paddr, 16)
+
+    def test_enclave_memory_never_in_llc(self, sanctuary):
+        handle = sanctuary.create_enclave("a", core_id=1)
+        sanctuary.enter_enclave(handle)
+        try:
+            sanctuary.enclave_write(handle, 0, 42)
+            sanctuary.enclave_read(handle, 0)
+        finally:
+            sanctuary.exit_enclave(handle)
+        assert not sanctuary.soc.hierarchy.present_in_llc(handle.paddr)
+
+    def test_l1_flushed_on_exit(self, sanctuary):
+        handle = sanctuary.create_enclave("a", core_id=1)
+        sanctuary.enter_enclave(handle)
+        sanctuary.enclave_read(handle, 0)
+        sanctuary.exit_enclave(handle)
+        assert not sanctuary.soc.hierarchy.present_in_l1(1, handle.paddr)
+
+    def test_destroy_scrubs_and_frees_core(self, sanctuary):
+        handle = sanctuary.create_enclave("a", core_id=1)
+        sanctuary.enter_enclave(handle)
+        try:
+            sanctuary.enclave_write(handle, 0, 0xAA)
+        finally:
+            sanctuary.exit_enclave(handle)
+        paddr = handle.paddr
+        sanctuary.destroy_enclave(handle)
+        assert sanctuary.soc.memory.read_word(paddr) == 0
+        sanctuary.create_enclave("b", core_id=1)  # core reusable
+
+    def test_attestation_from_secure_world_primitive(self, sanctuary):
+        from repro.attestation.protocol import RemoteVerifier
+        handle = sanctuary.create_enclave("a")
+        verifier = RemoteVerifier(sanctuary.attestation_key_for_verifier)
+        verifier.trust_measurement(handle.measurement)
+        nonce = verifier.challenge()
+        assert verifier.verify(sanctuary.attest(handle, nonce)).accepted
+
+    def test_no_new_hardware_required(self, sanctuary):
+        features = sanctuary.features()
+        assert not features.requires_new_hardware
+        assert features.enclave_count == "N"
+        assert features.cache_exclusion

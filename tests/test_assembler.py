@@ -1,0 +1,134 @@
+"""Assembler: syntax, labels, error reporting, round trips."""
+
+import pytest
+
+from repro.isa import AssemblyError, assemble
+from repro.isa.instructions import INSTR_SIZE, InstrKind
+
+
+class TestBasicSyntax:
+    def test_empty_program(self):
+        prog = assemble("")
+        assert len(prog) == 0
+
+    def test_single_instruction(self):
+        prog = assemble("nop")
+        assert len(prog) == 1
+        assert prog.instructions[0].kind is InstrKind.NOP
+
+    def test_comments_ignored(self):
+        prog = assemble("""
+        # full line comment
+        nop       # trailing comment
+        halt      ; semicolon comment
+        """)
+        assert len(prog) == 2
+
+    def test_hex_and_negative_immediates(self):
+        prog = assemble("li r1, 0x1000\naddi r2, r1, -4")
+        assert prog.instructions[0].imm == 0x1000
+        assert prog.instructions[1].imm == -4
+
+    def test_memory_operand_forms(self):
+        prog = assemble("load r1, 8(r2)\nload r3, (r4)\nstore r5, 0x10(r6)")
+        assert prog.instructions[0].imm == 8
+        assert prog.instructions[1].imm == 0
+        assert prog.instructions[2].imm == 0x10
+
+    def test_register_aliases(self):
+        prog = assemble("li sp, 1\nli lr, 2\nli zero, 3")
+        assert prog.instructions[0].rd == 14
+        assert prog.instructions[1].rd == 15
+        assert prog.instructions[2].rd == 0
+
+    def test_case_insensitive_mnemonics(self):
+        prog = assemble("NOP\nHaLt")
+        assert prog.instructions[0].kind is InstrKind.NOP
+        assert prog.instructions[1].kind is InstrKind.HALT
+
+
+class TestLabels:
+    def test_forward_reference(self):
+        prog = assemble("""
+        start:
+            jmp end
+            nop
+        end:
+            halt
+        """)
+        assert prog.address_of("end") == prog.base + 2 * INSTR_SIZE
+        assert prog.target_of(prog.instructions[0]) \
+            == prog.address_of("end")
+
+    def test_label_on_same_line_as_instruction(self):
+        prog = assemble("loop: jmp loop")
+        assert prog.address_of("loop") == prog.base
+
+    def test_multiple_labels_same_address(self):
+        prog = assemble("a:\nb:\n  halt")
+        assert prog.address_of("a") == prog.address_of("b")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble("x:\nnop\nx:\nnop")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblyError, match="undefined"):
+            assemble("jmp nowhere")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("frobnicate r1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="expects"):
+            assemble("add r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError, match="bad register"):
+            assemble("li r99, 1")
+
+    def test_bad_immediate(self):
+        with pytest.raises(AssemblyError, match="bad immediate"):
+            assemble("li r1, banana")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError) as excinfo:
+            assemble("nop\nnop\nbadop")
+        assert excinfo.value.lineno == 3
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(ValueError):
+            assemble("nop", base=0x1001)
+
+
+class TestRoundTrip:
+    def test_print_then_reassemble(self):
+        source = """
+        entry:
+            li   r1, 128
+            bge  r2, r1, out
+            load r3, 8(r1)
+            store r3, 16(r1)
+            flush 0(r1)
+            fence
+            jal  entry
+            ret
+        out:
+            halt
+        """
+        prog = assemble(source)
+        printed = []
+        for i, instr in enumerate(prog.instructions):
+            addr = prog.base + i * INSTR_SIZE
+            for label, laddr in prog.labels.items():
+                if laddr == addr:
+                    printed.append(f"{label}:")
+            printed.append("    " + str(instr))
+        reassembled = assemble("\n".join(printed), base=prog.base)
+        assert len(reassembled) == len(prog)
+        for a, b in zip(prog.instructions, reassembled.instructions):
+            assert a.kind == b.kind
+            assert (a.rd, a.rs1, a.rs2) == (b.rd, b.rs1, b.rs2)

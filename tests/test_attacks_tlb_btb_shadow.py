@@ -1,0 +1,89 @@
+"""TLB-contention and branch-shadowing side channels."""
+
+import pytest
+
+from repro.attacks.tlb_btb import BranchShadowingAttack, TLBContentionAttack
+from repro.cache.btb import BranchTargetBuffer
+from repro.cache.tlb import TLB
+from repro.crypto.rng import XorShiftRNG
+from repro.memory.paging import PAGE_SIZE, PageFlags
+
+SECRET_BITS = [1, 0, 1, 1, 0, 0, 1, 0]
+
+
+def _make_tlb_victim(tlb, asid=1):
+    """Secret-dependent page access through a shared TLB."""
+    # Two victim pages landing in different TLB sets.
+    page0 = 0x100_0000
+    page1 = 0x100_0000 + PAGE_SIZE
+
+    def step(bit):
+        page = page1 if bit else page0
+        tlb.lookup(asid, page)
+        tlb.insert(asid, page, page, PageFlags.PRESENT)
+
+    return (page0, page1), step
+
+
+class TestTLBContention:
+    def test_recovers_secret_bits(self):
+        tlb = TLB(num_sets=8, ways=2)
+        pages, step = _make_tlb_victim(tlb)
+        attack = TLBContentionAttack(tlb, pages, step,
+                                     rng=XorShiftRNG(1), rounds=16)
+        result = attack.run(SECRET_BITS)
+        assert result.success
+        assert result.leaked == SECRET_BITS
+
+    def test_no_signal_without_victim_activity(self):
+        tlb = TLB(num_sets=8, ways=2)
+        pages, _ = _make_tlb_victim(tlb)
+        attack = TLBContentionAttack(tlb, pages, lambda bit: None,
+                                     rng=XorShiftRNG(1), rounds=8)
+        result = attack.run(SECRET_BITS)
+        assert result.score < 0.9
+
+    def test_partitioned_tlb_defeats_attack(self):
+        """Separate (unshared) TLBs: the victim's activity is invisible."""
+        victim_tlb = TLB(num_sets=8, ways=2)
+        attacker_tlb = TLB(num_sets=8, ways=2)
+        pages, step = _make_tlb_victim(victim_tlb)
+        attack = TLBContentionAttack(attacker_tlb, pages, step,
+                                     rng=XorShiftRNG(1), rounds=8)
+        result = attack.run(SECRET_BITS)
+        assert not result.success
+
+
+def _make_branch_victim(btb, branch_pc, asid=1):
+    def step(bit):
+        # A taken branch deposits a BTB entry; not-taken does not.
+        if bit:
+            btb.update(branch_pc, branch_pc + 0x40, asid=asid)
+
+    return step
+
+
+class TestBranchShadowing:
+    def test_recovers_branch_directions(self):
+        btb = BranchTargetBuffer(tag_with_asid=False)
+        victim_pc = 0x8000_2010
+        step = _make_branch_victim(btb, victim_pc)
+        attack = BranchShadowingAttack(btb, victim_pc, step)
+        result = attack.run(SECRET_BITS)
+        assert result.success
+        assert result.leaked == SECRET_BITS
+
+    def test_asid_tagging_defeats_shadowing(self):
+        btb = BranchTargetBuffer(tag_with_asid=True)
+        victim_pc = 0x8000_2010
+        step = _make_branch_victim(btb, victim_pc)
+        attack = BranchShadowingAttack(btb, victim_pc, step)
+        result = attack.run(SECRET_BITS)
+        assert not result.success
+
+    def test_shadow_pc_in_attacker_space(self):
+        btb = BranchTargetBuffer()
+        attack = BranchShadowingAttack(btb, 0x8000_2010,
+                                       lambda bit: None,
+                                       attacker_base=0x4000_0000)
+        assert attack.shadow_pc >= 0x4000_0000

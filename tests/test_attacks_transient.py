@@ -1,0 +1,137 @@
+"""Transient-execution attacks: Spectre v1/v2, Meltdown, Foreshadow."""
+
+import pytest
+
+from repro.arch import SGX
+from repro.attacks.foreshadow import ForeshadowAttack
+from repro.attacks.meltdown import MeltdownAttack
+from repro.attacks.spectre import SpectreBTBAttack, SpectreV1Attack
+from repro.common import PlatformClass
+from repro.cpu import (
+    SoC,
+    SoCConfig,
+    SpeculativeConfig,
+    make_embedded_soc,
+    make_server_soc,
+)
+from repro.cpu.predictor import PredictorConfig
+from tests.conftest import AES_KEY2
+
+SECRET = b"XK3!"
+
+
+def _soc(**spec_kwargs):
+    speculative = spec_kwargs.pop("speculative", True)
+    return SoC(SoCConfig(name="t", platform=PlatformClass.SERVER_DESKTOP,
+                         num_cores=2, speculative=speculative,
+                         spec=SpeculativeConfig(**spec_kwargs)))
+
+
+class TestSpectreV1:
+    def test_leaks_on_speculative_core(self):
+        result = SpectreV1Attack(_soc(), SECRET).run()
+        assert result.success
+        assert result.leaked == SECRET
+
+    def test_fence_mitigation(self):
+        result = SpectreV1Attack(_soc(), SECRET, with_fence=True).run()
+        assert not result.success
+        assert result.score == 0.0
+
+    def test_in_order_core_immune(self):
+        result = SpectreV1Attack(make_embedded_soc(), SECRET).run()
+        assert not result.success
+
+    def test_zero_window_immune(self):
+        result = SpectreV1Attack(_soc(transient_window=0), SECRET).run()
+        assert not result.success
+
+
+class TestSpectreV2:
+    def test_cross_address_space_injection(self):
+        result = SpectreBTBAttack(_soc(), SECRET).run()
+        assert result.success
+        assert result.leaked == SECRET
+
+    def test_btb_tagging_mitigation(self):
+        soc = _soc(predictor=PredictorConfig(btb_tag_with_asid=True))
+        result = SpectreBTBAttack(soc, SECRET).run()
+        assert not result.success
+
+    def test_in_order_core_immune(self):
+        result = SpectreBTBAttack(make_embedded_soc(), SECRET).run()
+        assert not result.success
+        assert "blocked" in result.details
+
+
+class TestMeltdown:
+    def test_reads_kernel_memory(self):
+        result = MeltdownAttack(_soc(), SECRET).run()
+        assert result.success
+        assert result.leaked == SECRET
+
+    def test_kpti_mitigation(self):
+        result = MeltdownAttack(_soc(), SECRET, kpti=True).run()
+        assert not result.success
+
+    def test_fault_at_issue_hardware_fix(self):
+        result = MeltdownAttack(_soc(fault_at_retirement=False),
+                                SECRET).run()
+        assert not result.success
+
+    def test_in_order_core_immune(self):
+        result = MeltdownAttack(make_embedded_soc(), SECRET).run()
+        assert not result.success
+
+
+class TestForeshadow:
+    def _sgx_with_victim(self, **spec_kwargs):
+        soc = _soc(**spec_kwargs) if spec_kwargs else make_server_soc()
+        sgx = SGX(soc)
+        victim = sgx.deploy_aes_victim(AES_KEY2)
+        return sgx, victim
+
+    def test_extracts_enclave_key(self):
+        sgx, victim = self._sgx_with_victim()
+        result = ForeshadowAttack(sgx, victim.handle).run()
+        assert result.success
+        assert result.leaked == AES_KEY2
+
+    def test_l1_flush_countermeasure(self):
+        sgx, victim = self._sgx_with_victim()
+        result = ForeshadowAttack(sgx, victim.handle,
+                                  flush_l1_before_attack=True).run()
+        assert not result.success
+
+    def test_hardware_fix(self):
+        sgx, victim = self._sgx_with_victim(l1tf_forwarding=False)
+        result = ForeshadowAttack(sgx, victim.handle).run()
+        assert not result.success
+
+    def test_without_swap_oracle_needs_resident_secret(self):
+        """If the enclave just ran, its key is in L1 even without swap."""
+        sgx, victim = self._sgx_with_victim()
+        victim.encrypt(bytes(16))  # key transits L1
+        result = ForeshadowAttack(sgx, victim.handle,
+                                  use_swap_oracle=False).run()
+        assert result.success
+
+    def test_cold_l1_leaks_nothing(self):
+        sgx, victim = self._sgx_with_victim()
+        # No enclave run, no swap: L1 never held the key.
+        sgx.soc.hierarchy.flush_all()
+        result = ForeshadowAttack(sgx, victim.handle,
+                                  use_swap_oracle=False).run()
+        assert not result.success
+
+    def test_mapping_restored_after_attack(self):
+        from repro.memory.paging import PageFlags
+        sgx, victim = self._sgx_with_victim()
+        ForeshadowAttack(sgx, victim.handle).run()
+        page_va = victim.handle.base + 0x1000
+        _, flags = sgx.os_page_table.lookup(page_va)
+        assert flags & PageFlags.PRESENT
+        # And the enclave still works.
+        from repro.crypto.aes import AES128
+        assert victim.encrypt(bytes(16)) == \
+            AES128(AES_KEY2).encrypt_block(bytes(16))

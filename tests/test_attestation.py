@@ -1,0 +1,140 @@
+"""Measurements, reports, and the remote-attestation protocol."""
+
+import pytest
+
+from repro.attestation.measure import Measurement, measure_memory
+from repro.attestation.protocol import RemoteVerifier, VerificationResult
+from repro.attestation.report import AttestationReport
+from repro.errors import AttestationError
+
+KEY = b"shared-device-key-32-bytes-....."
+
+
+class TestMeasurement:
+    def test_measure_memory_deterministic(self, memory):
+        memory.write_bytes(0x1000, b"firmware image")
+        a = measure_memory(memory, 0x1000, 32)
+        b = measure_memory(memory, 0x1000, 32)
+        assert a == b
+
+    def test_measure_detects_change(self, memory):
+        memory.write_bytes(0x1000, b"firmware image")
+        before = measure_memory(memory, 0x1000, 32)
+        memory.write_byte(0x1005, 0xFF)
+        assert measure_memory(memory, 0x1000, 32) != before
+
+    def test_measure_size_validated(self, memory):
+        with pytest.raises(ValueError):
+            measure_memory(memory, 0, 0)
+
+    def test_extend_order_matters(self):
+        a = Measurement()
+        a.extend(b"one")
+        a.extend(b"two")
+        b = Measurement()
+        b.extend(b"two")
+        b.extend(b"one")
+        assert a.value != b.value
+
+    def test_extend_log(self):
+        m = Measurement()
+        m.extend(b"x", label="stage1")
+        m.extend(b"y")
+        assert m.log[0] == "stage1"
+        assert len(m.log) == 2
+
+    def test_matches(self):
+        m = Measurement()
+        value = m.extend(b"evidence")
+        assert m.matches(value)
+        assert not m.matches(b"\x00" * 32)
+
+
+class TestAttestationReport:
+    def _report(self, **kwargs):
+        defaults = dict(key=KEY, measurement=b"M" * 32, nonce=b"N" * 16,
+                        params=b"app", dest_addr=0x8000_2000)
+        defaults.update(kwargs)
+        return AttestationReport.create(**defaults)
+
+    def test_verify_accepts_authentic(self):
+        assert self._report().verify(KEY)
+
+    def test_verify_rejects_wrong_key(self):
+        assert not self._report().verify(b"x" * 32)
+
+    def test_tampered_measurement_rejected(self):
+        report = self._report()
+        forged = AttestationReport(b"F" * 32, report.nonce, report.params,
+                                   report.dest_addr, report.mac)
+        assert not forged.verify(KEY)
+
+    def test_tampered_dest_rejected(self):
+        report = self._report()
+        forged = AttestationReport(report.measurement, report.nonce,
+                                   report.params, 0xBAD, report.mac)
+        assert not forged.verify(KEY)
+
+    def test_pack_unpack_roundtrip(self):
+        report = self._report()
+        unpacked = AttestationReport.unpack(report.pack())
+        assert unpacked == report
+        assert unpacked.verify(KEY)
+
+    def test_unpack_rejects_garbage(self):
+        with pytest.raises(AttestationError):
+            AttestationReport.unpack(b"not a report")
+
+    def test_unpack_rejects_truncation(self):
+        packed = self._report().pack()
+        with pytest.raises(AttestationError):
+            AttestationReport.unpack(packed[:10])
+
+
+class TestRemoteVerifier:
+    @pytest.fixture
+    def verifier(self):
+        v = RemoteVerifier(KEY)
+        v.trust_measurement(b"M" * 32)
+        return v
+
+    def _respond(self, nonce, measurement=b"M" * 32, key=KEY):
+        return AttestationReport.create(key, measurement, nonce)
+
+    def test_fresh_report_accepted(self, verifier):
+        nonce = verifier.challenge()
+        assert verifier.verify(self._respond(nonce)).accepted
+        assert verifier.accepted == 1
+
+    def test_replay_rejected(self, verifier):
+        nonce = verifier.challenge()
+        report = self._respond(nonce)
+        assert verifier.verify(report).accepted
+        assert verifier.verify(report) is VerificationResult.REPLAYED
+
+    def test_unknown_nonce_rejected(self, verifier):
+        report = self._respond(b"\x00" * 16)
+        assert verifier.verify(report) is VerificationResult.UNKNOWN_NONCE
+
+    def test_bad_mac_rejected(self, verifier):
+        nonce = verifier.challenge()
+        report = self._respond(nonce, key=b"wrong" * 7)
+        assert verifier.verify(report) is VerificationResult.BAD_MAC
+
+    def test_wrong_measurement_rejected_nonce_reusable(self, verifier):
+        nonce = verifier.challenge()
+        bad = self._respond(nonce, measurement=b"X" * 32)
+        assert verifier.verify(bad) is VerificationResult.WRONG_MEASUREMENT
+        # The device may retry with the correct code.
+        good = self._respond(nonce)
+        assert verifier.verify(good).accepted
+
+    def test_no_whitelist_accepts_any_measurement(self):
+        verifier = RemoteVerifier(KEY)
+        nonce = verifier.challenge()
+        report = self._respond(nonce, measurement=b"Z" * 32)
+        assert verifier.verify(report).accepted
+
+    def test_nonces_unique(self, verifier):
+        nonces = {verifier.challenge() for _ in range(50)}
+        assert len(nonces) == 50

@@ -1,0 +1,137 @@
+"""System bus: routing, access control, transforms, snooping."""
+
+import pytest
+
+from repro.errors import AccessFault, ConfigurationError, MemoryFault
+from repro.memory.bus import BusMaster, BusTransaction, SystemBus
+from repro.memory.regions import MemoryRegion
+
+CPU = BusMaster("core0", kind="cpu", secure_capable=True)
+DMA = BusMaster("nic", kind="dma")
+
+
+class TestBasicTransfer:
+    def test_word_roundtrip(self, bus):
+        bus.write_word(CPU, 0x8000_0000, 0xFEEDFACE)
+        assert bus.read_word(CPU, 0x8000_0000) == 0xFEEDFACE
+
+    def test_raw_bytes(self, bus):
+        txn = BusTransaction(CPU, 0x8000_0100, "write", 4)
+        bus.write(txn, b"abcd")
+        read = BusTransaction(CPU, 0x8000_0100, "read", 4)
+        assert bus.read(read) == b"abcd"
+
+    def test_access_kind_validated(self, bus):
+        with pytest.raises(ValueError):
+            bus.read(BusTransaction(CPU, 0x8000_0000, "write", 8))
+        with pytest.raises(ValueError):
+            bus.write(BusTransaction(CPU, 0x8000_0000, "read", 8), b"x" * 8)
+
+    def test_payload_size_checked(self, bus):
+        txn = BusTransaction(CPU, 0x8000_0000, "write", 8)
+        with pytest.raises(ValueError):
+            bus.write(txn, b"short")
+
+    def test_rom_region_rejects_writes(self, bus):
+        with pytest.raises(AccessFault, match="read-only"):
+            bus.write_word(CPU, 0x100, 1)
+
+    def test_transaction_counting(self, bus):
+        before = bus.transaction_count
+        bus.read_word(CPU, 0x8000_0000)
+        bus.read_word(DMA, 0x8000_0000)
+        assert bus.transaction_count == before + 2
+
+
+class _DenyDMA:
+    def check(self, txn, region):
+        if txn.master.kind == "dma":
+            raise AccessFault(txn.addr, txn.access, "dma denied")
+
+
+class TestAccessControl:
+    def test_controller_vetoes(self, bus):
+        bus.add_controller("nodma", _DenyDMA())
+        bus.read_word(CPU, 0x8000_0000)  # CPU unaffected
+        with pytest.raises(AccessFault):
+            bus.read_word(DMA, 0x8000_0000)
+        assert bus.denied_count == 1
+
+    def test_controller_ordering_and_names(self, bus):
+        bus.add_controller("a", _DenyDMA())
+        bus.add_controller("b", _DenyDMA())
+        assert bus.controller_names() == ["a", "b"]
+
+    def test_duplicate_controller_rejected(self, bus):
+        bus.add_controller("x", _DenyDMA())
+        with pytest.raises(ConfigurationError):
+            bus.add_controller("x", _DenyDMA())
+
+    def test_remove_controller(self, bus):
+        bus.add_controller("x", _DenyDMA())
+        bus.remove_controller("x")
+        bus.read_word(DMA, 0x8000_0000)  # now admitted
+        with pytest.raises(KeyError):
+            bus.remove_controller("x")
+
+
+class _XorTransform:
+    def on_write(self, txn, data):
+        return bytes(b ^ 0x5A for b in data)
+
+    def on_read(self, txn, data):
+        return bytes(b ^ 0x5A for b in data)
+
+
+class TestTransforms:
+    def test_transform_roundtrip_transparent_to_cpu(self, bus, memory):
+        bus.add_transform("xor", _XorTransform())
+        bus.write_word(CPU, 0x8000_0000, 0x1122334455667788)
+        assert bus.read_word(CPU, 0x8000_0000) == 0x1122334455667788
+        # But the stored bytes are scrambled (ciphertext at rest).
+        raw = memory.read_word(0x8000_0000)
+        assert raw != 0x1122334455667788
+
+    def test_duplicate_transform_rejected(self, bus):
+        bus.add_transform("xor", _XorTransform())
+        with pytest.raises(ConfigurationError):
+            bus.add_transform("xor", _XorTransform())
+
+
+class TestSnoopers:
+    def test_snooper_sees_all_transactions(self, bus):
+        seen = []
+        bus.add_snooper(lambda txn: seen.append((txn.master.name,
+                                                 txn.addr, txn.access)))
+        bus.write_word(CPU, 0x8000_0000, 1)
+        bus.read_word(DMA, 0x8000_0008)
+        assert ("core0", 0x8000_0000, "write") in seen
+        assert ("nic", 0x8000_0008, "read") in seen
+
+
+class TestDevices:
+    class _Scratch:
+        def __init__(self):
+            self.store = {}
+
+        def mmio_read(self, offset, size):
+            return bytes(self.store.get(offset + i, 0) for i in range(size))
+
+        def mmio_write(self, offset, data):
+            for i, b in enumerate(data):
+                self.store[offset + i] = b
+
+    def test_device_mapped_over_mmio(self, bus):
+        device = self._Scratch()
+        bus.attach_device("mmio", device)
+        bus.write_word(CPU, 0x1000_0000, 0xAB)
+        assert device.store[0] == 0xAB
+        assert bus.read_word(CPU, 0x1000_0000) == 0xAB
+
+    def test_device_region_must_be_device(self, bus):
+        with pytest.raises(ConfigurationError):
+            bus.attach_device("dram", self._Scratch())
+
+    def test_unmapped_device_read_faults(self, bus):
+        with pytest.raises(MemoryFault, match="no device"):
+            bus.read_word(CPU, 0x1000_0000)

@@ -1,0 +1,46 @@
+"""CLI entry point and table rendering."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.comparison import render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bbbb"], [["xxxx", "y"]])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].index("|") == lines[2].index("|")
+
+    def test_handles_non_strings(self):
+        text = render_table(["n"], [[42], [3.5]])
+        assert "42" in text and "3.5" in text
+
+    def test_empty_rows(self):
+        text = render_table(["only", "headers"], [])
+        assert "only" in text
+
+
+class TestCLI:
+    def test_advisor_command(self, capsys):
+        assert main(["advisor"]) == 0
+        out = capsys.readouterr().out
+        assert "sanctum" in out
+        assert "sanctuary" in out
+
+    def test_architectures_command(self, capsys):
+        assert main(["architectures"]) == 0
+        out = capsys.readouterr().out
+        assert "sgx" in out and "tytan" in out
+        assert "LLC partitioning" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_figure1_command(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "remote attacks" in out
+        assert "agreement" in out

@@ -1,0 +1,310 @@
+"""In-order core: execution semantics, traps, interrupts, firmware mode."""
+
+import pytest
+
+from repro.common import PrivilegeLevel
+from repro.cpu.core import CSR_CYCLE, CSR_EPC, Core, CoreConfig
+from repro.cpu.exceptions import Trap, TrapCause
+from repro.isa import assemble
+
+DRAM = 0x8000_0000
+
+
+def _run(embedded_soc, source, entry=None, max_steps=10_000, regs=None):
+    core = embedded_soc.cores[0]
+    prog = assemble(source, base=DRAM + 0x1000)
+    core.load_program(prog, entry=entry)
+    for reg, value in (regs or {}).items():
+        core.set_reg(reg, value)
+    core.run(max_steps=max_steps)
+    return core
+
+
+class TestALU:
+    def test_arithmetic_program(self, embedded_soc):
+        core = _run(embedded_soc, """
+            li r1, 6
+            li r2, 7
+            mul r3, r1, r2
+            addi r4, r3, 1
+            sub r5, r4, r1
+            halt
+        """)
+        assert core.get_reg(3) == 42
+        assert core.get_reg(4) == 43
+        assert core.get_reg(5) == 37
+
+    def test_logic_and_shifts(self, embedded_soc):
+        core = _run(embedded_soc, """
+            li r1, 0xF0
+            li r2, 0x0F
+            or r3, r1, r2
+            and r4, r1, r2
+            xor r5, r1, r2
+            li r6, 4
+            shl r7, r2, r6
+            shr r8, r1, r6
+            halt
+        """)
+        assert core.get_reg(3) == 0xFF
+        assert core.get_reg(4) == 0
+        assert core.get_reg(5) == 0xFF
+        assert core.get_reg(7) == 0xF0
+        assert core.get_reg(8) == 0x0F
+
+    def test_r0_hardwired_zero(self, embedded_soc):
+        core = _run(embedded_soc, "li r0, 99\nadd r1, r0, r0\nhalt")
+        assert core.get_reg(0) == 0
+        assert core.get_reg(1) == 0
+
+    def test_wraparound_64bit(self, embedded_soc):
+        core = _run(embedded_soc, """
+            li r1, -1
+            addi r2, r1, 2
+            halt
+        """)
+        assert core.get_reg(2) == 1
+
+
+class TestMemoryOps:
+    def test_load_store(self, embedded_soc):
+        core = _run(embedded_soc, f"""
+            li r1, {DRAM + 0x8000}
+            li r2, 1234
+            store r2, 8(r1)
+            load r3, 8(r1)
+            halt
+        """)
+        assert core.get_reg(3) == 1234
+        assert embedded_soc.memory.read_word(DRAM + 0x8008) == 1234
+
+    def test_load_latency_charged(self, embedded_soc):
+        core = embedded_soc.cores[0]
+        prog = assemble(f"li r1, {DRAM + 0x8000}\nload r2, 0(r1)\nhalt",
+                        base=DRAM + 0x1000)
+        core.load_program(prog)
+        core.run()
+        miss_cycles = core.cycles
+        core2_prog = assemble(
+            f"li r1, {DRAM + 0x8000}\nload r2, 0(r1)\nload r3, 0(r1)\nhalt",
+            base=DRAM + 0x1000)
+        core.load_program(core2_prog)
+        start = core.cycles
+        core.run()
+        # Second load hits L1: much cheaper than the first.
+        assert core.cycles - start < 2 * miss_cycles
+
+    def test_flush_instruction(self, embedded_soc):
+        core = _run(embedded_soc, f"""
+            li r1, {DRAM + 0x8000}
+            load r2, 0(r1)
+            flush 0(r1)
+            halt
+        """)
+        assert not embedded_soc.hierarchy.present_in_l1(0, DRAM + 0x8000)
+
+
+class TestControlFlow:
+    def test_loop(self, embedded_soc):
+        core = _run(embedded_soc, """
+            li r1, 0
+            li r2, 10
+        loop:
+            addi r1, r1, 1
+            blt r1, r2, loop
+            halt
+        """)
+        assert core.get_reg(1) == 10
+
+    def test_jal_ret(self, embedded_soc):
+        core = _run(embedded_soc, """
+            li r1, 1
+            jal func
+            addi r1, r1, 100
+            halt
+        func:
+            addi r1, r1, 10
+            ret
+        """)
+        assert core.get_reg(1) == 111
+
+    def test_branch_variants(self, embedded_soc):
+        core = _run(embedded_soc, """
+            li r1, 5
+            li r2, 5
+            li r3, 0
+            beq r1, r2, t1
+            halt
+        t1:
+            addi r3, r3, 1
+            bne r1, r2, bad
+            bge r1, r2, t2
+            halt
+        t2:
+            addi r3, r3, 1
+            halt
+        bad:
+            li r3, 99
+            halt
+        """)
+        assert core.get_reg(3) == 2
+
+
+class TestCSRs:
+    def test_rdcycle_monotonic(self, embedded_soc):
+        core = _run(embedded_soc, """
+            rdcycle r1
+            nop
+            nop
+            rdcycle r2
+            halt
+        """)
+        assert core.get_reg(2) > core.get_reg(1)
+
+    def test_csr_cycle_readable_by_user(self, embedded_soc):
+        core = embedded_soc.cores[0]
+        core.privilege = PrivilegeLevel.USER
+        prog = assemble(f"csrr r1, {CSR_CYCLE}\nhalt", base=DRAM + 0x1000)
+        core.load_program(prog)
+        core.run()
+        assert core.get_reg(1) >= 0
+
+    def test_privileged_csr_blocked_for_user(self, embedded_soc):
+        core = embedded_soc.cores[0]
+        core.privilege = PrivilegeLevel.USER
+        prog = assemble("csrw 0x800, r1\nhalt", base=DRAM + 0x1000)
+        core.load_program(prog)
+        with pytest.raises(Trap) as excinfo:
+            core.run()
+        assert excinfo.value.info.cause is TrapCause.ILLEGAL_INSTRUCTION
+
+    def test_csr_write_hook(self, embedded_soc):
+        core = embedded_soc.cores[0]
+        seen = []
+        core.csr_write_hooks[0x900] = lambda c, v: seen.append(v)
+        prog = assemble("li r1, 77\ncsrw 0x900, r1\nhalt",
+                        base=DRAM + 0x1000)
+        core.load_program(prog)
+        core.run()
+        assert seen == [77]
+
+
+class TestTraps:
+    def test_unhandled_fault_raises(self, embedded_soc):
+        core = embedded_soc.cores[0]
+        prog = assemble("li r1, 0x70000000\nload r2, 0(r1)\nhalt",
+                        base=DRAM + 0x1000)
+        core.load_program(prog)
+        with pytest.raises(Trap):
+            core.run()
+
+    def test_fault_resume_continues(self, embedded_soc):
+        core = embedded_soc.cores[0]
+        # boot-rom region is read-only: the store faults.
+        prog = assemble("""
+            li r1, 0x100
+            li r2, 1
+            store r2, 0(r1)
+            li r3, 111
+        resume:
+            li r4, 222
+            halt
+        """, base=DRAM + 0x1000)
+        core.load_program(prog)
+        core.fault_resume = prog.address_of("resume")
+        core.run()
+        assert core.get_reg(4) == 222
+        assert core.get_reg(3) == 0  # skipped by the fault redirect
+        assert core.last_trap is not None
+        assert core.csr[CSR_EPC] == prog.base + 2 * 4
+
+    def test_ecall_dispatch(self, embedded_soc):
+        core = embedded_soc.cores[0]
+        calls = []
+        core.syscall_handler = lambda c, code: calls.append(code)
+        prog = assemble("ecall 5\necall 9\nhalt", base=DRAM + 0x1000)
+        core.load_program(prog)
+        core.run()
+        assert calls == [5, 9]
+
+    def test_ecall_without_handler_traps(self, embedded_soc):
+        core = embedded_soc.cores[0]
+        prog = assemble("ecall\nhalt", base=DRAM + 0x1000)
+        core.load_program(prog)
+        with pytest.raises(Trap) as excinfo:
+            core.run()
+        assert excinfo.value.info.cause is TrapCause.ECALL
+
+    def test_fetch_off_program_traps(self, embedded_soc):
+        core = embedded_soc.cores[0]
+        prog = assemble("nop", base=DRAM + 0x1000)  # no halt: runs off
+        core.load_program(prog)
+        with pytest.raises(Trap) as excinfo:
+            core.run()
+        assert excinfo.value.info.cause is TrapCause.ILLEGAL_INSTRUCTION
+
+
+class TestInterrupts:
+    def test_interrupt_delivered_when_enabled(self, embedded_soc):
+        core = embedded_soc.cores[0]
+        fired = []
+        core.pend_interrupt(lambda c: fired.append(c.pc))
+        prog = assemble("nop\nhalt", base=DRAM + 0x1000)
+        core.load_program(prog)
+        core.run()
+        assert fired
+
+    def test_interrupt_deferred_when_disabled(self, embedded_soc):
+        core = embedded_soc.cores[0]
+        fired = []
+        core.disable_interrupts()
+        core.pend_interrupt(lambda c: fired.append(1))
+        prog = assemble("nop\nnop\nhalt", base=DRAM + 0x1000)
+        core.load_program(prog)
+        core.run()
+        assert not fired
+        core.enable_interrupts()
+        core.poll_interrupts()
+        assert fired
+
+    def test_interrupt_vector_moves_pc_for_isr(self, embedded_soc):
+        core = embedded_soc.cores[0]
+        core.interrupt_vector = 0x8000_0100
+        seen_pc = []
+        core.pend_interrupt(lambda c: seen_pc.append(c.pc))
+        core.pc = 0x1234
+        core.poll_interrupts()
+        assert seen_pc == [0x8000_0100]
+        assert core.pc == 0x1234  # restored after the ISR
+
+
+class TestFirmwareMode:
+    def test_pc_pinned_during_routine(self, embedded_soc):
+        core = embedded_soc.cores[0]
+        core.pc = 0x4000
+        observed = []
+        core.execute_firmware(0x1010, lambda c: observed.append(c.pc))
+        assert observed == [0x1010]
+        assert core.pc == 0x4000
+
+    def test_firmware_returns_value(self, embedded_soc):
+        core = embedded_soc.cores[0]
+        assert core.execute_firmware(0x1000, lambda c: 42) == 42
+
+    def test_pc_restored_on_exception(self, embedded_soc):
+        core = embedded_soc.cores[0]
+        core.pc = 0x4000
+
+        def boom(c):
+            raise RuntimeError("firmware bug")
+
+        with pytest.raises(RuntimeError):
+            core.execute_firmware(0x1000, boom)
+        assert core.pc == 0x4000
+
+
+class TestEnergyAccounting:
+    def test_energy_accumulates(self, embedded_soc):
+        core = _run(embedded_soc, "nop\nnop\nhalt")
+        assert core.energy_pj > 0
+        assert core.instret == 3

@@ -1,0 +1,167 @@
+"""RSA, modular exponentiation and the RNG."""
+
+import pytest
+
+from repro.crypto.modexp import (
+    BASE_MULT_COST,
+    EXTRA_REDUCTION_COST,
+    modexp_ladder,
+    modexp_square_multiply,
+    mult_time,
+)
+from repro.crypto.rng import XorShiftRNG
+from repro.crypto.rsa import RSA, generate_rsa_key, is_probable_prime
+from repro.errors import SecurityViolation
+
+
+class TestRNG:
+    def test_deterministic(self):
+        a = XorShiftRNG(42)
+        b = XorShiftRNG(42)
+        assert [a.next_u64() for _ in range(5)] == \
+               [b.next_u64() for _ in range(5)]
+
+    def test_bytes_length(self, rng):
+        assert len(rng.bytes(13)) == 13
+
+    def test_next_below_range(self, rng):
+        assert all(0 <= rng.next_below(7) < 7 for _ in range(100))
+        with pytest.raises(ValueError):
+            rng.next_below(0)
+
+    def test_gauss_moments(self):
+        rng = XorShiftRNG(7)
+        samples = [rng.gauss(0, 1) for _ in range(4000)]
+        mean = sum(samples) / len(samples)
+        var = sum((s - mean) ** 2 for s in samples) / len(samples)
+        assert abs(mean) < 0.1
+        assert 0.8 < var < 1.2
+
+    def test_shuffle_is_permutation(self, rng):
+        items = list(range(20))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # overwhelmingly likely
+
+    def test_odd_integer_properties(self, rng):
+        value = rng.odd_integer(64)
+        assert value % 2 == 1
+        assert value.bit_length() == 64
+
+    def test_zero_seed_does_not_stick(self):
+        rng = XorShiftRNG(0)
+        assert rng.next_u64() != 0
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 97, 65537):
+            assert is_probable_prime(p)
+
+    def test_small_composites(self):
+        for n in (0, 1, 4, 91, 561, 65536):
+            assert not is_probable_prime(n)
+
+    def test_carmichael_numbers_rejected(self):
+        for n in (561, 1105, 1729, 41041, 825265):
+            assert not is_probable_prime(n)
+
+
+class TestKeyGeneration:
+    def test_key_invariants(self, rng):
+        key = generate_rsa_key(128, rng)
+        assert key.n == key.p * key.q
+        assert key.p != key.q
+        assert (key.e * key.d) % ((key.p - 1) * (key.q - 1)) == 1
+        assert key.dp == key.d % (key.p - 1)
+        assert (key.qinv * key.q) % key.p == 1
+
+    def test_deterministic_given_seed(self):
+        a = generate_rsa_key(96, XorShiftRNG(5))
+        b = generate_rsa_key(96, XorShiftRNG(5))
+        assert a.n == b.n
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            generate_rsa_key(16)
+
+
+class TestRSAOperations:
+    @pytest.fixture
+    def rsa(self, rng):
+        return RSA(generate_rsa_key(128, rng))
+
+    def test_encrypt_decrypt_roundtrip(self, rsa, rng):
+        for _ in range(5):
+            message = rng.next_below(rsa.key.n - 1) + 1
+            assert rsa.decrypt(rsa.encrypt(message)) == message
+
+    def test_sign_verify(self, rsa):
+        signature = rsa.sign_crt(1234)
+        assert rsa.verify(1234, signature)
+        assert not rsa.verify(1235, signature)
+
+    def test_crt_matches_plain_exponentiation(self, rsa):
+        message = 987654321 % rsa.key.n
+        assert rsa.sign_crt(message) == pow(message, rsa.key.d, rsa.key.n)
+
+    def test_range_validated(self, rsa):
+        with pytest.raises(ValueError):
+            rsa.encrypt(rsa.key.n)
+        with pytest.raises(ValueError):
+            rsa.encrypt(-1)
+
+    def test_faulty_signature_withheld_when_verifying(self, rng):
+        rsa = RSA(generate_rsa_key(128, rng), verify_signatures=True)
+        with pytest.raises(SecurityViolation, match="withheld"):
+            rsa.sign_crt(42, fault_hook=lambda half, v:
+                         v ^ 1 if half == "p" else v)
+
+    def test_faulty_signature_emitted_without_verification(self, rng):
+        rsa = RSA(generate_rsa_key(128, rng))
+        faulty = rsa.sign_crt(42, fault_hook=lambda half, v:
+                              v ^ 1 if half == "p" else v)
+        assert not rsa.verify(42, faulty)
+
+
+class TestModExp:
+    def test_both_strategies_correct(self, rng):
+        for _ in range(10):
+            base = rng.next_below(10**6) + 2
+            exp = rng.next_below(10**6) + 1
+            mod = rng.next_below(10**6) + 3
+            expected = pow(base, exp, mod)
+            assert modexp_square_multiply(base, exp, mod).value == expected
+            assert modexp_ladder(base, exp, mod).value == expected
+
+    def test_square_multiply_op_count_depends_on_hamming_weight(self):
+        light = modexp_square_multiply(3, 0b10000000, 1_000_003)
+        heavy = modexp_square_multiply(3, 0b11111111, 1_000_003)
+        assert len(heavy.op_times) > len(light.op_times)
+
+    def test_ladder_op_count_independent_of_bits(self):
+        a = modexp_ladder(3, 0b10000000, 1_000_003)
+        b = modexp_ladder(3, 0b11111111, 1_000_003)
+        assert len(a.op_times) == len(b.op_times)
+        assert a.time == b.time
+
+    def test_mult_time_is_deterministic_and_data_dependent(self):
+        mod = 1_000_003
+        assert mult_time(2, 3, mod) == mult_time(2, 3, mod)
+        times = {mult_time(x, x + 1, mod) for x in range(1, 2000, 7)}
+        assert times == {BASE_MULT_COST,
+                         BASE_MULT_COST + EXTRA_REDUCTION_COST}
+
+    def test_noise_increases_time(self):
+        quiet = modexp_square_multiply(3, 1000, 1_000_003)
+        noisy = modexp_square_multiply(3, 1000, 1_000_003,
+                                       noise_rng=XorShiftRNG(1),
+                                       noise_std=5.0)
+        assert noisy.time >= quiet.time
+
+    def test_bad_modulus(self):
+        with pytest.raises(ValueError):
+            modexp_square_multiply(2, 3, 1)
+        with pytest.raises(ValueError):
+            modexp_ladder(2, 3, 0)

@@ -1,0 +1,249 @@
+"""Extension features: controlled channel, Rowhammer, control-flow attestation."""
+
+import pytest
+
+from repro.arch import SGX, Sanctum
+from repro.arch.sgx import EPC_SIZE
+from repro.attacks import (
+    ControlledChannelAttack,
+    PagedModExpVictim,
+    RowhammerAttack,
+)
+from repro.attestation.cfa import (
+    ControlFlowAttestor,
+    expected_path_hash,
+    hash_cflow_trace,
+)
+from repro.cpu import make_embedded_soc, make_server_soc
+from repro.crypto.rng import XorShiftRNG
+from repro.errors import SecurityViolation
+from repro.isa import assemble
+from repro.memory.disturbance import ROW_SIZE, DisturbanceModel
+from repro.memory.paging import PAGE_SIZE
+
+SECRET_EXP = 0b1011001110001011
+
+
+class TestControlledChannel:
+    def _victim(self, arch):
+        handle = arch.create_enclave("rsa-service", size=2 * PAGE_SIZE)
+        return PagedModExpVictim(arch, handle, SECRET_EXP)
+
+    def test_victim_computes_correctly(self):
+        sgx = SGX(make_server_soc())
+        victim = self._victim(sgx)
+        assert victim.modexp(3) == pow(3, SECRET_EXP, victim.modulus)
+
+    def test_recovers_exponent_from_sgx(self):
+        sgx = SGX(make_server_soc())
+        victim = self._victim(sgx)
+        result = ControlledChannelAttack(sgx, victim).run()
+        assert result.success
+        assert result.leaked == victim.exponent_bits
+
+    def test_blocked_by_sanctum_monitor_tables(self):
+        sanctum = Sanctum(make_server_soc())
+        victim = self._victim(sanctum)
+        result = ControlledChannelAttack(sanctum, victim).run()
+        assert not result.success
+        assert "monitor-owned" in result.details["blocked"]
+
+    def test_enclave_functional_after_attack(self):
+        sgx = SGX(make_server_soc())
+        victim = self._victim(sgx)
+        ControlledChannelAttack(sgx, victim).run()
+        assert victim.modexp(5) == pow(5, SECRET_EXP, victim.modulus)
+
+    def test_victim_needs_two_pages(self):
+        sgx = SGX(make_server_soc())
+        handle = sgx.create_enclave("small", size=PAGE_SIZE)
+        with pytest.raises(ValueError):
+            PagedModExpVictim(sgx, handle, SECRET_EXP)
+
+
+class TestDisturbanceModel:
+    def _model(self, soc, threshold=50):
+        dram = soc.regions.get("dram")
+        model = DisturbanceModel(soc.memory, dram.base, dram.size,
+                                 threshold=threshold, rng=XorShiftRNG(1))
+        soc.bus.add_snooper(model.on_transaction)
+        return model
+
+    def test_activations_counted_per_row(self):
+        soc = make_embedded_soc()
+        model = self._model(soc)
+        from repro.memory.bus import BusMaster
+        cpu = BusMaster("core0", kind="cpu")
+        for _ in range(10):
+            soc.bus.read_word(cpu, soc.dram_base)
+        assert model.activations[0] == 10
+
+    def test_flips_land_in_adjacent_rows(self):
+        soc = make_embedded_soc()
+        model = self._model(soc, threshold=20)
+        from repro.memory.bus import BusMaster
+        cpu = BusMaster("core0", kind="cpu")
+        hammer_row = 5
+        for _ in range(100):
+            soc.bus.read_word(cpu, model.row_base(hammer_row))
+        assert model.flips
+        for flip in model.flips:
+            assert flip.victim_row in (hammer_row - 1, hammer_row + 1)
+            assert flip.aggressor_row == hammer_row
+
+    def test_refresh_resets_counters(self):
+        soc = make_embedded_soc()
+        model = self._model(soc)
+        from repro.memory.bus import BusMaster
+        cpu = BusMaster("core0", kind="cpu")
+        soc.bus.read_word(cpu, soc.dram_base)
+        model.refresh()
+        assert not model.activations
+
+    def test_writes_do_not_activate(self):
+        soc = make_embedded_soc()
+        model = self._model(soc)
+        from repro.memory.bus import BusMaster
+        cpu = BusMaster("core0", kind="cpu")
+        soc.bus.write_word(cpu, soc.dram_base, 1)
+        assert not model.activations
+
+
+class TestRowhammerVsArchitectures:
+    def _scenario(self, arch_cls, groom_epc_edge=False):
+        soc = make_server_soc()
+        arch = arch_cls(soc)
+        dram = soc.regions.get("dram")
+        model = DisturbanceModel(soc.memory, dram.base, dram.size,
+                                 threshold=400, rng=XorShiftRNG(1))
+        soc.bus.add_snooper(model.on_transaction)
+        if groom_epc_edge:
+            # Memory massaging: the victim enclave lands in the last EPC
+            # row, whose outward neighbour is attacker-owned DRAM.
+            arch.epc_allocator._next = \
+                arch.epc_base + EPC_SIZE - 2 * PAGE_SIZE
+        victim = arch.deploy_aes_victim(bytes(range(16)))
+
+        def read_back():
+            arch.enter_enclave(victim.handle)
+            try:
+                return [arch.enclave_read(victim.handle, off)
+                        for off in range(0, 4096, 8)]
+            finally:
+                arch.exit_enclave(victim.handle)
+
+        attack = RowhammerAttack(arch, model, victim.handle.paddr,
+                                 victim_size=4096,
+                                 max_hammer_iterations=60_000)
+        return attack.run(read_back)
+
+    def test_silent_corruption_without_integrity(self):
+        result = self._scenario(Sanctum)
+        assert result.success
+        assert result.details["silent_corruption"]
+        assert not result.details["tamper_detected"]
+
+    def test_mee_integrity_detects_flip(self):
+        result = self._scenario(SGX, groom_epc_edge=True)
+        assert not result.success
+        assert result.details["bit_flipped"]
+        assert result.details["tamper_detected"]
+
+
+class TestControlFlowAttestation:
+    VICTIM_ASM = f"""
+    entry:                  # r1 = sensor reading; alarm if over limit
+        li   r2, 100
+        blt  r1, r2, normal
+        jal  alarm
+        jmp  done
+    normal:
+        li   r3, 1
+    done:
+        halt
+    alarm:
+        li   r3, 2
+        ret
+    """
+
+    def _setup(self):
+        soc = make_embedded_soc()
+        program = assemble(self.VICTIM_ASM, base=0x8000_1000)
+        return soc.cores[0], program
+
+    def test_trace_hash_deterministic(self):
+        core, program = self._setup()
+        a = expected_path_hash(core, program, entry="entry", regs={1: 50})
+        b = expected_path_hash(core, program, entry="entry", regs={1: 50})
+        assert a == b
+
+    def test_different_paths_different_hashes(self):
+        core, program = self._setup()
+        normal = expected_path_hash(core, program, entry="entry",
+                                    regs={1: 50})
+        alarm = expected_path_hash(core, program, entry="entry",
+                                   regs={1: 150})
+        assert normal != alarm
+
+    def test_attest_and_verify_good_run(self):
+        core, program = self._setup()
+        attestor = ControlFlowAttestor(b"cfa-key")
+        static = b"S" * 32
+        expected = expected_path_hash(core, program, entry="entry",
+                                      regs={1: 50})
+        nonce = b"n" * 16
+        report = attestor.attest_run(core, program, nonce, static,
+                                     entry="entry", regs={1: 50})
+        assert attestor.verify_run(report, nonce, static, {expected})
+
+    def test_detects_control_flow_hijack(self):
+        """A data-only attack: same code, different input, wrong path —
+        static attestation is blind to it, CFA rejects it."""
+        core, program = self._setup()
+        attestor = ControlFlowAttestor(b"cfa-key")
+        static = b"S" * 32  # unchanged: static attestation passes
+        expected = expected_path_hash(core, program, entry="entry",
+                                      regs={1: 50})
+        nonce = b"n" * 16
+        # The attacker corrupted the sensor reading: alarm path taken.
+        report = attestor.attest_run(core, program, nonce, static,
+                                     entry="entry", regs={1: 150})
+        assert not attestor.verify_run(report, nonce, static, {expected})
+
+    def test_multiple_known_good_paths(self):
+        core, program = self._setup()
+        attestor = ControlFlowAttestor(b"cfa-key")
+        static = b"S" * 32
+        nonce = b"n" * 16
+        known = {expected_path_hash(core, program, entry="entry",
+                                    regs={1: v}) for v in (50, 150)}
+        report = attestor.attest_run(core, program, nonce, static,
+                                     entry="entry", regs={1: 150})
+        assert attestor.verify_run(report, nonce, static, known)
+
+    def test_transient_control_flow_not_recorded(self):
+        """Squashed speculation must not pollute the attested path."""
+        from repro.cpu import SoC, SoCConfig
+        from repro.common import PlatformClass
+        soc = SoC(SoCConfig(name="s", platform=PlatformClass.SERVER_DESKTOP,
+                            num_cores=1))
+        core = soc.cores[0]
+        program = assemble(self.VICTIM_ASM, base=0x8000_1000)
+        # Train one way, then run the other: a misprediction occurs, the
+        # wrong path executes transiently, but the trace shows only the
+        # architectural path.
+        for _ in range(6):
+            expected_path_hash(core, program, entry="entry", regs={1: 50})
+        trace: list = []
+        core.load_program(program, entry="entry")
+        core.set_reg(1, 150)
+        core.cflow_collector = trace
+        core.run()
+        core.cflow_collector = None
+        branch_events = [e for e in trace if e[0] == "br"]
+        assert branch_events == [("br", program.base + 4, 0)]
+
+    def test_hash_cflow_trace_order_sensitive(self):
+        a = hash_cflow_trace([("br", 1, 1), ("br", 2, 0)])
+        b = hash_cflow_trace([("br", 2, 0), ("br", 1, 1)])
+        assert a != b

@@ -1,0 +1,117 @@
+"""Multi-core cache hierarchy: inclusion, exclusion, latency staircase."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+
+
+@pytest.fixture
+def small():
+    return CacheHierarchy(HierarchyConfig(
+        num_cores=2, l1_sets=4, l1_ways=2, l2_sets=16, l2_ways=4))
+
+
+A = 0x8000_0000
+
+
+class TestLatencyStaircase:
+    def test_levels_in_order(self, hierarchy):
+        first = hierarchy.access(0, A)
+        second = hierarchy.access(0, A)
+        assert first.level == "dram"
+        assert second.level == "l1"
+        assert second.latency < first.latency
+
+    def test_cross_core_l2_hit(self, hierarchy):
+        hierarchy.access(0, A)
+        other = hierarchy.access(1, A)
+        assert other.level == "l2"
+        cfg = hierarchy.config
+        assert other.latency == cfg.l1_latency + cfg.l2_latency
+
+    def test_hit_threshold_separates_levels(self, hierarchy):
+        assert hierarchy.config.l1_latency < hierarchy.hit_threshold
+        l2 = hierarchy.config.l1_latency + hierarchy.config.l2_latency
+        dram = l2 + hierarchy.config.dram_latency
+        assert l2 < hierarchy.hit_threshold < dram
+
+    def test_uncacheable_never_fills(self, hierarchy):
+        result = hierarchy.access(0, A, cacheable=False)
+        assert result.level == "uncached"
+        assert not hierarchy.present_in_l1(0, A)
+        assert not hierarchy.present_in_llc(A)
+
+
+class TestInclusion:
+    def test_llc_eviction_back_invalidates_l1(self, small):
+        small.access(0, A)
+        assert small.present_in_l1(0, A)
+        # Fill set 0 of the 4-way LLC with other lines (16 sets * 64B
+        # stride puts every 0x400-th line in set 0).
+        for i in range(1, 5):
+            small.access(1, A + i * 0x400)
+        assert not small.present_in_llc(A)
+        assert not small.present_in_l1(0, A)
+
+
+class TestFlushes:
+    def test_flush_line_all_levels(self, hierarchy):
+        hierarchy.access(0, A)
+        assert hierarchy.flush_line(A)
+        assert hierarchy.access(0, A).level == "dram"
+
+    def test_flush_core_only_affects_that_l1(self, hierarchy):
+        hierarchy.access(0, A)
+        hierarchy.flush_core(0)
+        assert not hierarchy.present_in_l1(0, A)
+        assert hierarchy.present_in_llc(A)
+        assert hierarchy.access(0, A).level == "l2"
+
+    def test_flush_domain(self, hierarchy):
+        hierarchy.access(0, A, domain="enclave")
+        hierarchy.access(0, A + 0x40, domain="os")
+        hierarchy.flush_domain("enclave")
+        assert not hierarchy.present_in_llc(A)
+        assert hierarchy.present_in_llc(A + 0x40)
+
+    def test_flush_all(self, hierarchy):
+        hierarchy.access(0, A)
+        hierarchy.access(1, A + 0x40)
+        assert hierarchy.flush_all() >= 2
+        assert hierarchy.access(0, A).level == "dram"
+
+
+class TestLLCExclusion:
+    """Sanctuary's defence: ranges the shared cache never learns."""
+
+    def test_excluded_range_l1_only(self, hierarchy):
+        hierarchy.exclude_from_llc(A, 0x1000)
+        first = hierarchy.access(0, A)
+        assert first.level == "dram"
+        assert not hierarchy.present_in_llc(A)
+        assert hierarchy.present_in_l1(0, A)
+        assert hierarchy.access(0, A).level == "l1"
+
+    def test_other_core_sees_nothing(self, hierarchy):
+        hierarchy.exclude_from_llc(A, 0x1000)
+        hierarchy.access(0, A)
+        # Attacker on core 1: full DRAM latency, no trace in shared state.
+        assert hierarchy.access(1, A).level == "dram"
+
+    def test_outside_excluded_range_normal(self, hierarchy):
+        hierarchy.exclude_from_llc(A, 0x1000)
+        hierarchy.access(0, A + 0x1000)
+        assert hierarchy.present_in_llc(A + 0x1000)
+
+
+class TestConfig:
+    def test_core_count_validated(self):
+        hierarchy = CacheHierarchy(HierarchyConfig(num_cores=1))
+        with pytest.raises(IndexError):
+            hierarchy.access(1, A)
+
+    def test_stats_summary_keys(self, hierarchy):
+        hierarchy.access(0, A)
+        summary = hierarchy.stats_summary()
+        assert "llc_hit_rate" in summary
+        assert "l1_core0_hit_rate" in summary

@@ -1,0 +1,158 @@
+"""End-to-end scenarios crossing subsystem boundaries."""
+
+import pytest
+
+from repro.arch import SGX, SMART, Sanctuary, Sanctum, TrustZone
+from repro.attacks.base import AttackerProcess
+from repro.attacks.cache_sca import PrimeProbeAttack, _CacheAttackConfig
+from repro.attacks.foreshadow import ForeshadowAttack
+from repro.attacks.software import DMAAttack, KernelMemoryProbeAttack
+from repro.attestation.protocol import RemoteVerifier
+from repro.cpu import make_embedded_soc, make_mobile_soc, make_server_soc
+from repro.crypto.aes import AES128
+from repro.crypto.rng import XorShiftRNG
+from tests.conftest import AES_KEY2
+
+
+class TestSGXLifecycleUnderAttack:
+    """One SGX deployment, attacked through every Section-4 channel."""
+
+    def test_full_scenario(self):
+        soc = make_server_soc()
+        sgx = SGX(soc)
+        victim = sgx.deploy_aes_victim(AES_KEY2, core_id=0)
+
+        # The service works.
+        reference = AES128(AES_KEY2)
+        assert victim.encrypt(b"A" * 16) == reference.encrypt_block(b"A" * 16)
+
+        # Attestation chain works end to end.
+        verifier = RemoteVerifier(sgx.attestation_key_for_verifier)
+        verifier.trust_measurement(victim.handle.measurement)
+        nonce = verifier.challenge()
+        assert verifier.verify(sgx.attest(victim.handle, nonce)).accepted
+
+        # Software and DMA adversaries bounce off.
+        assert not KernelMemoryProbeAttack(
+            sgx, enclave=victim.handle).run().success
+        assert not DMAAttack(sgx, victim.handle.paddr).run().success
+
+        # The cache side channel leaks key nibbles (refs [8]).
+        cfg = _CacheAttackConfig(samples_per_value=8, plaintext_values=8,
+                                 target_bytes=(0,))
+        pp = PrimeProbeAttack(victim, AttackerProcess(sgx, core_id=1),
+                              XorShiftRNG(1), cfg).run()
+        assert pp.success
+
+        # And Foreshadow extracts the whole key (ref [38]).
+        fs = ForeshadowAttack(sgx, victim.handle).run()
+        assert fs.success and fs.leaked == AES_KEY2
+
+        # The enclave remains functional after all of it.
+        assert victim.encrypt(b"B" * 16) == reference.encrypt_block(b"B" * 16)
+
+
+class TestGainsAndPainsContrast:
+    """The paper's thesis in one test: each gain closes one pain, and the
+    pains that remain are exactly the documented ones."""
+
+    def test_sanctum_gains_cache_defence_keeps_physical_pain(self):
+        sanctum = Sanctum(make_server_soc())
+        victim = sanctum.deploy_aes_victim(AES_KEY2)
+        cfg = _CacheAttackConfig(samples_per_value=6, plaintext_values=4,
+                                 target_bytes=(0,))
+        pp = PrimeProbeAttack(victim, AttackerProcess(sanctum, core_id=1),
+                              XorShiftRNG(1), cfg).run()
+        assert not pp.success  # gain: LLC colouring
+        # Pain: no memory encryption — a physical bus probe reads enclave
+        # plaintext directly from DRAM.
+        sanctum.enter_enclave(victim.handle)
+        try:
+            sanctum.enclave_write(victim.handle, 0, 0x12345678)
+        finally:
+            sanctum.exit_enclave(victim.handle)
+        assert sanctum.soc.memory.read_word(victim.handle.paddr) \
+            == 0x12345678
+
+    def test_trustzone_single_enclave_vs_sanctuary_many(self):
+        tz = TrustZone(make_mobile_soc())
+        tz.deploy_aes_victim(AES_KEY2)
+        from repro.errors import EnclaveError
+        with pytest.raises(EnclaveError):
+            tz.create_enclave("second")
+
+        sanctuary = Sanctuary(make_mobile_soc())
+        sanctuary.deploy_aes_victim(AES_KEY2, core_id=0)
+        sanctuary.create_enclave("second", core_id=1)  # fine
+
+
+class TestEmbeddedAttestationChain:
+    def test_smart_detects_remote_compromise(self):
+        """The SMART end-to-end story: attest, compromise, re-attest."""
+        soc = make_embedded_soc()
+        smart = SMART(soc)
+        app_base = 0x8000_4000
+        soc.memory.write_bytes(app_base, b"sensor firmware v1.0")
+        expected = smart.expected_measurement(app_base, 64)
+
+        verifier_key = smart.shared_key_for_verifier()
+        nonce1 = b"nonce-000000001!"
+        report = smart.attest_region(app_base, 64, nonce1)
+        assert SMART.verify_report(verifier_key, report, expected, nonce1)
+
+        # Remote adversary injects code into the application.
+        from repro.arch.null import NullArchitecture
+        from repro.attacks.software import CodeInjectionAttack
+        injection = CodeInjectionAttack(
+            smart, victim_region=(app_base, 64)).run()
+        assert injection.success  # SMART provides no isolation...
+
+        # ...but the next attestation round exposes the compromise.
+        nonce2 = b"nonce-000000002!"
+        report2 = smart.attest_region(app_base, 64, nonce2)
+        assert not SMART.verify_report(verifier_key, report2, expected,
+                                       nonce2)
+
+    def test_replayed_smart_report_rejected(self):
+        smart = SMART(make_embedded_soc())
+        app_base = 0x8000_4000
+        expected = smart.expected_measurement(app_base, 64)
+        nonce = b"nonce-0000000003"
+        report = smart.attest_region(app_base, 64, nonce)
+        assert SMART.verify_report(smart.shared_key_for_verifier(), report,
+                                   expected, nonce)
+        # The verifier issues a new nonce; the stale report fails.
+        assert not SMART.verify_report(smart.shared_key_for_verifier(),
+                                       report, expected,
+                                       b"nonce-0000000004")
+
+
+class TestCrossArchitectureInvariants:
+    """Invariants the whole architecture zoo satisfies."""
+
+    HOSTS = None
+
+    def _hosts(self):
+        from repro.core.comparison import ARCH_HOSTS
+        return ARCH_HOSTS
+
+    def test_every_features_row_well_formed(self):
+        for arch_cls, make_soc in self._hosts():
+            features = arch_cls(make_soc()).features()
+            assert features.name == arch_cls.NAME
+            assert features.dma_protection in (
+                "none", "mee-abort", "mc-filter", "tzasc-claim")
+
+    def test_enclave_capable_archs_round_trip_data(self):
+        from repro.core.comparison import ARCH_HOSTS
+        for arch_cls, make_soc in ARCH_HOSTS:
+            arch = arch_cls(make_soc())
+            if not arch.features().code_isolation:
+                continue
+            handle = arch.create_enclave("probe")
+            arch.enter_enclave(handle)
+            try:
+                arch.enclave_write(handle, 0, 0xA5A5)
+                assert arch.enclave_read(handle, 0) == 0xA5A5
+            finally:
+                arch.exit_enclave(handle)

@@ -1,0 +1,94 @@
+"""Unit tests for the instruction vocabulary."""
+
+import pytest
+
+from repro.isa import instructions as ins
+from repro.isa.instructions import INSTR_SIZE, Instruction, InstrKind, Reg
+
+
+class TestConstructors:
+    def test_alu_constructor_fields(self):
+        instr = ins.add(1, 2, 3)
+        assert instr.kind is InstrKind.ADD
+        assert (instr.rd, instr.rs1, instr.rs2) == (1, 2, 3)
+
+    def test_load_uses_offset(self):
+        instr = ins.load(4, 5, offset=16)
+        assert instr.kind is InstrKind.LOAD
+        assert instr.imm == 16
+        assert instr.is_memory
+
+    def test_store_operand_roles(self):
+        instr = ins.store(7, 8, offset=-8)
+        assert instr.rs2 == 7  # value register
+        assert instr.rs1 == 8  # base register
+        assert instr.imm == -8
+
+    def test_branch_carries_label(self):
+        instr = ins.beq(1, 2, "loop")
+        assert instr.label == "loop"
+        assert instr.is_branch
+
+    def test_jump_kinds(self):
+        assert ins.jmp("x").is_jump
+        assert ins.jal("x").is_jump
+        assert ins.ret().is_jump
+        assert not ins.nop().is_jump
+
+    def test_flush_is_not_memory_kind(self):
+        # FLUSH touches the cache but is not a LOAD/STORE data access.
+        assert not ins.flush(1).is_memory
+
+    def test_register_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Instruction(InstrKind.ADD, rd=16)
+        with pytest.raises(ValueError):
+            Instruction(InstrKind.ADD, rs1=-1)
+
+    def test_csr_constructors(self):
+        read = ins.csrr(3, 0xC00)
+        write = ins.csrw(0x800, 4)
+        assert read.imm == 0xC00 and read.rd == 3
+        assert write.imm == 0x800 and write.rs1 == 4
+
+    def test_ecall_code(self):
+        assert ins.ecall(7).imm == 7
+        assert ins.ecall().imm == 0
+
+
+class TestProperties:
+    def test_instr_size_is_four(self):
+        assert INSTR_SIZE == 4
+
+    def test_reg_aliases(self):
+        assert Reg.SP == 14
+        assert Reg.LR == 15
+        assert Reg.R0 == 0
+
+    def test_branch_kind_partition(self):
+        branches = {k for k in InstrKind
+                    if Instruction(k).is_branch}
+        assert branches == {InstrKind.BEQ, InstrKind.BNE, InstrKind.BLT,
+                            InstrKind.BGE}
+
+    def test_str_round_trippable_form(self):
+        # Printed form matches the assembler's input syntax.
+        assert str(ins.add(1, 2, 3)) == "add r1, r2, r3"
+        assert str(ins.load(2, 1, 8)) == "load r2, 8(r1)"
+        assert str(ins.store(2, 1, 8)) == "store r2, 8(r1)"
+        assert str(ins.li(5, 42)) == "li r5, 42"
+        assert str(ins.beq(1, 2, "x")) == "beq r1, r2, x"
+        assert str(ins.halt()) == "halt"
+
+    def test_instructions_are_hashable_and_frozen(self):
+        instr = ins.nop()
+        {instr}
+        with pytest.raises(AttributeError):
+            instr.rd = 3
+
+    def test_label_not_compared(self):
+        # Same structural instruction with different labels is equal:
+        # labels are resolution metadata, not architectural state.
+        a = Instruction(InstrKind.JMP, label="a")
+        b = Instruction(InstrKind.JMP, label="b")
+        assert a == b

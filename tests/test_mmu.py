@@ -1,0 +1,197 @@
+"""MMU: translation, permissions, fault metadata, walk hooks."""
+
+import pytest
+
+from repro.common import PrivilegeLevel
+from repro.errors import PageFault
+from repro.memory.mmu import MMU
+from repro.memory.paging import (
+    PAGE_SIZE,
+    FrameAllocator,
+    PageFlags,
+    PageTable,
+)
+
+USER_RW = PageFlags.PRESENT | PageFlags.WRITABLE | PageFlags.USER
+KERNEL_RW = PageFlags.PRESENT | PageFlags.WRITABLE
+
+
+@pytest.fixture
+def setup(bus, memory):
+    allocator = FrameAllocator(0x8000_0000, 64)
+    table = PageTable(memory, allocator, asid=2)
+    mmu = MMU(bus, core_name="t0")
+    mmu.set_context(table.root, asid=2)
+    return mmu, table
+
+
+class TestIdentityMode:
+    def test_disabled_mmu_is_identity(self, bus):
+        mmu = MMU(bus)
+        result = mmu.translate(0x8000_1234, "read")
+        assert result.paddr == 0x8000_1234
+        assert result.region.name == "dram"
+
+    def test_identity_cacheability_from_region(self, bus):
+        mmu = MMU(bus)
+        assert not mmu.translate(0x1000_0000, "read").cacheable  # mmio
+        assert mmu.translate(0x8000_0000, "read").cacheable      # dram
+
+
+class TestTranslation:
+    def test_mapped_translation(self, setup):
+        mmu, table = setup
+        table.map(0x40_0000, 0x8001_0000, USER_RW)
+        result = mmu.translate(0x40_0123, "read", PrivilegeLevel.USER)
+        assert result.paddr == 0x8001_0123
+        assert result.page_paddr == 0x8001_0000
+
+    def test_unmapped_faults(self, setup):
+        mmu, _ = setup
+        with pytest.raises(PageFault, match="unmapped"):
+            mmu.translate(0x40_0000, "read")
+
+    def test_walk_counts(self, setup):
+        mmu, table = setup
+        table.map(0x40_0000, 0x8001_0000, USER_RW)
+        before = mmu.walk_count
+        mmu.translate(0x40_0000, "read", PrivilegeLevel.USER)
+        assert mmu.walk_count == before + 1
+
+
+class TestPermissionFaults:
+    def test_user_cannot_touch_kernel_page(self, setup):
+        mmu, table = setup
+        table.map(0x40_0000, 0x8001_0000, KERNEL_RW)
+        with pytest.raises(PageFault, match="privilege"):
+            mmu.translate(0x40_0000, "read", PrivilegeLevel.USER)
+        # Kernel itself is fine.
+        mmu.translate(0x40_0000, "read", PrivilegeLevel.KERNEL)
+
+    def test_write_protect(self, setup):
+        mmu, table = setup
+        table.map(0x40_0000, 0x8001_0000,
+                  PageFlags.PRESENT | PageFlags.USER)
+        with pytest.raises(PageFault, match="write-protect"):
+            mmu.translate(0x40_0000, "write", PrivilegeLevel.USER)
+
+    def test_no_execute(self, setup):
+        mmu, table = setup
+        table.map(0x40_0000, 0x8001_0000, USER_RW)
+        with pytest.raises(PageFault, match="no-execute"):
+            mmu.translate(0x40_0000, "execute", PrivilegeLevel.USER)
+
+    def test_not_present_fault(self, setup):
+        mmu, table = setup
+        table.map(0x40_0000, 0x8001_0000, USER_RW)
+        table.update_flags(0x40_0000, clear_flags=PageFlags.PRESENT)
+        with pytest.raises(PageFault, match="not-present"):
+            mmu.translate(0x40_0000, "read", PrivilegeLevel.USER)
+
+    def test_reserved_fault(self, setup):
+        mmu, table = setup
+        table.map(0x40_0000, 0x8001_0000,
+                  USER_RW | PageFlags.RESERVED)
+        with pytest.raises(PageFault, match="reserved"):
+            mmu.translate(0x40_0000, "read", PrivilegeLevel.USER)
+
+
+class TestFaultMetadata:
+    """Faults must carry the word-resolved physical address (the
+    Meltdown/Foreshadow forwarding input)."""
+
+    def test_privilege_fault_carries_full_paddr(self, setup):
+        mmu, table = setup
+        table.map(0x40_0000, 0x8001_0000, KERNEL_RW)
+        with pytest.raises(PageFault) as excinfo:
+            mmu.translate(0x40_0ABC, "read", PrivilegeLevel.USER)
+        assert excinfo.value.paddr == 0x8001_0ABC
+
+    def test_not_present_fault_carries_stale_paddr(self, setup):
+        mmu, table = setup
+        table.map(0x40_0000, 0x8001_0000, USER_RW)
+        table.update_flags(0x40_0000, clear_flags=PageFlags.PRESENT)
+        with pytest.raises(PageFault) as excinfo:
+            mmu.translate(0x40_0040, "read", PrivilegeLevel.USER)
+        assert excinfo.value.paddr == 0x8001_0040
+
+    def test_unmapped_fault_has_no_paddr(self, setup):
+        mmu, _ = setup
+        with pytest.raises(PageFault) as excinfo:
+            mmu.translate(0x7F00_0000, "read")
+        assert excinfo.value.paddr is None
+
+
+class TestWalkHooks:
+    def test_hook_can_veto(self, setup):
+        mmu, table = setup
+        table.map(0x40_0000, 0x8001_0000, USER_RW)
+
+        def deny(va, paddr, flags, privilege, secure):
+            fault = PageFault(va, "read", "hook-denied")
+            fault.paddr = None
+            raise fault
+
+        mmu.walk_hooks.append(deny)
+        with pytest.raises(PageFault, match="hook-denied"):
+            mmu.translate(0x40_0000, "read", PrivilegeLevel.USER)
+
+    def test_hook_sees_walk_parameters(self, setup):
+        mmu, table = setup
+        table.map(0x40_0000, 0x8001_0000, USER_RW)
+        seen = []
+        mmu.walk_hooks.append(
+            lambda va, pa, fl, priv, sec: seen.append((va, pa, priv)))
+        mmu.translate(0x40_0000, "read", PrivilegeLevel.USER)
+        assert seen == [(0x40_0000, 0x8001_0000, PrivilegeLevel.USER)]
+
+
+class TestProbe:
+    def test_probe_bypasses_permissions(self, setup):
+        mmu, table = setup
+        table.map(0x40_0000, 0x8001_0000, KERNEL_RW)
+        assert mmu.probe(0x40_0000) == (0x8001_0000, KERNEL_RW)
+
+    def test_probe_unmapped_is_none(self, setup):
+        mmu, _ = setup
+        assert mmu.probe(0x7F00_0000) is None
+
+
+class TestTLBIntegration:
+    class _FakeTLB:
+        def __init__(self):
+            self.entries = {}
+            self.inserts = 0
+
+        def lookup(self, asid, page):
+            return self.entries.get((asid, page))
+
+        def insert(self, asid, page, paddr, flags):
+            self.inserts += 1
+            self.entries[(asid, page)] = (paddr, flags)
+
+        def flush(self, asid=None):
+            self.entries.clear()
+
+        def access_latency(self, hit):
+            return 1 if hit else 20
+
+    def test_tlb_filled_and_consulted(self, bus, memory):
+        allocator = FrameAllocator(0x8000_0000, 64)
+        table = PageTable(memory, allocator, asid=2)
+        tlb = self._FakeTLB()
+        mmu = MMU(bus, tlb=tlb)
+        mmu.set_context(table.root, asid=2)
+        table.map(0x40_0000, 0x8001_0000, USER_RW)
+        mmu.translate(0x40_0000, "read", PrivilegeLevel.USER)
+        assert tlb.inserts == 1
+        walks = mmu.walk_count
+        mmu.translate(0x40_0008, "read", PrivilegeLevel.USER)
+        assert mmu.walk_count == walks  # served from TLB
+
+    def test_flush_tlb_forwards(self, bus):
+        tlb = self._FakeTLB()
+        tlb.entries[(0, 0)] = (0, PageFlags.PRESENT)
+        mmu = MMU(bus, tlb=tlb)
+        mmu.flush_tlb()
+        assert not tlb.entries

@@ -1,0 +1,126 @@
+"""MPU and execution-aware MPU (TrustLite class)."""
+
+import pytest
+
+from repro.errors import AccessFault, ConfigurationError, SecurityViolation
+from repro.memory.bus import BusMaster, BusTransaction
+from repro.memory.mpu import ExecutionAwareMPU, MPU, MPURegion
+from repro.memory.regions import Permissions
+
+CPU = BusMaster("core0", kind="cpu")
+DMA = BusMaster("nic", kind="dma")
+
+
+def _txn(addr, access="read", pc=None, master=CPU):
+    return BusTransaction(master, addr, access, 8, pc=pc)
+
+
+class TestClassicMPU:
+    def test_region_permissions_enforced(self):
+        mpu = MPU()
+        mpu.configure(MPURegion("ro", 0x1000, 0x100, Permissions.ro()))
+        mpu.check(_txn(0x1000), None)
+        with pytest.raises(AccessFault):
+            mpu.check(_txn(0x1000, "write"), None)
+
+    def test_unmatched_default_allow(self):
+        mpu = MPU(default_allow=True)
+        mpu.check(_txn(0x9999, "write"), None)
+
+    def test_unmatched_default_deny(self):
+        mpu = MPU(default_allow=False)
+        with pytest.raises(AccessFault, match="default-deny"):
+            mpu.check(_txn(0x9999), None)
+
+    def test_dma_not_checked(self):
+        # The paper's point: classic MPUs don't see DMA traffic.
+        mpu = MPU(default_allow=False)
+        mpu.configure(MPURegion("priv", 0x1000, 0x100,
+                                Permissions(False, False, False)))
+        mpu.check(_txn(0x1000, "read", master=DMA), None)
+
+    def test_region_capacity(self):
+        mpu = MPU(max_regions=1)
+        mpu.configure(MPURegion("a", 0, 0x100, Permissions.rw()))
+        with pytest.raises(ConfigurationError, match="at most"):
+            mpu.configure(MPURegion("b", 0x200, 0x100, Permissions.rw()))
+
+    def test_duplicate_name_rejected(self):
+        mpu = MPU()
+        mpu.configure(MPURegion("a", 0, 0x100, Permissions.rw()))
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            mpu.configure(MPURegion("a", 0x200, 0x100, Permissions.rw()))
+
+    def test_remove(self):
+        mpu = MPU()
+        mpu.configure(MPURegion("a", 0, 0x100, Permissions.ro()))
+        mpu.remove("a")
+        mpu.check(_txn(0, "write"), None)
+        with pytest.raises(KeyError):
+            mpu.remove("a")
+
+
+class TestLocking:
+    def test_lock_prevents_reconfiguration(self):
+        mpu = MPU()
+        mpu.configure(MPURegion("a", 0, 0x100, Permissions.ro()))
+        mpu.lock()
+        assert mpu.locked
+        with pytest.raises(SecurityViolation):
+            mpu.configure(MPURegion("b", 0x200, 0x100, Permissions.rw()))
+        with pytest.raises(SecurityViolation):
+            mpu.remove("a")
+
+    def test_locked_mpu_still_enforces(self):
+        mpu = MPU()
+        mpu.configure(MPURegion("a", 0, 0x100, Permissions.ro()))
+        mpu.lock()
+        with pytest.raises(AccessFault):
+            mpu.check(_txn(0, "write"), None)
+
+
+class TestExecutionAware:
+    def test_region_geometry_validation(self):
+        with pytest.raises(ConfigurationError):
+            MPURegion("bad", 0, 0x100, Permissions.rw(), code_base=0x1000)
+
+    def test_owner_code_gets_perms(self):
+        mpu = ExecutionAwareMPU()
+        mpu.protect_trustlet("t", code_base=0x1000, code_size=0x100,
+                             data_base=0x2000, data_size=0x100)
+        # Owner (PC inside trustlet code) reads its data.
+        mpu.check(_txn(0x2000, "read", pc=0x1010), None)
+        mpu.check(_txn(0x2000, "write", pc=0x1010), None)
+
+    def test_foreign_code_denied(self):
+        mpu = ExecutionAwareMPU()
+        mpu.protect_trustlet("t", 0x1000, 0x100, 0x2000, 0x100)
+        with pytest.raises(AccessFault):
+            mpu.check(_txn(0x2000, "read", pc=0x5000), None)
+
+    def test_no_pc_treated_as_foreign(self):
+        mpu = ExecutionAwareMPU()
+        mpu.protect_trustlet("t", 0x1000, 0x100, 0x2000, 0x100)
+        with pytest.raises(AccessFault):
+            mpu.check(_txn(0x2000, "read", pc=None), None)
+
+    def test_trustlet_code_is_execute_only_for_others(self):
+        mpu = ExecutionAwareMPU()
+        mpu.protect_trustlet("t", 0x1000, 0x100, 0x2000, 0x100)
+        # Anyone may execute (invoke) the trustlet...
+        mpu.check(_txn(0x1000, "execute", pc=0x5000), None)
+        # ...but cannot read its code image (embedded secrets).
+        with pytest.raises(AccessFault):
+            mpu.check(_txn(0x1000, "read", pc=0x5000), None)
+        # The trustlet may read itself.
+        mpu.check(_txn(0x1000, "read", pc=0x1010), None)
+
+    def test_two_trustlets_mutually_isolated(self):
+        mpu = ExecutionAwareMPU()
+        mpu.protect_trustlet("a", 0x1000, 0x100, 0x2000, 0x100)
+        mpu.protect_trustlet("b", 0x3000, 0x100, 0x4000, 0x100)
+        mpu.check(_txn(0x2000, "read", pc=0x1010), None)
+        with pytest.raises(AccessFault):
+            mpu.check(_txn(0x4000, "read", pc=0x1010), None)
+        with pytest.raises(AccessFault):
+            mpu.check(_txn(0x2000, "read", pc=0x3010), None)

@@ -1,0 +1,142 @@
+"""Radix page tables stored in physical memory."""
+
+import pytest
+
+from repro.errors import MemoryFault
+from repro.memory.paging import (
+    PAGE_SIZE,
+    FrameAllocator,
+    PageFlags,
+    PageTable,
+    pte_pack,
+    pte_unpack,
+    vpn_split,
+)
+from repro.memory.phys import PhysicalMemory
+
+USER_RW = PageFlags.PRESENT | PageFlags.WRITABLE | PageFlags.USER
+
+
+@pytest.fixture
+def table(memory):
+    allocator = FrameAllocator(0x10_0000, 64)
+    return PageTable(memory, allocator, asid=1)
+
+
+class TestPTEEncoding:
+    def test_pack_unpack_roundtrip(self):
+        pte = pte_pack(0xABCDE000, USER_RW)
+        paddr, flags = pte_unpack(pte)
+        assert paddr == 0xABCDE000
+        assert flags == USER_RW
+
+    def test_pack_rejects_unaligned(self):
+        with pytest.raises(ValueError):
+            pte_pack(0x1234, PageFlags.PRESENT)
+
+    def test_vpn_split(self):
+        va = (3 << 22) | (5 << 12) | 0x123
+        assert vpn_split(va) == (3, 5)
+
+
+class TestFrameAllocator:
+    def test_sequential_frames(self):
+        alloc = FrameAllocator(0x4000, 3)
+        assert alloc.alloc() == 0x4000
+        assert alloc.alloc() == 0x5000
+        assert alloc.allocated == 2
+
+    def test_exhaustion(self):
+        alloc = FrameAllocator(0x4000, 1)
+        alloc.alloc()
+        with pytest.raises(MemoryFault, match="out of page frames"):
+            alloc.alloc()
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(Exception):
+            FrameAllocator(0x4001, 4)
+
+
+class TestMapping:
+    def test_map_lookup_roundtrip(self, table):
+        table.map(0x40_0000, 0x9000_0000, USER_RW)
+        paddr, flags = table.lookup(0x40_0000)
+        assert paddr == 0x9000_0000
+        assert flags & PageFlags.PRESENT
+
+    def test_unmapped_lookup_is_none(self, table):
+        assert table.lookup(0x40_0000) is None
+
+    def test_map_range(self, table):
+        table.map_range(0x40_0000, 0x9000_0000, 3 * PAGE_SIZE, USER_RW)
+        for i in range(3):
+            paddr, _ = table.lookup(0x40_0000 + i * PAGE_SIZE)
+            assert paddr == 0x9000_0000 + i * PAGE_SIZE
+        assert table.lookup(0x40_0000 + 3 * PAGE_SIZE) is None
+
+    def test_unmap(self, table):
+        table.map(0x40_0000, 0x9000_0000, USER_RW)
+        table.unmap(0x40_0000)
+        assert table.lookup(0x40_0000) is None
+
+    def test_unmap_never_mapped_is_noop(self, table):
+        table.unmap(0x7F00_0000 & 0xFFFFF000)
+
+    def test_alignment_enforced(self, table):
+        with pytest.raises(ValueError):
+            table.map(0x40_0001, 0x9000_0000, USER_RW)
+        with pytest.raises(ValueError):
+            table.map(0x40_0000, 0x9000_0001, USER_RW)
+
+    def test_va_width_enforced(self, table):
+        with pytest.raises(ValueError):
+            table.map(1 << 32, 0x9000_0000, USER_RW)
+
+    def test_mappings_iterator(self, table):
+        table.map(0x40_0000, 0x9000_0000, USER_RW)
+        table.map(0x80_0000, 0x9100_0000, PageFlags.PRESENT)
+        entries = sorted(table.mappings())
+        assert entries == [
+            (0x40_0000, 0x9000_0000, USER_RW),
+            (0x80_0000, 0x9100_0000, PageFlags.PRESENT),
+        ]
+
+
+class TestOSAttackPrimitives:
+    """The operations a malicious OS performs (Foreshadow staging)."""
+
+    def test_clear_present_bit(self, table):
+        table.map(0x40_0000, 0x9000_0000, USER_RW)
+        flags = table.update_flags(0x40_0000,
+                                   clear_flags=PageFlags.PRESENT)
+        assert not flags & PageFlags.PRESENT
+        # The stale physical address is still in the PTE.
+        paddr, _ = table.lookup(0x40_0000)
+        assert paddr == 0x9000_0000
+
+    def test_set_reserved_bit(self, table):
+        table.map(0x40_0000, 0x9000_0000, USER_RW)
+        flags = table.update_flags(0x40_0000,
+                                   set_flags=PageFlags.RESERVED)
+        assert flags & PageFlags.RESERVED
+
+    def test_remap_keeps_flags(self, table):
+        table.map(0x40_0000, 0x9000_0000, USER_RW)
+        table.remap(0x40_0000, 0xA000_0000)
+        paddr, flags = table.lookup(0x40_0000)
+        assert paddr == 0xA000_0000
+        assert flags == USER_RW
+
+    def test_raw_pte_address_is_writable_memory(self, table, memory):
+        table.map(0x40_0000, 0x9000_0000, USER_RW)
+        pte_addr = table.pte_addr(0x40_0000)
+        # The OS writes the raw word directly — no API needed.
+        memory.write_word(pte_addr, pte_pack(0xB000_0000,
+                                             PageFlags.PRESENT))
+        paddr, _ = table.lookup(0x40_0000)
+        assert paddr == 0xB000_0000
+
+    def test_tables_live_in_physical_memory(self, table, memory):
+        before = memory.footprint()
+        table.map(0x40_0000, 0x9000_0000, USER_RW)
+        assert memory.footprint() > before

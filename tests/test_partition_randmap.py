@@ -1,0 +1,139 @@
+"""Way partitioning, page colouring, randomised indexing."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.partition import (
+    WayPartition,
+    color_of,
+    frames_of_color,
+    num_colors,
+)
+from repro.cache.randmap import RandomizedIndexing
+from repro.errors import ConfigurationError
+from repro.memory.paging import PAGE_SIZE
+
+
+class TestWayPartition:
+    def test_split_evenly_disjoint(self):
+        partition = WayPartition.split_evenly(8, ["a", "b"])
+        assert partition.mask_of("a") & partition.mask_of("b") == 0
+        assert partition.isolated("a", "b")
+        assert bin(partition.mask_of("a")).count("1") == 4
+
+    def test_uneven_split_covers_all_ways(self):
+        partition = WayPartition.split_evenly(8, ["a", "b", "c"])
+        combined = 0
+        for d in ("a", "b", "c"):
+            combined |= partition.mask_of(d)
+        assert combined == 0xFF
+
+    def test_default_mask_for_unknown_domain(self):
+        partition = WayPartition(4, default_mask=0b0011)
+        assert partition.mask_of("anyone") == 0b0011
+        assert partition.mask_of(None) == 0b0011
+
+    def test_zero_way_assignment_rejected(self):
+        partition = WayPartition(4)
+        with pytest.raises(ConfigurationError):
+            partition.assign("a", 0)
+
+    def test_allowed_ways_bool_list(self):
+        partition = WayPartition(4)
+        partition.assign("a", 0b1010)
+        assert partition.allowed_ways("a", 4) == [False, True, False, True]
+
+    def test_too_many_domains(self):
+        with pytest.raises(ConfigurationError):
+            WayPartition.split_evenly(2, ["a", "b", "c"])
+
+    def test_overlapping_masks_not_isolated(self):
+        partition = WayPartition(4)
+        partition.assign("a", 0b0011)
+        partition.assign("b", 0b0110)  # misconfiguration
+        assert not partition.isolated("a", "b")
+
+
+class TestPageColoring:
+    NUM_SETS = 1024  # 16 colours at 64B lines / 4KiB pages
+
+    def test_num_colors(self):
+        assert num_colors(self.NUM_SETS) == 16
+        assert num_colors(32) == 1  # tiny cache: colouring degenerates
+
+    def test_color_stable_within_page(self):
+        base = 0x8000_3000
+        colors = {color_of(base + off, self.NUM_SETS)
+                  for off in range(0, PAGE_SIZE, 64)}
+        assert len(colors) == 1
+
+    def test_consecutive_pages_cycle_colors(self):
+        colors = [color_of(0x8000_0000 + i * PAGE_SIZE, self.NUM_SETS)
+                  for i in range(16)]
+        assert sorted(colors) == list(range(16))
+
+    def test_frames_of_color(self):
+        frames = frames_of_color(3, 0x8000_0000, 64 * PAGE_SIZE,
+                                 self.NUM_SETS)
+        assert len(frames) == 4  # one per 16-page colour cycle
+        assert all(color_of(f, self.NUM_SETS) == 3 for f in frames)
+
+    def test_frames_of_color_range_check(self):
+        with pytest.raises(ConfigurationError):
+            frames_of_color(99, 0x8000_0000, PAGE_SIZE, self.NUM_SETS)
+
+    def test_colored_frames_hit_disjoint_sets(self):
+        frames_a = frames_of_color(0, 0x8000_0000, 64 * PAGE_SIZE,
+                                   self.NUM_SETS)
+        frames_b = frames_of_color(1, 0x8000_0000, 64 * PAGE_SIZE,
+                                   self.NUM_SETS)
+        cache = Cache("llc", self.NUM_SETS, 8)
+        sets_a = {cache.set_index(f + off) for f in frames_a
+                  for off in range(0, PAGE_SIZE, 64)}
+        sets_b = {cache.set_index(f + off) for f in frames_b
+                  for off in range(0, PAGE_SIZE, 64)}
+        assert not sets_a & sets_b
+
+
+class TestRandomizedIndexing:
+    def test_deterministic_per_key(self):
+        a = RandomizedIndexing(key=5)
+        b = RandomizedIndexing(key=5)
+        assert [a(x * 64) for x in range(32)] == \
+               [b(x * 64) for x in range(32)]
+
+    def test_key_changes_mapping(self):
+        a = RandomizedIndexing(key=5)
+        b = RandomizedIndexing(key=6)
+        mapping_a = [a(x * 64) % 256 for x in range(64)]
+        mapping_b = [b(x * 64) % 256 for x in range(64)]
+        assert mapping_a != mapping_b
+
+    def test_same_line_same_set(self):
+        idx = RandomizedIndexing(key=1)
+        assert idx(0x1000) == idx(0x1038)
+
+    def test_rekey_bumps_epoch_and_remaps(self):
+        idx = RandomizedIndexing(key=1)
+        before = [idx(x * 64) % 128 for x in range(64)]
+        idx.rekey(999)
+        assert idx.epoch == 1
+        after = [idx(x * 64) % 128 for x in range(64)]
+        assert before != after
+
+    def test_defeats_address_arithmetic(self):
+        """The attacker's congruence assumption breaks under keyed index."""
+        cache = Cache("r", num_sets=64, ways=4,
+                      index_fn=RandomizedIndexing(key=0xABC))
+        target = 0x8000_0000
+        # Classic eviction-set arithmetic: addresses at set-stride.
+        naive = [target + i * 64 * 64 for i in range(1, 9)]
+        collisions = [a for a in naive
+                      if cache.set_index(a) == cache.set_index(target)]
+        assert len(collisions) < len(naive) // 2
+
+    def test_oracle_collision_finder(self):
+        idx = RandomizedIndexing(key=7)
+        pool = [0x8000_0000 + i * 64 for i in range(4096)]
+        hits = idx.colliding_addresses(pool[0], pool[1:])
+        assert all(idx(h) == idx(pool[0]) for h in hits)

@@ -1,0 +1,203 @@
+"""Power-leakage simulation and the fault-injection engine."""
+
+import pytest
+
+from repro.crypto.aes import AES128
+from repro.crypto.rng import XorShiftRNG
+from repro.errors import FaultInjectionError
+from repro.fault.injector import FaultCampaign, GlitchInjector
+from repro.fault.models import FaultKind, FaultSpec, GlitchChannel, apply_fault
+from repro.power.instrument import PowerInstrument, capture_aes_traces
+from repro.power.leakage import (
+    HammingDistanceModel,
+    HammingWeightModel,
+    IdentityModel,
+    hamming_weight,
+)
+from repro.power.trace import TraceSet
+from tests.conftest import AES_KEY
+
+
+class TestLeakageModels:
+    def test_hamming_weight(self):
+        assert hamming_weight(0) == 0
+        assert hamming_weight(0xFF) == 8
+        assert hamming_weight(0xA5) == 4
+
+    def test_hw_model_noise_free(self):
+        model = HammingWeightModel(scale=2.0, noise_std=0.0)
+        assert model.leak(0xFF) == 16.0
+        assert model.leak(0) == 0.0
+
+    def test_hw_model_noise_reproducible(self):
+        a = HammingWeightModel(noise_std=1.0, rng=XorShiftRNG(3))
+        b = HammingWeightModel(noise_std=1.0, rng=XorShiftRNG(3))
+        assert [a.leak(7) for _ in range(5)] == \
+               [b.leak(7) for _ in range(5)]
+
+    def test_hd_model_tracks_transitions(self):
+        model = HammingDistanceModel(noise_std=0.0)
+        model.reset(0x00)
+        assert model.leak(0xFF) == 8.0
+        assert model.leak(0xFF) == 0.0  # no toggles
+
+    def test_identity_model(self):
+        assert IdentityModel().leak(123) == 123.0
+
+
+class TestTraceSet:
+    def test_geometry_enforced(self):
+        traces = TraceSet(4)
+        with pytest.raises(ValueError):
+            traces.add([1.0] * 3, b"\x00" * 16, b"\x00" * 16)
+
+    def test_samples_matrix_shape(self):
+        traces = TraceSet(2)
+        traces.add([1.0, 2.0], b"a" * 16, b"b" * 16)
+        traces.add([3.0, 4.0], b"c" * 16, b"d" * 16)
+        assert traces.samples.shape == (2, 2)
+        assert len(traces) == 2
+
+    def test_byte_columns(self):
+        traces = TraceSet(1)
+        traces.add([0.0], bytes([7] + [0] * 15), bytes([9] + [0] * 15))
+        assert traces.plaintext_bytes(0)[0] == 7
+        assert traces.ciphertext_bytes(0)[0] == 9
+
+    def test_subset(self):
+        traces = TraceSet(1)
+        for i in range(5):
+            traces.add([float(i)], bytes(16), bytes(16))
+        sub = traces.subset(3)
+        assert len(sub) == 3
+        with pytest.raises(ValueError):
+            traces.subset(10)
+
+
+class TestAcquisition:
+    def test_capture_records_real_ciphertexts(self):
+        traces = capture_aes_traces(
+            lambda leak: AES128(AES_KEY, leak_hook=leak), 4,
+            HammingWeightModel(noise_std=0.0), rng=XorShiftRNG(1))
+        cipher = AES128(AES_KEY)
+        for pt, ct in zip(traces.plaintexts, traces.ciphertexts):
+            assert cipher.encrypt_block(pt) == ct
+
+    def test_samples_reflect_round1_sbox_hw(self):
+        from repro.crypto.aes import SBOX
+        traces = capture_aes_traces(
+            lambda leak: AES128(AES_KEY, leak_hook=leak), 3,
+            HammingWeightModel(noise_std=0.0), rng=XorShiftRNG(2))
+        for row, pt in zip(traces.samples, traces.plaintexts):
+            for i in range(16):
+                expected = hamming_weight(SBOX[pt[i] ^ AES_KEY[i]])
+                assert row[i] == expected
+
+    def test_shuffled_acquisition_permutes_slots(self):
+        instrument = PowerInstrument(IdentityModel(), (1,), shuffle=True,
+                                     rng=XorShiftRNG(5))
+        traces = instrument.capture(
+            lambda leak: AES128(AES_KEY, leak_hook=leak),
+            [bytes(16), bytes(16)])
+        # Same plaintext twice: identical multiset of samples, but (very
+        # likely) a different ordering.
+        a, b = traces.samples
+        assert sorted(a) == sorted(b)
+
+    def test_multi_round_capture(self):
+        instrument = PowerInstrument(IdentityModel(), (1, 10))
+        assert instrument.samples_per_trace == 32
+
+
+class TestFaultModels:
+    def test_bit_flip_specified_bit(self, rng):
+        spec = FaultSpec(GlitchChannel.CLOCK, FaultKind.BIT_FLIP,
+                         target_bit=3)
+        assert apply_fault(spec, 0x00, rng) == 0x08
+
+    def test_bit_flip_random_bit_changes_value(self, rng):
+        spec = FaultSpec(GlitchChannel.CLOCK, FaultKind.BIT_FLIP)
+        for _ in range(20):
+            faulty = apply_fault(spec, 0x55, rng)
+            assert faulty != 0x55
+            assert hamming_weight(faulty ^ 0x55) == 1
+
+    def test_byte_random_never_identity(self, rng):
+        spec = FaultSpec(GlitchChannel.VOLTAGE, FaultKind.BYTE_RANDOM)
+        assert all(apply_fault(spec, 0xAA, rng) != 0xAA
+                   for _ in range(50))
+
+    def test_stuck_at_zero(self, rng):
+        spec = FaultSpec(GlitchChannel.OPTICAL, FaultKind.STUCK_AT_ZERO)
+        assert apply_fault(spec, 0xFF, rng) == 0
+
+    def test_skip_leaves_value(self, rng):
+        spec = FaultSpec(GlitchChannel.EM_PULSE, FaultKind.SKIP)
+        assert apply_fault(spec, 0x42, rng) == 0x42
+
+    def test_spec_validation(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSpec(GlitchChannel.CLOCK, FaultKind.BIT_FLIP,
+                      crt_half="x")
+        with pytest.raises(FaultInjectionError):
+            FaultSpec(GlitchChannel.CLOCK, FaultKind.BIT_FLIP,
+                      target_bit=9)
+
+
+class TestGlitchInjector:
+    def test_aes_hook_targets_round(self, rng):
+        spec = FaultSpec(GlitchChannel.CLOCK, FaultKind.BIT_FLIP,
+                         target_round=10, target_byte=0, target_bit=0)
+        injector = GlitchInjector(spec, rng)
+        hook = injector.aes_fault_hook()
+        state = bytearray(16)
+        hook(5, state)
+        assert state == bytearray(16)  # wrong round: untouched
+        hook(10, state)
+        assert state[0] == 1
+
+    def test_probability_zero_never_fires(self, rng):
+        spec = FaultSpec(GlitchChannel.CLOCK, FaultKind.BIT_FLIP)
+        injector = GlitchInjector(spec, rng, success_probability=0.0)
+        hook = injector.aes_fault_hook()
+        state = bytearray(16)
+        for _ in range(20):
+            hook(1, state)
+        assert state == bytearray(16)
+
+    def test_probability_validated(self, rng):
+        spec = FaultSpec(GlitchChannel.CLOCK, FaultKind.BIT_FLIP)
+        with pytest.raises(ValueError):
+            GlitchInjector(spec, rng, success_probability=1.5)
+
+    def test_crt_hook_half_selective(self, rng):
+        spec = FaultSpec(GlitchChannel.VOLTAGE, FaultKind.BIT_FLIP,
+                         crt_half="p")
+        hook = GlitchInjector(spec, rng).crt_fault_hook()
+        assert hook("q", 12345) == 12345
+        assert hook("p", 12345) != 12345
+
+    def test_shot_counters(self, rng):
+        spec = FaultSpec(GlitchChannel.CLOCK, FaultKind.BIT_FLIP)
+        injector = GlitchInjector(spec, rng, success_probability=1.0)
+        hook = injector.aes_fault_hook()
+        hook(1, bytearray(16))
+        assert injector.shots == 1
+        assert injector.effective_faults == 1
+
+
+class TestFaultCampaign:
+    def test_bins_outcomes(self, rng):
+        counter = {"n": 0}
+
+        def operation():
+            counter["n"] += 1
+            if counter["n"] % 3 == 0:
+                raise RuntimeError("crash")
+            return counter["n"] % 2
+
+        campaign = FaultCampaign(operation, lambda: 1)
+        result = campaign.run(9)
+        assert result.crashes == 3
+        assert len(result.clean) + len(result.faulty) == 6
+        assert 0 < result.fault_rate < 1

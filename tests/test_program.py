@@ -1,0 +1,72 @@
+"""Program container and merging."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.isa.instructions import INSTR_SIZE
+from repro.isa.program import merge_programs
+
+
+class TestProgram:
+    def test_fetch_by_address(self):
+        prog = assemble("nop\nhalt", base=0x2000)
+        assert prog.fetch(0x2000).kind.value == "nop"
+        assert prog.fetch(0x2004).kind.value == "halt"
+        assert prog.fetch(0x2008) is None
+
+    def test_end_address(self):
+        prog = assemble("nop\nnop\nnop", base=0x1000)
+        assert prog.end == 0x1000 + 3 * INSTR_SIZE
+
+    def test_contains(self):
+        prog = assemble("nop", base=0x1000)
+        assert prog.contains(0x1000)
+        assert not prog.contains(0x1004)
+        assert not prog.contains(0xFFC)
+
+    def test_relocation_via_base(self):
+        src = "loop: jmp loop"
+        low = assemble(src, base=0x1000)
+        high = assemble(src, base=0x9000)
+        assert low.target_of(low.instructions[0]) == 0x1000
+        assert high.target_of(high.instructions[0]) == 0x9000
+
+    def test_address_of_unknown_label(self):
+        prog = assemble("nop")
+        with pytest.raises(KeyError):
+            prog.address_of("missing")
+
+
+class TestMergePrograms:
+    def test_merge_disjoint(self):
+        a = assemble("a: halt", base=0x1000, name="a")
+        b = assemble("b: halt", base=0x2000, name="b")
+        merged = merge_programs([a, b])
+        assert merged.fetch(0x1000) is not None
+        assert merged.fetch(0x2000) is not None
+        assert merged.address_of("a") == 0x1000
+        assert merged.address_of("b") == 0x2000
+
+    def test_merge_rejects_overlap(self):
+        a = assemble("nop\nnop\nnop", base=0x1000)
+        b = assemble("nop", base=0x1004)
+        with pytest.raises(ValueError, match="overlap"):
+            merge_programs([a, b])
+
+    def test_merge_rejects_conflicting_labels(self):
+        a = assemble("x: halt", base=0x1000)
+        b = assemble("x: halt", base=0x2000)
+        with pytest.raises(ValueError, match="conflicting"):
+            merge_programs([a, b])
+
+    def test_merge_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            merge_programs([])
+
+    def test_cross_fragment_jump_resolves(self):
+        a = assemble("start: jmp target", base=0x1000,
+                     allow_undefined=True)
+        b = assemble("target: halt", base=0x3000)
+        merged = merge_programs([a, b])
+        jump = merged.fetch(0x1000)
+        assert merged.target_of(jump) == 0x3000

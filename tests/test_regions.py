@@ -1,0 +1,98 @@
+"""Memory regions and the region map."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.regions import (
+    MemoryRegion,
+    Permissions,
+    RegionMap,
+    standard_layout,
+)
+
+
+class TestPermissions:
+    def test_presets(self):
+        assert str(Permissions.rwx()) == "rwx"
+        assert str(Permissions.rx()) == "r-x"
+        assert str(Permissions.ro()) == "r--"
+        assert str(Permissions.rw()) == "rw-"
+
+    def test_allows(self):
+        perms = Permissions.rx()
+        assert perms.allows("read")
+        assert not perms.allows("write")
+        assert perms.allows("execute")
+
+    def test_allows_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Permissions().allows("teleport")
+
+
+class TestMemoryRegion:
+    def test_contains_and_end(self):
+        region = MemoryRegion("r", 0x1000, 0x100)
+        assert region.contains(0x1000)
+        assert region.contains(0x10FF)
+        assert not region.contains(0x1100)
+        assert region.end == 0x1100
+
+    def test_overlap_detection(self):
+        a = MemoryRegion("a", 0x1000, 0x100)
+        assert a.overlaps(MemoryRegion("b", 0x10FF, 0x10))
+        assert not a.overlaps(MemoryRegion("c", 0x1100, 0x10))
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            MemoryRegion("bad", 0, 0)
+        with pytest.raises(ConfigurationError):
+            MemoryRegion("bad", -4, 8)
+
+    def test_with_secure_and_cacheable_copies(self):
+        region = MemoryRegion("r", 0, 0x1000)
+        secure = region.with_secure(True)
+        uncached = region.with_cacheable(False)
+        assert secure.secure and not region.secure
+        assert not uncached.cacheable and region.cacheable
+
+
+class TestRegionMap:
+    def test_find(self):
+        layout = standard_layout()
+        assert layout.find(0x0).name == "boot-rom"
+        assert layout.find(0x1000_0000).name == "mmio"
+        assert layout.find(0x8000_0000).name == "dram"
+        assert layout.find(0x7000_0000) is None
+
+    def test_duplicate_name_rejected(self):
+        layout = RegionMap([MemoryRegion("x", 0, 0x1000)])
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            layout.add(MemoryRegion("x", 0x2000, 0x1000))
+
+    def test_overlap_rejected(self):
+        layout = RegionMap([MemoryRegion("x", 0, 0x1000)])
+        with pytest.raises(ConfigurationError, match="overlaps"):
+            layout.add(MemoryRegion("y", 0x800, 0x1000))
+
+    def test_remove_and_replace(self):
+        layout = standard_layout()
+        dram = layout.get("dram")
+        layout.replace(dram.with_cacheable(False))
+        assert not layout.get("dram").cacheable
+        layout.remove("mmio")
+        assert "mmio" not in layout
+        with pytest.raises(KeyError):
+            layout.remove("mmio")
+
+    def test_iteration_sorted_by_base(self):
+        layout = RegionMap()
+        layout.add(MemoryRegion("high", 0x9000, 0x100))
+        layout.add(MemoryRegion("low", 0x1000, 0x100))
+        assert [r.name for r in layout] == ["low", "high"]
+
+    def test_standard_layout_properties(self):
+        layout = standard_layout()
+        assert len(layout) == 3
+        assert not layout.get("boot-rom").perms.write
+        assert layout.get("mmio").device
+        assert not layout.get("mmio").cacheable

@@ -1,0 +1,86 @@
+"""ROM write protection and the SMART-style PC-gated key vault."""
+
+import pytest
+
+from repro.errors import AccessFault
+from repro.memory.bus import BusMaster, BusTransaction
+from repro.memory.rom import KeyVault, ROMRegion
+
+CPU = BusMaster("core0", kind="cpu")
+DMA = BusMaster("nic", kind="dma")
+
+
+def _txn(addr, access="read", pc=None, master=CPU):
+    return BusTransaction(master, addr, access, 8, pc=pc)
+
+
+class TestROMRegion:
+    def test_writes_denied(self):
+        rom = ROMRegion(0x0, 0x1000)
+        with pytest.raises(AccessFault, match="read-only"):
+            rom.check(_txn(0x100, "write"), None)
+
+    def test_reads_allowed(self):
+        rom = ROMRegion(0x0, 0x1000)
+        rom.check(_txn(0x100, "read"), None)
+
+    def test_dma_writes_also_denied(self):
+        rom = ROMRegion(0x0, 0x1000)
+        with pytest.raises(AccessFault):
+            rom.check(_txn(0x100, "write", master=DMA), None)
+
+    def test_outside_rom_untouched(self):
+        rom = ROMRegion(0x0, 0x1000)
+        rom.check(_txn(0x2000, "write"), None)
+
+
+@pytest.fixture
+def vault(memory):
+    return KeyVault(memory, key_base=0xF000, key=b"K" * 32,
+                    gate_base=0x1000, gate_size=0x1000)
+
+
+class TestKeyVault:
+    def test_key_provisioned_into_memory(self, memory, vault):
+        assert memory.read_bytes(0xF000, 32) == b"K" * 32
+
+    def test_gated_code_reads_key(self, vault):
+        vault.check(_txn(0xF000, pc=0x1234), None)
+
+    def test_ungated_code_denied(self, vault):
+        with pytest.raises(AccessFault, match="gated"):
+            vault.check(_txn(0xF000, pc=0x9000), None)
+        assert vault.denied_reads == 1
+
+    def test_pc_just_outside_gate_denied(self, vault):
+        with pytest.raises(AccessFault):
+            vault.check(_txn(0xF000, pc=0x2000), None)
+        vault.check(_txn(0xF000, pc=0x1FFC), None)
+
+    def test_no_pc_denied(self, vault):
+        with pytest.raises(AccessFault):
+            vault.check(_txn(0xF000, pc=None), None)
+
+    def test_dma_denied_even_with_pc(self, vault):
+        with pytest.raises(AccessFault):
+            vault.check(_txn(0xF000, pc=0x1234, master=DMA), None)
+
+    def test_writes_always_denied(self, vault):
+        with pytest.raises(AccessFault, match="immutable"):
+            vault.check(_txn(0xF000, "write", pc=0x1234), None)
+
+    def test_non_key_addresses_unaffected(self, vault):
+        vault.check(_txn(0x8000, pc=0x9000), None)
+
+    def test_straddling_read_checked(self, vault):
+        with pytest.raises(AccessFault):
+            vault.check(_txn(0xF000 - 4, pc=0x9000), None)
+
+    def test_disabled_vault_open(self, vault):
+        # The ABL-2 lesion: no PC gate.
+        vault.enabled = False
+        vault.check(_txn(0xF000, pc=0x9000), None)
+
+    def test_empty_key_rejected(self, memory):
+        with pytest.raises(ValueError):
+            KeyVault(memory, 0xF000, b"", 0x1000, 0x100)

@@ -1,0 +1,153 @@
+"""SoC composition and the DVFS model."""
+
+import pytest
+
+from repro.common import PlatformClass, World
+from repro.cpu.core import CSR_DVFS_FREQ
+from repro.cpu.dvfs import DVFSController, OperatingPoint, VoltageDomain
+from repro.cpu.soc import SoC, SoCConfig
+from repro.cpu.speculative import SpeculativeCore
+from repro.errors import SecurityViolation
+from repro.isa import assemble
+
+
+class TestSoCFactories:
+    def test_server_is_speculative_multicore(self, server_soc):
+        assert len(server_soc.cores) == 4
+        assert all(isinstance(c, SpeculativeCore) for c in server_soc.cores)
+        assert server_soc.config.platform is PlatformClass.SERVER_DESKTOP
+
+    def test_embedded_is_inorder_single_core(self, embedded_soc):
+        assert len(embedded_soc.cores) == 1
+        assert not isinstance(embedded_soc.cores[0], SpeculativeCore)
+        assert embedded_soc.mmus[0].root is None  # no MMU configured
+
+    def test_shared_tlb_on_server(self, server_soc):
+        assert server_soc.tlbs[0] is server_soc.tlbs[1]
+        assert server_soc.tlbs[2] is not server_soc.tlbs[0]
+
+    def test_mobile_separate_tlbs(self, mobile_soc):
+        assert mobile_soc.tlbs[0] is not mobile_soc.tlbs[1]
+
+    def test_energy_ordering(self, server_soc, mobile_soc, embedded_soc):
+        get = lambda soc: soc.config.energy_per_instr_pj
+        assert get(server_soc) > get(mobile_soc) > get(embedded_soc)
+
+    def test_page_table_factory(self, server_soc):
+        table = server_soc.make_page_table(asid=5)
+        assert table.asid == 5
+        dram = server_soc.regions.get("dram")
+        assert dram.base <= table.root < dram.end
+
+    def test_dma_engine_attach(self, server_soc):
+        engine = server_soc.add_dma_engine("nic")
+        assert server_soc.dma_engines["nic"] is engine
+
+    def test_hierarchy_core_count_validated(self):
+        from repro.cache.hierarchy import HierarchyConfig
+        with pytest.raises(ValueError):
+            SoC(SoCConfig(name="bad", platform=PlatformClass.MOBILE,
+                          num_cores=4,
+                          hierarchy=HierarchyConfig(num_cores=2)))
+
+    def test_world_switch_updates_dvfs_tracking(self, mobile_soc):
+        mobile_soc.set_world(0, World.SECURE)
+        assert "core0" in mobile_soc.dvfs.secure_active_cores
+        mobile_soc.set_world(0, World.NORMAL)
+        assert "core0" not in mobile_soc.dvfs.secure_active_cores
+
+    def test_accounting_aggregates(self, embedded_soc):
+        core = embedded_soc.cores[0]
+        prog = assemble("nop\nnop\nhalt", base=0x8000_1000)
+        core.load_program(prog)
+        core.run()
+        assert embedded_soc.total_cycles > 0
+        assert embedded_soc.total_energy_pj > 0
+        assert embedded_soc.wall_time_us() > 0
+
+
+class TestVoltageDomain:
+    def test_stable_point_no_glitches(self):
+        domain = VoltageDomain("d", OperatingPoint(1000, 900))
+        assert domain.timing_margin() > 0
+        assert domain.glitch_probability() == 0.0
+
+    def test_overdrive_produces_glitches(self):
+        domain = VoltageDomain("d", OperatingPoint(3000, 900))
+        assert domain.timing_margin() < 0
+        assert domain.glitch_probability() > 0
+
+    def test_undervolting_also_glitches(self):
+        domain = VoltageDomain("d", OperatingPoint(1200, 700))
+        # f_max = 4 * (700 - 500) = 800 < 1200
+        assert domain.glitch_probability() > 0
+
+    def test_probability_saturates_at_one(self):
+        domain = VoltageDomain("d", OperatingPoint(100000, 501))
+        assert domain.glitch_probability() == 1.0
+
+    def test_operating_point_validation(self):
+        with pytest.raises(ValueError):
+            OperatingPoint(0, 900)
+
+
+class TestDVFSController:
+    def _controller(self, **kwargs):
+        controller = DVFSController(**kwargs)
+        controller.add_domain(VoltageDomain(
+            "cluster", OperatingPoint(1000, 900), cores=["core0"]))
+        return controller
+
+    def test_set_point(self):
+        controller = self._controller()
+        controller.set_point("cluster", OperatingPoint(1500, 950))
+        assert controller.domain("cluster").point.freq_mhz == 1500
+
+    def test_hardware_only_regulators_reject_software(self):
+        controller = self._controller(software_controllable=False)
+        with pytest.raises(SecurityViolation):
+            controller.set_point("cluster", OperatingPoint(1500, 950))
+
+    def test_hardware_limit_enforced(self):
+        controller = DVFSController()
+        controller.add_domain(VoltageDomain(
+            "lim", OperatingPoint(1000, 900), hardware_limit_mhz=1200,
+            cores=["core0"]))
+        with pytest.raises(ValueError):
+            controller.set_point("lim", OperatingPoint(4000, 900))
+
+    def test_secure_world_gate(self):
+        controller = self._controller(secure_world_gated=True)
+        controller.secure_active_cores.add("core0")
+        with pytest.raises(SecurityViolation, match="secure-world"):
+            controller.set_point("cluster", OperatingPoint(4000, 700))
+        # The secure world itself may retune.
+        controller.set_point("cluster", OperatingPoint(1200, 900),
+                             from_secure_world=True)
+
+    def test_gate_inactive_when_no_secure_core(self):
+        controller = self._controller(secure_world_gated=True)
+        controller.set_point("cluster", OperatingPoint(1500, 900))
+
+    def test_glitch_probability_for_core(self):
+        controller = self._controller()
+        assert controller.glitch_probability_for_core("core0") == 0.0
+        controller.set_point("cluster", OperatingPoint(9000, 600))
+        assert controller.glitch_probability_for_core("core0") > 0
+        assert controller.glitch_probability_for_core("ghost") == 0.0
+
+    def test_duplicate_domain_rejected(self):
+        controller = self._controller()
+        with pytest.raises(ValueError):
+            controller.add_domain(VoltageDomain(
+                "cluster", OperatingPoint(1000, 900)))
+
+
+class TestDVFSCSRWiring:
+    def test_kernel_can_retune_via_csr(self, mobile_soc):
+        core = mobile_soc.cores[0]
+        prog = assemble(f"li r1, 2500\ncsrw {CSR_DVFS_FREQ}, r1\nhalt",
+                        base=0x8000_1000)
+        core.load_program(prog)
+        core.run()
+        assert mobile_soc.dvfs.domains()[0].point.freq_mhz == 2500.0

@@ -1,0 +1,246 @@
+"""Speculative core: prediction, transient windows, fault forwarding."""
+
+import pytest
+
+from repro.common import PrivilegeLevel
+from repro.cpu.predictor import BranchPredictor, PredictorConfig
+from repro.cpu.soc import SoC, SoCConfig
+from repro.cpu.speculative import SpeculativeConfig
+from repro.common import PlatformClass
+from repro.isa import assemble
+from repro.memory.paging import PageFlags
+
+DRAM = 0x8000_0000
+
+
+def _soc(**spec):
+    return SoC(SoCConfig(name="t", platform=PlatformClass.SERVER_DESKTOP,
+                         num_cores=1, spec=SpeculativeConfig(**spec)))
+
+
+class TestPredictor:
+    def test_direction_training(self):
+        predictor = BranchPredictor(PredictorConfig(history_bits=0))
+        pc = 0x1000
+        for _ in range(4):
+            predictor.update_direction(pc, False)
+        assert not predictor.predict_taken(pc)
+        for _ in range(4):
+            predictor.update_direction(pc, True)
+        assert predictor.predict_taken(pc)
+
+    def test_misprediction_rate(self):
+        predictor = BranchPredictor()
+        predictor.record_outcome(True)
+        predictor.record_outcome(False)
+        assert predictor.misprediction_rate == 0.5
+
+    def test_rsb_lifo(self):
+        predictor = BranchPredictor()
+        predictor.push_return(0x100)
+        predictor.push_return(0x200)
+        assert predictor.predict_return(0) == 0x200
+        assert predictor.predict_return(0) == 0x100
+
+    def test_rsb_underflow_falls_back_to_btb(self):
+        predictor = BranchPredictor()
+        predictor.update_target(0x1000, 0xBEEF)
+        assert predictor.predict_return(0x1000) == 0xBEEF
+
+    def test_rsb_depth_bounded(self):
+        predictor = BranchPredictor(PredictorConfig(rsb_depth=2))
+        for addr in (1, 2, 3):
+            predictor.push_return(addr)
+        assert predictor.predict_return(0) == 3
+        assert predictor.predict_return(0) == 2
+        assert predictor.predict_return(0x9999) is None  # 1 was dropped
+
+    def test_context_switch_flush(self):
+        predictor = BranchPredictor(
+            PredictorConfig(flush_on_context_switch=True))
+        predictor.update_target(0x1000, 0xBEEF)
+        predictor.context_switch()
+        assert predictor.btb.predict(0x1000) is None
+
+    def test_pht_size_validation(self):
+        with pytest.raises(ValueError):
+            BranchPredictor(PredictorConfig(pht_entries=1000))
+
+
+class TestTransientExecution:
+    def test_misprediction_triggers_transient_run(self):
+        soc = _soc()
+        core = soc.cores[0]
+        prog = assemble(f"""
+        entry:
+            li r1, 10
+            li r2, 5
+            bge r1, r2, skip      # taken, but predictor is untrained
+            li r3, 1
+        skip:
+            halt
+        """, base=DRAM + 0x1000)
+        core.load_program(prog, entry="entry")
+        core.run()
+        # Whether this mispredicted depends on init state; force the
+        # opposite direction and run again to guarantee one mispredict.
+        runs_before = core.transient_runs
+        core.load_program(prog, entry="entry")
+        core.set_reg(1, 0)  # now branch not taken
+        core.run()
+        assert core.transient_runs >= runs_before
+
+    def test_transient_loads_fill_cache_but_not_registers(self):
+        soc = _soc(transient_window=16)
+        core = soc.cores[0]
+        target = DRAM + 0x9000
+        prog = assemble(f"""
+        entry:
+            li r2, 1
+            beq r1, r2, wrongpath
+            halt
+        wrongpath:
+            li r4, {target}
+            load r5, 0(r4)
+            halt
+        """, base=DRAM + 0x1000)
+        # Train the branch taken, then run not-taken so the wrong path
+        # (the taken side) executes transiently.
+        for _ in range(6):
+            core.load_program(prog, entry="entry")
+            core.set_reg(1, 1)
+            core.run()
+        soc.hierarchy.flush_line(target)
+        core.load_program(prog, entry="entry")
+        core.set_reg(1, 0)  # branch falls through architecturally
+        core.set_reg(5, 0)
+        core.run()
+        assert soc.hierarchy.present_in_llc(target)  # transient fill
+        assert core.get_reg(5) == 0  # squashed register write
+
+    def test_fence_stops_transient_window(self):
+        soc = _soc(transient_window=16)
+        core = soc.cores[0]
+        target = DRAM + 0xA000
+        prog = assemble(f"""
+        entry:
+            li r2, 1
+            beq r1, r2, wrongpath
+            halt
+        wrongpath:
+            fence
+            li r4, {target}
+            load r5, 0(r4)
+            halt
+        """, base=DRAM + 0x1000)
+        for _ in range(6):
+            core.load_program(prog, entry="entry")
+            core.set_reg(1, 1)
+            core.run()
+        soc.hierarchy.flush_line(target)
+        core.load_program(prog, entry="entry")
+        core.set_reg(1, 0)
+        core.run()
+        assert not soc.hierarchy.present_in_llc(target)
+
+    def test_window_zero_disables_transients(self):
+        soc = _soc(transient_window=0)
+        core = soc.cores[0]
+        prog = assemble("""
+        entry:
+            li r2, 1
+            beq r1, r2, other
+            halt
+        other:
+            halt
+        """, base=DRAM + 0x1000)
+        core.load_program(prog, entry="entry")
+        core.run()
+        assert core.transient_instrs == 0
+
+    def test_transient_stores_suppressed(self):
+        soc = _soc(transient_window=16)
+        core = soc.cores[0]
+        target = DRAM + 0xB000
+        prog = assemble(f"""
+        entry:
+            li r2, 1
+            beq r1, r2, wrongpath
+            halt
+        wrongpath:
+            li r4, {target}
+            li r5, 77
+            store r5, 0(r4)
+            halt
+        """, base=DRAM + 0x1000)
+        for _ in range(6):
+            core.load_program(prog, entry="entry")
+            core.set_reg(1, 1)
+            core.run()
+        # Training executed the store architecturally; reset the cell so
+        # only a (suppressed) transient store could write it now.
+        soc.memory.write_word(target, 0)
+        core.load_program(prog, entry="entry")
+        core.set_reg(1, 0)
+        core.run()
+        assert soc.memory.read_word(target) == 0
+
+
+class TestFaultForwarding:
+    def _setup_kernel_page(self, soc):
+        table = soc.make_page_table(asid=1)
+        code = DRAM + 0x1000
+        user = PageFlags.PRESENT | PageFlags.USER | PageFlags.WRITABLE
+        table.map_range(code & ~0xFFF, code & ~0xFFF, 0x2000,
+                        user | PageFlags.EXECUTE)
+        kernel_page = DRAM + 0x20_0000
+        soc.memory.write_word(kernel_page, 0x40)  # secret: one line offset
+        table.map(kernel_page, kernel_page, PageFlags.PRESENT)
+        return table, kernel_page
+
+    def test_privilege_fault_forwards_when_vulnerable(self):
+        soc = _soc(fault_at_retirement=True, transient_window=16)
+        core = soc.cores[0]
+        table, kernel_page = self._setup_kernel_page(soc)
+        probe = DRAM + 0x1800
+        user = PageFlags.PRESENT | PageFlags.USER
+        prog = assemble(f"""
+        entry:
+            li r1, {kernel_page}
+            load r2, 0(r1)
+            li r3, {probe}
+            add r3, r3, r2
+            load r4, 0(r3)
+        resume:
+            halt
+        """, base=DRAM + 0x1000)
+        core.mmu.set_context(table.root, 1)
+        core.privilege = PrivilegeLevel.USER
+        core.load_program(prog, entry="entry")
+        core.fault_resume = prog.address_of("resume")
+        soc.hierarchy.flush_line(probe + 0x40)
+        core.run()
+        # probe[secret] was transiently touched.
+        assert soc.hierarchy.present_in_llc(probe + 0x40)
+
+    def test_fixed_hardware_does_not_forward(self):
+        soc = _soc(fault_at_retirement=False, transient_window=16)
+        core = soc.cores[0]
+        table, kernel_page = self._setup_kernel_page(soc)
+        probe = DRAM + 0x1800
+        prog = assemble(f"""
+        entry:
+            li r1, {kernel_page}
+            load r2, 0(r1)
+            li r3, {probe}
+            add r3, r3, r2
+            load r4, 0(r3)
+        resume:
+            halt
+        """, base=DRAM + 0x1000)
+        core.mmu.set_context(table.root, 1)
+        core.privilege = PrivilegeLevel.USER
+        core.load_program(prog, entry="entry")
+        core.fault_resume = prog.address_of("resume")
+        core.run()
+        assert core.transient_runs == 0

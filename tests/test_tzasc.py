@@ -1,0 +1,110 @@
+"""TrustZone address space controller and world state."""
+
+import pytest
+
+from repro.common import World
+from repro.errors import AccessFault, ConfigurationError, SecurityViolation
+from repro.memory.bus import BusMaster, BusTransaction
+from repro.memory.tzasc import (
+    SecureWindow,
+    TrustZoneAddressSpaceController,
+    WorldState,
+)
+
+CPU = BusMaster("core0", kind="cpu", secure_capable=True)
+GPU = BusMaster("gpu", kind="dma")
+
+
+def _txn(addr, secure=False, access="read", master=CPU, size=8):
+    return BusTransaction(master, addr, access, size, secure=secure)
+
+
+@pytest.fixture
+def tzasc():
+    controller = TrustZoneAddressSpaceController()
+    controller.add_window(SecureWindow("sw", 0x9000_0000, 0x10_0000))
+    return controller
+
+
+class TestSecureWindows:
+    def test_nonsecure_access_denied(self, tzasc):
+        with pytest.raises(AccessFault, match="non-secure"):
+            tzasc.check(_txn(0x9000_0000), None)
+
+    def test_secure_access_allowed(self, tzasc):
+        tzasc.check(_txn(0x9000_0000, secure=True), None)
+
+    def test_outside_window_unaffected(self, tzasc):
+        tzasc.check(_txn(0x8000_0000), None)
+
+    def test_partial_overlap_caught(self, tzasc):
+        # A transaction straddling the window edge is still checked.
+        with pytest.raises(AccessFault):
+            tzasc.check(_txn(0x9000_0000 - 4, size=8), None)
+
+    def test_duplicate_window_rejected(self, tzasc):
+        with pytest.raises(ConfigurationError):
+            tzasc.add_window(SecureWindow("sw", 0xA000_0000, 0x1000))
+
+    def test_lock(self, tzasc):
+        tzasc.lock()
+        with pytest.raises(SecurityViolation):
+            tzasc.add_window(SecureWindow("x", 0xA000_0000, 0x1000))
+
+
+class TestExclusiveClaims:
+    def test_claim_excludes_other_masters(self):
+        tzasc = TrustZoneAddressSpaceController()
+        tzasc.add_window(SecureWindow("fb", 0xA000_0000, 0x1000,
+                                      secure_only=False))
+        tzasc.claim("fb", "gpu")
+        tzasc.check(_txn(0xA000_0000, master=GPU), None)
+        with pytest.raises(AccessFault, match="exclusively claimed"):
+            tzasc.check(_txn(0xA000_0000, master=CPU), None)
+
+    def test_release_restores_access(self):
+        tzasc = TrustZoneAddressSpaceController()
+        tzasc.add_window(SecureWindow("fb", 0xA000_0000, 0x1000,
+                                      secure_only=False))
+        tzasc.claim("fb", "gpu")
+        tzasc.release("fb", "gpu")
+        tzasc.check(_txn(0xA000_0000, master=CPU), None)
+
+    def test_double_claim_conflict(self):
+        tzasc = TrustZoneAddressSpaceController()
+        tzasc.add_window(SecureWindow("fb", 0xA000_0000, 0x1000))
+        tzasc.claim("fb", "gpu")
+        with pytest.raises(SecurityViolation, match="already claimed"):
+            tzasc.claim("fb", "core0")
+        tzasc.claim("fb", "gpu")  # re-claim by holder is idempotent
+
+    def test_release_by_non_holder_rejected(self):
+        tzasc = TrustZoneAddressSpaceController()
+        tzasc.add_window(SecureWindow("fb", 0xA000_0000, 0x1000))
+        tzasc.claim("fb", "gpu")
+        with pytest.raises(SecurityViolation):
+            tzasc.release("fb", "core0")
+
+    def test_claim_unknown_window(self):
+        tzasc = TrustZoneAddressSpaceController()
+        with pytest.raises(KeyError):
+            tzasc.claim("nope", "gpu")
+
+    def test_holder_query(self):
+        tzasc = TrustZoneAddressSpaceController()
+        tzasc.add_window(SecureWindow("fb", 0xA000_0000, 0x1000))
+        assert tzasc.holder("fb") is None
+        tzasc.claim("fb", "gpu")
+        assert tzasc.holder("fb") == "gpu"
+
+
+class TestWorldState:
+    def test_default_is_normal(self):
+        state = WorldState()
+        assert state.world_of("core0") is World.NORMAL
+
+    def test_set_world(self):
+        state = WorldState()
+        state.set_world("core0", World.SECURE)
+        assert state.world_of("core0").is_secure
+        assert not state.world_of("core1").is_secure
