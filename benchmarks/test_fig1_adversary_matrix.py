@@ -7,30 +7,52 @@ three platform classes.
 Reproduction: every adversary cell is the aggregated, prior-weighted
 outcome of actually running that adversary's attacks on the platform's
 simulated SoC; the performance/energy rows come from a measured reference
-workload.  Expected shape: 18/18 cells match the published shading.
+workload.  Cells execute through :class:`repro.runner.ExperimentRunner`,
+whose stats (per-cell wall time, cache hits/misses, worker utilisation)
+are recorded as benchmark extra-info.  Expected shape: 18/18 cells match
+the published shading.
 """
 
 from __future__ import annotations
 
 from repro.core.figure1 import PAPER_EXPECTED, generate_figure1
 from repro.core.matrix import EvaluationMatrix
+from repro.runner import ExperimentRunner
+
+
+def _record_runner_stats(benchmark, runner: ExperimentRunner) -> None:
+    stats = runner.stats
+    benchmark.extra_info["runner_mode"] = stats.mode
+    benchmark.extra_info["runner_jobs"] = stats.jobs
+    benchmark.extra_info["cache_hits"] = stats.cache_hits
+    benchmark.extra_info["cache_misses"] = stats.cache_misses
+    benchmark.extra_info["worker_utilisation"] = \
+        round(stats.worker_utilisation, 3)
+    benchmark.extra_info["cell_wall_times_s"] = {
+        f"{platform}/{category}": round(seconds, 4)
+        for (platform, category), seconds in sorted(stats.cell_times.items())}
 
 
 def test_fig1_adversary_matrix(benchmark, show):
+    runner = ExperimentRunner()
     figure = benchmark.pedantic(
-        lambda: generate_figure1(quick=True), rounds=1, iterations=1)
+        lambda: generate_figure1(
+            matrix=EvaluationMatrix(runner=runner)),
+        rounds=1, iterations=1)
 
     show("=== FIGURE 1 (regenerated from simulation) ===",
          figure.render(),
          f"cell agreement with paper: "
          f"{figure.agreement_with_paper():.0%} "
          f"({len(PAPER_EXPECTED) - len(figure.mismatches())}"
-         f"/{len(PAPER_EXPECTED)})")
+         f"/{len(PAPER_EXPECTED)})",
+         runner.stats.summary())
     for row, platform, got, expected in figure.mismatches():
         show(f"  MISMATCH {row} / {platform.value}: measured {got}, "
              f"paper {expected}")
 
     benchmark.extra_info["agreement"] = figure.agreement_with_paper()
+    _record_runner_stats(benchmark, runner)
     # The headline reproduction claim: the qualitative figure holds.
     assert figure.agreement_with_paper() >= 16 / 18
 
@@ -38,10 +60,10 @@ def test_fig1_adversary_matrix(benchmark, show):
 def test_fig1_requirement_rows_monotonic(benchmark, show):
     """TAB-REQ: performance decreases and energy pressure increases
     monotonically from server to embedded — the figure's bottom rows."""
+    runner = ExperimentRunner()
 
     def measure():
-        matrix = EvaluationMatrix(quick=True)
-        matrix.evaluate()
+        matrix = EvaluationMatrix(quick=True, runner=runner)
         return matrix.performance_scores(), \
             matrix.energy_constraint_scores(), matrix.workloads
 
@@ -57,7 +79,9 @@ def test_fig1_requirement_rows_monotonic(benchmark, show):
         rows.append(f"{p.value:<18}{perf[p]:>9.2f}{energy[p]:>16.2f}"
                     f"{w.throughput_ops_per_s:>17.0f}"
                     f"{w.energy_per_op_pj:>14.0f}")
-    show("=== Figure 1 requirement rows (measured) ===", *rows)
+    show("=== Figure 1 requirement rows (measured) ===", *rows,
+         runner.stats.summary())
 
+    _record_runner_stats(benchmark, runner)
     assert perf[order[0]] > perf[order[1]] > perf[order[2]]
     assert energy[order[0]] < energy[order[1]] < energy[order[2]]

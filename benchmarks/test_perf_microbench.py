@@ -102,3 +102,37 @@ def test_perf_enclave_encrypt_full_path(benchmark):
     sgx = SGX(make_server_soc())
     victim = sgx.deploy_aes_victim(KEY)
     benchmark(victim.encrypt, BLOCK)
+
+
+def test_perf_runner_cell_remote_embedded(benchmark):
+    """One full matrix cell through the runner's worker entry point:
+    SoC build + suite run + payload serialisation."""
+    from repro.attacks.suites import MatrixKnobs
+    from repro.runner import CellSpec, execute_spec
+    spec = CellSpec(seed=0x2019, platform="embedded", category="remote",
+                    knobs=MatrixKnobs.quick().as_key())
+    payload = benchmark(execute_spec, spec)
+    benchmark.extra_info["cell_wall_time_s"] = \
+        round(payload["cell_wall_time_s"], 5)
+
+
+def test_perf_runner_cached_matrix(benchmark, tmp_path):
+    """A fully warmed cache turns the quick matrix into pure lookups —
+    this tracks the memoisation overhead (15 key hashes + JSON reads)."""
+    from repro.core.matrix import EvaluationMatrix
+    from repro.runner import ExperimentRunner, ResultCache
+    cache = ResultCache(tmp_path)
+    warm = ExperimentRunner(cache=cache)
+    EvaluationMatrix(runner=warm).evaluate()
+    assert warm.stats.cache_misses == 15
+
+    runner = ExperimentRunner(cache=cache)
+
+    def cached_run():
+        return EvaluationMatrix(runner=runner).evaluate()
+
+    cells = benchmark(cached_run)
+    assert len(cells) == 12
+    assert runner.stats.cache_hits == 15
+    benchmark.extra_info["cache_hits"] = runner.stats.cache_hits
+    benchmark.extra_info["hit_rate"] = runner.stats.hit_rate

@@ -34,4 +34,5 @@ __all__ = [
     "isa",
     "memory",
     "power",
+    "runner",
 ]

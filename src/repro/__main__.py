@@ -2,12 +2,21 @@
 
 Usage::
 
-    python -m repro figure1          # Figure 1 from live attacks
-    python -m repro architectures    # TAB-S3 feature comparison
-    python -m repro cache            # TAB-S41 cache side channels
-    python -m repro transient        # TAB-S42 transient attacks
-    python -m repro advisor          # Section-6 recommendations demo
-    python -m repro all              # everything above
+    python -m repro figure1            # Figure 1 from live attacks
+    python -m repro figure1 --jobs 4   # ... cells fanned over 4 workers
+    python -m repro figure1 --full     # ... non-quick attack sizing
+    python -m repro architectures      # TAB-S3 feature comparison
+    python -m repro cache              # TAB-S41 cache side channels
+    python -m repro transient          # TAB-S42 transient attacks
+    python -m repro advisor            # Section-6 recommendations demo
+    python -m repro all                # everything above
+
+Cell results are memoised on disk (``~/.cache/repro/cells`` or
+``$REPRO_CACHE_DIR``) keyed by (package version, knobs, seed, platform,
+category); ``--no-cache`` bypasses the cache and ``--clear-cache``
+explicitly invalidates it first.  Runner statistics (mode, per-cell wall
+time, cache hits/misses, worker utilisation) are printed after every
+measured run.
 """
 
 from __future__ import annotations
@@ -16,15 +25,27 @@ import argparse
 import sys
 
 
-def _figure1() -> None:
+def _make_runner(args):
+    from repro.runner import ExperimentRunner, ResultCache
+    cache = ResultCache()
+    if args.clear_cache:
+        removed = cache.clear()
+        print(f"cache cleared: {removed} entries removed")
+    return ExperimentRunner(jobs=args.jobs,
+                            cache=None if args.no_cache else cache)
+
+
+def _figure1(args) -> None:
     from repro.core import generate_figure1
-    figure = generate_figure1(quick=True)
+    runner = _make_runner(args)
+    figure = generate_figure1(quick=not args.full, runner=runner)
     print(figure.render())
     print(f"\ncell agreement with the published Figure 1: "
           f"{figure.agreement_with_paper():.0%}")
+    print(f"\n{runner.stats.summary()}")
 
 
-def _architectures() -> None:
+def _architectures(args) -> None:
     from repro.core.comparison import (
         architecture_feature_table,
         render_table,
@@ -33,15 +54,16 @@ def _architectures() -> None:
     print(render_table(headers, rows))
 
 
-def _cache() -> None:
+def _cache(args) -> None:
     from repro.core.comparison import (
         cache_defence_table,
         render_cache_defence_table,
     )
-    print(render_cache_defence_table(cache_defence_table(quick=True)))
+    rows = cache_defence_table(quick=not args.full, jobs=args.jobs)
+    print(render_cache_defence_table(rows))
 
 
-def _transient() -> None:
+def _transient(args) -> None:
     from repro.core.comparison import (
         render_table,
         transient_applicability_table,
@@ -50,7 +72,7 @@ def _transient() -> None:
     print(render_table(headers, rows))
 
 
-def _advisor() -> None:
+def _advisor(args) -> None:
     from repro.attacks.base import AttackCategory
     from repro.common import PlatformClass
     from repro.core import Requirements, recommend_architecture
@@ -81,13 +103,25 @@ def main(argv: list[str] | None = None) -> int:
                     "(DAC 2019) from simulation.")
     parser.add_argument("command", choices=[*_COMMANDS, "all"],
                         help="which artefact to regenerate")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for independent cells "
+                             "(default: 1, serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every cell; skip the on-disk "
+                             "result cache")
+    parser.add_argument("--clear-cache", action="store_true",
+                        help="invalidate the on-disk result cache before "
+                             "running")
+    parser.add_argument("--full", action="store_true",
+                        help="full (non-quick) attack sizing: more "
+                             "traces, longer secrets, bigger keys")
     args = parser.parse_args(argv)
     if args.command == "all":
         for name, command in _COMMANDS.items():
             print(f"\n{'=' * 20} {name} {'=' * 20}")
-            command()
+            command(args)
     else:
-        _COMMANDS[args.command]()
+        _COMMANDS[args.command](args)
     return 0
 
 

@@ -52,6 +52,7 @@ from repro.cpu.soc import (
 )
 from repro.cpu.speculative import SpeculativeConfig
 from repro.crypto.rng import XorShiftRNG
+from repro.runner import derive_seed, parallel_map
 
 #: (architecture class, SoC factory) in the paper's presentation order.
 ARCH_HOSTS = (
@@ -160,37 +161,60 @@ class CacheDefenceRow:
         return all(s < 0.5 for s in scores)
 
 
-def cache_defence_table(quick: bool = True, include_evict_time: bool = False,
-                        seed: int = 0x41) -> list[CacheDefenceRow]:
-    """TAB-S41: run the cache attacks against each enclave-capable arch."""
+#: TAB-S41 hosts; module-level so worker processes can rebuild any row
+#: by index (classes and factories pickle by reference).
+_CACHE_HOSTS = (
+    (NullArchitecture, make_server_soc, "none (baseline)"),
+    (SGX, make_server_soc, "none (no LLC defence)"),
+    (Sanctum, make_server_soc, "LLC page colouring"),
+    (TrustZone, make_mobile_soc, "none (no LLC defence)"),
+    (Sanctuary, make_mobile_soc, "LLC exclusion + L1 flush"),
+)
+
+
+def _cache_defence_row(task: tuple[int, bool, bool, int]) -> CacheDefenceRow:
+    """One TAB-S41 row; pickling-safe entry point for worker processes.
+
+    Each attack draws from its own digest-derived stream, so rows are
+    independent of each other and of attack ordering within the row.
+    """
+    index, quick, include_evict_time, seed = task
+    arch_cls, make_soc, defence = _CACHE_HOSTS[index]
     key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
     config = _CacheAttackConfig(
         samples_per_value=8 if quick else 14,
         plaintext_values=8,
         target_bytes=(0, 5) if quick else (0, 5, 10, 15))
-    hosts = [
-        (NullArchitecture, make_server_soc, "none (baseline)"),
-        (SGX, make_server_soc, "none (no LLC defence)"),
-        (Sanctum, make_server_soc, "LLC page colouring"),
-        (TrustZone, make_mobile_soc, "none (no LLC defence)"),
-        (Sanctuary, make_mobile_soc, "LLC exclusion + L1 flush"),
-    ]
-    rows: list[CacheDefenceRow] = []
-    for arch_cls, make_soc, defence in hosts:
-        arch = arch_cls(make_soc())
-        victim = arch.deploy_aes_victim(key, core_id=0)
-        attacker = AttackerProcess(arch, core_id=1)
-        rng = XorShiftRNG(seed)
-        pp = PrimeProbeAttack(victim, attacker, rng, config).run()
-        fr = FlushReloadAttack(victim, AttackerProcess(arch, core_id=1),
-                               XorShiftRNG(seed + 1), config).run()
-        et = None
-        if include_evict_time:
-            et = EvictTimeAttack(victim, AttackerProcess(arch, core_id=1),
-                                 XorShiftRNG(seed + 2), config).run().score
-        rows.append(CacheDefenceRow(
-            architecture=arch.NAME, defence=defence,
-            prime_probe=pp.score, flush_reload=fr.score, evict_time=et))
+    arch = arch_cls(make_soc())
+    victim = arch.deploy_aes_victim(key, core_id=0)
+
+    def rng_for(attack: str) -> XorShiftRNG:
+        return XorShiftRNG(derive_seed(seed, arch.NAME, attack))
+
+    pp = PrimeProbeAttack(victim, AttackerProcess(arch, core_id=1),
+                          rng_for("prime+probe"), config).run()
+    fr = FlushReloadAttack(victim, AttackerProcess(arch, core_id=1),
+                           rng_for("flush+reload"), config).run()
+    et = None
+    if include_evict_time:
+        et = EvictTimeAttack(victim, AttackerProcess(arch, core_id=1),
+                             rng_for("evict+time"), config).run().score
+    return CacheDefenceRow(
+        architecture=arch.NAME, defence=defence,
+        prime_probe=pp.score, flush_reload=fr.score, evict_time=et)
+
+
+def cache_defence_table(quick: bool = True, include_evict_time: bool = False,
+                        seed: int = 0x41,
+                        jobs: int = 1) -> list[CacheDefenceRow]:
+    """TAB-S41: run the cache attacks against each enclave-capable arch.
+
+    ``jobs > 1`` fans the architecture rows out over worker processes
+    (rows are mutually independent by construction).
+    """
+    tasks = [(index, quick, include_evict_time, seed)
+             for index in range(len(_CACHE_HOSTS))]
+    rows, _ = parallel_map(_cache_defence_row, tasks, jobs)
     return rows
 
 
@@ -239,10 +263,13 @@ def transient_applicability_table(secret: bytes = b"TRNS",
     rows: list[list[str]] = []
     for label, kwargs in designs:
         scores: list[str] = [label]
-        rng = XorShiftRNG(seed)
+        # Independent digest-derived stream per (design point, attack):
+        # adding a design point or attack cannot shift any other cell.
         soc = _soc_variant(label, **kwargs)
+        rng = XorShiftRNG(derive_seed(seed, label, "spectre-v1"))
         scores.append(f"{SpectreV1Attack(soc, secret, rng=rng).run().score:.2f}")
         soc = _soc_variant(label, **kwargs)
+        rng = XorShiftRNG(derive_seed(seed, label, "spectre-v2"))
         scores.append(
             f"{SpectreBTBAttack(soc, secret, rng=rng).run().score:.2f}")
         soc = _soc_variant(label, **kwargs)

@@ -19,6 +19,7 @@ from repro.attacks.base import AttackCategory
 from repro.common import PlatformClass
 from repro.core.matrix import EvaluationMatrix
 from repro.core.taxonomy import Importance, importance_from_score
+from repro.runner import ExperimentRunner
 
 ROW_ORDER = (
     "remote attacks",
@@ -111,12 +112,17 @@ class Figure1:
 
 
 def generate_figure1(matrix: EvaluationMatrix | None = None,
-                     quick: bool = True) -> Figure1:
-    """Run (or reuse) the evaluation matrix and shade the figure."""
+                     quick: bool = True,
+                     runner: "ExperimentRunner | None" = None) -> Figure1:
+    """Run (or reuse) the evaluation matrix and shade the figure.
+
+    ``runner`` (forwarded to :class:`EvaluationMatrix` when ``matrix`` is
+    not supplied) selects parallel and/or cached execution; its ``stats``
+    afterwards describe the run.
+    """
     if matrix is None:
-        matrix = EvaluationMatrix(quick=quick)
-    if not matrix.cells:
-        matrix.evaluate()
+        matrix = EvaluationMatrix(quick=quick, runner=runner)
+    matrix.evaluate()
 
     grid: dict[tuple[str, PlatformClass], Importance] = {}
     scores: dict[tuple[str, PlatformClass], float] = {}

@@ -6,6 +6,13 @@ architectures) and runs the representative attack of each adversary
 category against undefended software.  Scores are aggregated per category
 and weighted by the platform's exposure prior; the weighted score is what
 Figure 1 shades.
+
+Execution is delegated to :mod:`repro.runner`: every ``(platform,
+category)`` cell is an independent :class:`~repro.runner.CellSpec` whose
+RNG seed is ``sha256(f"{seed}:{platform}:{category}")`` — never Python's
+per-process-salted ``hash()`` — so two fresh interpreters produce
+byte-identical per-cell scores, cells can be fanned out over worker
+processes, and results can be memoised on disk.
 """
 
 from __future__ import annotations
@@ -13,25 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.arch.null import NullArchitecture
-from repro.attacks.base import AttackCategory, AttackResult, AttackerProcess
-from repro.attacks.cache_sca import (
-    FlushReloadAttack,
-    SharedAESService,
-    _CacheAttackConfig,
+from repro.attacks.base import AttackCategory, AttackResult
+from repro.attacks.suites import (
+    MatrixKnobs,
+    PRIOR_ATTRS,
+    SUITES,
 )
-from repro.attacks.fault_attacks import (
-    BellcoreRSAAttack,
-    make_glitchable_aes_victim,
-    AESLastRoundDFA,
-)
-from repro.attacks.meltdown import MeltdownAttack
-from repro.attacks.software import (
-    CodeInjectionAttack,
-    DMAAttack,
-    KernelMemoryProbeAttack,
-)
-from repro.attacks.spectre import SpectreV1Attack
-from repro.attacks.timing import KocherTimingAttack
 from repro.common import PlatformClass
 from repro.core.platforms import (
     PlatformProfile,
@@ -40,12 +34,18 @@ from repro.core.platforms import (
     reference_workload,
 )
 from repro.core.taxonomy import Importance, importance_from_score
-from repro.crypto.aes import AES128
+from repro.cpu.soc import soc_factory_for
 from repro.crypto.rng import XorShiftRNG
-from repro.crypto.rsa import RSA, generate_rsa_key
-from repro.power.instrument import capture_aes_traces
-from repro.power.leakage import HammingWeightModel
-from repro.attacks.dpa import cpa_recover_key, key_recovery_rate
+from repro.runner import (
+    WORKLOAD_CATEGORY,
+    CellSpec,
+    ExperimentRunner,
+    derive_cell_seed,
+)
+from repro.runner.serialize import attack_result_from_dict, workload_from_dict
+
+#: Backwards-compatible alias; the knobs now live with the suites.
+_QuickKnobs = MatrixKnobs
 
 
 @dataclass
@@ -72,127 +72,105 @@ class CellResult:
         return importance_from_score(self.score)
 
 
-@dataclass
-class _QuickKnobs:
-    """Attack sizing; quick mode keeps the matrix fast for tests."""
-
-    secret_len: int = 4
-    traces: int = 300
-    fr_samples: int = 8
-    fr_values: int = 8
-    rsa_bits: int = 64
-    timing_samples: int = 600
-    timing_bits: int = 8
-
-
 class EvaluationMatrix:
-    """Runs the whole grid and holds the results."""
+    """Runs the whole grid and holds the results.
+
+    ``runner`` controls execution: ``None`` means a private serial,
+    uncached :class:`ExperimentRunner`; pass one configured with
+    ``jobs``/``cache`` to parallelise or memoise.  After
+    :meth:`evaluate`, the runner's ``stats`` describe the run.
+    """
 
     def __init__(self, platforms: tuple[PlatformProfile, ...]
                  = STANDARD_PLATFORMS, quick: bool = True,
-                 seed: int = 0x2019) -> None:
+                 seed: int = 0x2019,
+                 runner: ExperimentRunner | None = None) -> None:
         self.platforms = platforms
-        self.knobs = _QuickKnobs() if quick else _QuickKnobs(
-            secret_len=8, traces=1000, fr_samples=12, fr_values=8,
-            rsa_bits=96, timing_samples=1200, timing_bits=16)
+        self.knobs = MatrixKnobs.quick() if quick else MatrixKnobs.full()
         self.seed = seed
+        self.runner = runner
         self.cells: dict[tuple[PlatformClass, AttackCategory], CellResult] = {}
         self.workloads: dict[PlatformClass, WorkloadResult] = {}
 
-    # -- category suites -----------------------------------------------------
+    # -- per-cell inputs -------------------------------------------------------
 
-    def _remote_suite(self, arch: NullArchitecture,
-                      rng: XorShiftRNG) -> list[AttackResult]:
-        return [CodeInjectionAttack(arch).run()]
+    def cell_seed(self, platform: PlatformClass,
+                  category: AttackCategory) -> int:
+        """The cell's RNG seed: a pure function of its coordinates."""
+        return derive_cell_seed(self.seed, platform.value, category.value)
 
-    def _local_suite(self, arch: NullArchitecture,
-                     rng: XorShiftRNG) -> list[AttackResult]:
-        dram = arch.soc.regions.get("dram")
-        secret_paddr = dram.base + dram.size // 2 - 0x8000
-        secret = rng.bytes(8)
-        arch.soc.memory.write_bytes(secret_paddr, secret)
-        probe = KernelMemoryProbeAttack(arch, secret_paddr=secret_paddr,
-                                        secret_value=secret).run()
-        dma = DMAAttack(arch, secret_paddr, expected=secret).run()
-        return [probe, dma]
+    def _prior(self, profile: PlatformProfile,
+               category: AttackCategory) -> float:
+        attr = PRIOR_ATTRS.get(category)
+        return getattr(profile, attr) if attr else 1.0
 
-    def _microarch_suite(self, arch: NullArchitecture,
-                         rng: XorShiftRNG) -> list[AttackResult]:
-        knobs = self.knobs
-        soc = arch.soc
-        secret = bytes(0x41 + rng.next_below(26)
-                       for _ in range(knobs.secret_len))
-        results = [SpectreV1Attack(soc, secret, rng=rng).run(),
-                   MeltdownAttack(soc, secret).run()]
-        service = SharedAESService(soc, rng.bytes(16), core_id=0)
-        attacker_core = min(1, len(soc.cores) - 1)
-        attacker = AttackerProcess(arch, core_id=attacker_core)
-        config = _CacheAttackConfig(
-            samples_per_value=knobs.fr_samples,
-            plaintext_values=knobs.fr_values,
-            target_bytes=(0, 5))
-        results.append(FlushReloadAttack(service, attacker, rng,
-                                         config).run())
-        return results
+    def _spec(self, profile: PlatformProfile, category: str) -> CellSpec:
+        return CellSpec(seed=self.seed, platform=profile.platform.value,
+                        category=category, knobs=self.knobs.as_key())
 
-    def _physical_suite(self, arch: NullArchitecture,
-                        rng: XorShiftRNG) -> list[AttackResult]:
-        knobs = self.knobs
-        # Power: CPA on an unprotected AES running on the device.
-        aes_key = rng.bytes(16)
-        traces = capture_aes_traces(
-            lambda leak: AES128(aes_key, leak_hook=leak), knobs.traces,
-            HammingWeightModel(noise_std=1.0, rng=XorShiftRNG(rng.next_u64())),
-            rng=XorShiftRNG(rng.next_u64()))
-        rate = key_recovery_rate(cpa_recover_key(traces), aes_key)
-        cpa_result = AttackResult(
-            name="cpa-power", category=AttackCategory.PHYSICAL,
-            success=rate >= 0.9, score=rate,
-            details={"traces": knobs.traces})
-        # Faults: Bellcore on an unprotected CRT signer.
-        rsa_key = generate_rsa_key(knobs.rsa_bits,
-                                   XorShiftRNG(rng.next_u64()))
-        bellcore = BellcoreRSAAttack(RSA(rsa_key),
-                                     rng=XorShiftRNG(rng.next_u64())).run()
-        # Timing: Kocher against square-and-multiply.
-        timing = KocherTimingAttack(
-            RSA(rsa_key), samples=knobs.timing_samples,
-            max_bits=knobs.timing_bits,
-            rng=XorShiftRNG(rng.next_u64())).run()
-        return [cpa_result, bellcore, timing]
+    def _runnable_in_worker(self, profile: PlatformProfile) -> bool:
+        """Workers rebuild SoCs from the registry; a profile with a
+        custom factory must run in-process instead."""
+        try:
+            return soc_factory_for(profile.platform) is profile.make_soc
+        except KeyError:
+            return False
 
     # -- the grid --------------------------------------------------------------
 
-    def evaluate(self) -> dict[tuple[PlatformClass, AttackCategory],
-                               CellResult]:
-        """Run every cell; results cached on the instance."""
-        suites = {
-            AttackCategory.REMOTE: (self._remote_suite, None),
-            AttackCategory.LOCAL: (self._local_suite, None),
-            AttackCategory.MICROARCHITECTURAL:
-                (self._microarch_suite, "co_residency_prior"),
-            AttackCategory.PHYSICAL:
-                (self._physical_suite, "physical_access_prior"),
-        }
-        for profile in self.platforms:
-            rng = XorShiftRNG(self.seed ^ hash(profile.platform.value))
-            for category, (suite, prior_name) in suites.items():
-                soc = profile.make_soc()
-                arch = NullArchitecture(soc, profile.platform)
-                prior = getattr(profile, prior_name) if prior_name else 1.0
-                cell = CellResult(profile.platform, category,
-                                  suite(arch, rng), prior)
-                self.cells[(profile.platform, category)] = cell
-            self.workloads[profile.platform] = reference_workload(
-                profile.make_soc())
+    def evaluate(self, force: bool = False
+                 ) -> dict[tuple[PlatformClass, AttackCategory], CellResult]:
+        """Run every cell; idempotent unless ``force`` is set."""
+        if self.cells and self.workloads and not force:
+            return self.cells
+
+        runner = self.runner or ExperimentRunner()
+        remote = [p for p in self.platforms if self._runnable_in_worker(p)]
+        local = [p for p in self.platforms if p not in remote]
+
+        specs: list[CellSpec] = []
+        for profile in remote:
+            specs.extend(self._spec(profile, category.value)
+                         for category in SUITES)
+            specs.append(self._spec(profile, WORKLOAD_CATEGORY))
+        payloads = runner.run(specs) if specs else {}
+
+        for profile in remote:
+            for category in SUITES:
+                payload = payloads[self._spec(profile, category.value)]
+                attacks = [attack_result_from_dict(d)
+                           for d in payload["attacks"]]
+                self.cells[(profile.platform, category)] = CellResult(
+                    profile.platform, category, attacks,
+                    self._prior(profile, category))
+            workload = payloads[self._spec(profile, WORKLOAD_CATEGORY)]
+            self.workloads[profile.platform] = \
+                workload_from_dict(workload["workload"])
+
+        for profile in local:
+            self._evaluate_locally(profile)
         return self.cells
+
+    def _evaluate_locally(self, profile: PlatformProfile) -> None:
+        """In-process path for profiles with unregistered SoC factories
+        (same seed derivation, no cache/fan-out)."""
+        for category, suite in SUITES.items():
+            arch = NullArchitecture(profile.make_soc(), profile.platform)
+            rng = XorShiftRNG(self.cell_seed(profile.platform, category))
+            self.cells[(profile.platform, category)] = CellResult(
+                profile.platform, category, suite(arch, rng, self.knobs),
+                self._prior(profile, category))
+        self.workloads[profile.platform] = \
+            reference_workload(profile.make_soc())
 
     # -- requirement rows ----------------------------------------------------------
 
     def performance_scores(self) -> dict[PlatformClass, float]:
-        """Relative throughput (1.0 = fastest platform)."""
-        if not self.workloads:
-            raise RuntimeError("call evaluate() first")
+        """Relative throughput (1.0 = fastest platform).
+
+        Evaluates the matrix lazily on first use.
+        """
+        self.evaluate()
         best = max(w.throughput_ops_per_s for w in self.workloads.values())
         return {p: w.throughput_ops_per_s / best
                 for p, w in self.workloads.items()}
@@ -203,11 +181,10 @@ class EvaluationMatrix:
         Energy budgets span orders of magnitude (mains-powered servers to
         coin-cell sensors), so the constraint level is positioned on a
         *logarithmic* scale between the loosest and tightest measured
-        budget.
+        budget.  Evaluates the matrix lazily on first use.
         """
         import math
-        if not self.workloads:
-            raise RuntimeError("call evaluate() first")
+        self.evaluate()
         energies = {p: w.energy_per_op_pj for p, w in self.workloads.items()}
         loosest = max(energies.values())
         tightest = min(energies.values())

@@ -27,6 +27,7 @@ from repro.cpu.soc import (
     make_embedded_soc,
     make_mobile_soc,
     make_server_soc,
+    soc_factory_for,
 )
 
 __all__ = [
@@ -47,4 +48,5 @@ __all__ = [
     "make_embedded_soc",
     "make_mobile_soc",
     "make_server_soc",
+    "soc_factory_for",
 ]

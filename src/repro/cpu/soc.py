@@ -233,3 +233,22 @@ def make_embedded_soc() -> SoC:
         has_mmu=False, dram_size=1 << 24, freq_mhz=50.0,
         energy_per_instr_pj=1.0, energy_per_mem_pj=2.0,
         dvfs_software_controllable=False))
+
+
+#: Standard factory per platform class.  Worker processes rebuild a
+#: platform's SoC from this registry, so entries must stay module-level
+#: functions (resolvable by reference in any interpreter).
+SOC_FACTORIES = {
+    PlatformClass.SERVER_DESKTOP: make_server_soc,
+    PlatformClass.MOBILE: make_mobile_soc,
+    PlatformClass.EMBEDDED: make_embedded_soc,
+}
+
+
+def soc_factory_for(platform: PlatformClass):
+    """The registered SoC factory for ``platform``."""
+    try:
+        return SOC_FACTORIES[platform]
+    except KeyError:
+        raise KeyError(f"no SoC factory registered for {platform!r}") \
+            from None

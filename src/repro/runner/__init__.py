@@ -1,0 +1,45 @@
+"""Deterministic, parallel, cached experiment execution.
+
+The evaluation grid (``repro.core.matrix``) and the comparison tables
+(``repro.core.comparison``) are *measured* artefacts: every cell is the
+outcome of running real attack code.  That only means something if a cell
+is a pure function of its inputs.  This package provides the three layers
+that make it so, and then make it fast:
+
+* :mod:`repro.runner.seeding` — stable, process-independent seed
+  derivation (SHA-256 of the ``(seed, platform, category)`` coordinates;
+  never Python's salted ``hash()``);
+* :mod:`repro.runner.engine` — :class:`ExperimentRunner`, which fans
+  independent cells out over a ``ProcessPoolExecutor`` (with a serial
+  fallback) and memoises results in a content-addressed on-disk
+  :class:`~repro.runner.cache.ResultCache`;
+* :mod:`repro.runner.stats` — :class:`RunnerStats`, the run's measured
+  metadata: per-cell wall time, cache hit/miss counts, worker
+  utilisation.
+"""
+
+from repro.runner.cache import ResultCache, default_cache_root
+from repro.runner.engine import (
+    WORKLOAD_CATEGORY,
+    CellSpec,
+    ExperimentRunner,
+    cache_key_for,
+    execute_spec,
+    parallel_map,
+)
+from repro.runner.seeding import derive_cell_seed, derive_seed
+from repro.runner.stats import RunnerStats
+
+__all__ = [
+    "CellSpec",
+    "ExperimentRunner",
+    "ResultCache",
+    "RunnerStats",
+    "WORKLOAD_CATEGORY",
+    "cache_key_for",
+    "default_cache_root",
+    "derive_cell_seed",
+    "derive_seed",
+    "execute_spec",
+    "parallel_map",
+]

@@ -1,0 +1,92 @@
+"""Content-addressed on-disk cache for cell results.
+
+Entries are keyed by the SHA-256 of the cell's full input description —
+package version, knobs, seed, platform, category — so a hit can only ever
+return the payload that cell would recompute.  Bumping
+``repro.__version__`` therefore invalidates every entry implicitly;
+:meth:`ResultCache.clear` invalidates explicitly.
+
+The cache is deliberately forgiving: a truncated or hand-edited entry is
+discarded (and deleted) rather than allowed to poison a run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro/cells``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "cells"
+
+
+class ResultCache:
+    """One JSON file per cell under ``root``, named by content key."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        #: Entries discarded because they could not be parsed.
+        self.corrupt_discarded = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The cached payload, or ``None`` on miss *or* corruption."""
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError("cache payload must be an object")
+        except (ValueError, TypeError):
+            self.corrupt_discarded += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Atomically persist ``payload`` (write-to-temp, then rename).
+
+        An unwritable cache (root shadowed by a file, permissions, disk
+        full) degrades to no memoisation — it must never abort the
+        measurement run that produced the payload.
+        """
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            path = self.path_for(key)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(payload, sort_keys=True),
+                           encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            pass
+
+    def clear(self) -> int:
+        """Explicit invalidation: delete all entries, return the count."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))

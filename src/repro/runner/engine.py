@@ -1,0 +1,178 @@
+"""The experiment engine: deterministic cells, fanned out and memoised.
+
+A :class:`CellSpec` names one unit of measurement — a ``(platform,
+category)`` attack cell or a platform's reference workload — by plain
+picklable values only.  :func:`execute_spec` turns a spec into a payload
+dict and is a *pure function* of the spec: the SoC is rebuilt from the
+platform's registered factory and the RNG is derived from the spec's
+coordinates, so any process computes the same payload.  That purity is
+what makes both layers above it sound:
+
+* :class:`ExperimentRunner` fans pending specs out over a
+  ``ProcessPoolExecutor`` (serial fallback when pools are unavailable)
+  and memoises payloads in a :class:`~repro.runner.cache.ResultCache`
+  keyed by :func:`cache_key_for`;
+* every run's cost is recorded in a fresh
+  :class:`~repro.runner.stats.RunnerStats` exposed as ``runner.stats``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pickle import PicklingError
+from typing import Callable, Iterable, Sequence
+
+from repro.runner.cache import ResultCache
+from repro.runner.seeding import derive_cell_seed
+from repro.runner.stats import RunnerStats
+
+#: Pseudo-category for the per-platform reference-workload measurement.
+WORKLOAD_CATEGORY = "workload"
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Complete, picklable description of one cell's inputs.
+
+    ``platform`` and ``category`` are enum *values* (strings), not enum
+    members, so the spec pickles compactly and hashes stably; ``knobs``
+    is the canonical tuple form from ``MatrixKnobs.as_key()``.
+    """
+
+    seed: int
+    platform: str
+    category: str
+    knobs: tuple[tuple[str, int], ...] = ()
+
+
+def cache_key_for(spec: CellSpec, version: str | None = None) -> str:
+    """Content address of a cell: SHA-256 over the full input description.
+
+    The package version participates in the key, so upgrading the
+    simulator implicitly invalidates every cached measurement.
+    """
+    if version is None:
+        import repro
+        version = repro.__version__
+    material = json.dumps({
+        "version": version,
+        "seed": spec.seed,
+        "platform": spec.platform,
+        "category": spec.category,
+        "knobs": [list(pair) for pair in spec.knobs],
+    }, sort_keys=True)
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def execute_spec(spec: CellSpec) -> dict:
+    """Compute one cell; importable by reference from worker processes.
+
+    Imports are deferred so that importing :mod:`repro.runner` stays
+    cheap and free of circular imports with :mod:`repro.core`.
+    """
+    from repro.arch.null import NullArchitecture
+    from repro.attacks.base import AttackCategory
+    from repro.attacks.suites import SUITES, MatrixKnobs
+    from repro.common import PlatformClass
+    from repro.core.platforms import reference_workload
+    from repro.cpu.soc import soc_factory_for
+    from repro.crypto.rng import XorShiftRNG
+    from repro.runner.serialize import attack_result_to_dict, workload_to_dict
+
+    start = time.perf_counter()
+    platform = PlatformClass(spec.platform)
+    soc = soc_factory_for(platform)()
+    if spec.category == WORKLOAD_CATEGORY:
+        payload = {"kind": WORKLOAD_CATEGORY,
+                   "workload": workload_to_dict(reference_workload(soc))}
+    else:
+        category = AttackCategory(spec.category)
+        arch = NullArchitecture(soc, platform)
+        rng = XorShiftRNG(derive_cell_seed(spec.seed, spec.platform,
+                                           spec.category))
+        knobs = MatrixKnobs.from_key(spec.knobs)
+        results = SUITES[category](arch, rng, knobs)
+        payload = {"kind": "attacks",
+                   "attacks": [attack_result_to_dict(r) for r in results]}
+    payload["cell_wall_time_s"] = time.perf_counter() - start
+    return payload
+
+
+def parallel_map(fn: Callable, items: Iterable,
+                 jobs: int = 1) -> tuple[list, str]:
+    """``[fn(x) for x in items]``, fanned over processes when asked.
+
+    Returns ``(results, mode)`` with ``mode`` one of ``"serial"``,
+    ``"process-pool"`` or ``"serial-fallback"``.  Only pool
+    *infrastructure* failures (no fork permitted, broken pool, pickling
+    refusal) trigger the fallback; an exception raised by ``fn`` itself
+    propagates — a failing experiment must fail loudly, not quietly
+    rerun.
+    """
+    items = list(items)
+    if jobs > 1 and len(items) > 1:
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(items))) as pool:
+                return list(pool.map(fn, items)), "process-pool"
+        except (OSError, ImportError, BrokenProcessPool, PicklingError):
+            pass
+    mode = "serial-fallback" if jobs > 1 and len(items) > 1 else "serial"
+    return [fn(item) for item in items], mode
+
+
+class ExperimentRunner:
+    """Cache-aware, optionally parallel executor for cell specs.
+
+    ``jobs`` is the worker-process count (1 = in-process serial);
+    ``cache`` is a :class:`ResultCache` or ``None`` to disable
+    memoisation.  Each :meth:`run` replaces :attr:`stats` with that
+    run's measurements.
+    """
+
+    def __init__(self, jobs: int = 1,
+                 cache: ResultCache | None = None) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.stats = RunnerStats(jobs=self.jobs)
+
+    def run(self, specs: Sequence[CellSpec]) -> dict[CellSpec, dict]:
+        specs = list(specs)
+        stats = RunnerStats(jobs=self.jobs)
+        start = time.perf_counter()
+        corrupt_before = (self.cache.corrupt_discarded
+                          if self.cache else 0)
+
+        results: dict[CellSpec, dict] = {}
+        pending: list[CellSpec] = []
+        for spec in specs:
+            payload = (self.cache.get(cache_key_for(spec))
+                       if self.cache else None)
+            if payload is not None:
+                stats.cache_hits += 1
+                results[spec] = payload
+            else:
+                pending.append(spec)
+        stats.cache_misses = len(pending)
+
+        if pending:
+            payloads, stats.mode = parallel_map(execute_spec, pending,
+                                                self.jobs)
+            for spec, payload in zip(pending, payloads):
+                results[spec] = payload
+                stats.cell_times[(spec.platform, spec.category)] = \
+                    payload.get("cell_wall_time_s", 0.0)
+                if self.cache is not None:
+                    self.cache.put(cache_key_for(spec), payload)
+
+        if self.cache is not None:
+            stats.corrupt_entries = \
+                self.cache.corrupt_discarded - corrupt_before
+        stats.wall_time_s = time.perf_counter() - start
+        self.stats = stats
+        return results

@@ -1,0 +1,34 @@
+"""Stable seed derivation for experiment cells.
+
+Python's builtin ``hash()`` on strings is salted per process
+(``PYTHONHASHSEED``), so ``seed ^ hash(platform)`` — the scheme this
+module replaces — produced a *different* RNG stream in every interpreter.
+Cells must instead derive their seed from a cryptographic digest of their
+coordinates: the same ``(seed, platform, category)`` triple yields the
+same stream in any process, on any machine, in any run order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def derive_seed(*parts: object) -> int:
+    """A 64-bit seed from the SHA-256 of ``":"``-joined ``parts``.
+
+    Parts are stringified, so enums should be passed as their ``.value``.
+    Returns a non-zero value (xorshift state must not be all-zero).
+    """
+    material = ":".join(str(part) for part in parts)
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") or 1
+
+
+def derive_cell_seed(seed: int, platform: str, category: str) -> int:
+    """Seed for one ``(platform, category)`` cell of the evaluation grid.
+
+    Exactly ``sha256(f"{seed}:{platform}:{category}")`` truncated to 64
+    bits — each cell gets an independent stream, so reordering cells or
+    adding a category cannot perturb any other cell's measurement.
+    """
+    return derive_seed(seed, platform, category)

@@ -1,0 +1,70 @@
+"""Measured metadata of one runner invocation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunnerStats:
+    """What one :class:`~repro.runner.engine.ExperimentRunner.run` cost.
+
+    ``cell_times`` maps ``(platform, category)`` to the wall time of the
+    cell's execution *inside its worker*; ``wall_time_s`` is the caller's
+    end-to-end wall time; the gap between ``busy_time_s`` spread over
+    ``jobs`` workers and the elapsed wall time is ``worker_utilisation``.
+    """
+
+    jobs: int = 1
+    mode: str = "serial"
+    cache_hits: int = 0
+    cache_misses: int = 0
+    corrupt_entries: int = 0
+    wall_time_s: float = 0.0
+    cell_times: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    @property
+    def cells_total(self) -> int:
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def cells_executed(self) -> int:
+        return len(self.cell_times)
+
+    @property
+    def busy_time_s(self) -> float:
+        return sum(self.cell_times.values())
+
+    @property
+    def worker_utilisation(self) -> float:
+        """Fraction of available worker-seconds spent inside cells."""
+        if self.wall_time_s <= 0.0 or self.jobs <= 0:
+            return 0.0
+        return min(self.busy_time_s / (self.wall_time_s * self.jobs), 1.0)
+
+    @property
+    def hit_rate(self) -> float:
+        if self.cells_total == 0:
+            return 0.0
+        return self.cache_hits / self.cells_total
+
+    def slowest_cells(self, count: int = 3) -> list[tuple[str, str, float]]:
+        ranked = sorted(self.cell_times.items(), key=lambda kv: -kv[1])
+        return [(platform, category, seconds)
+                for (platform, category), seconds in ranked[:count]]
+
+    def summary(self) -> str:
+        """One human-readable block for CLI / benchmark output."""
+        lines = [
+            f"runner: mode={self.mode} jobs={self.jobs} "
+            f"wall={self.wall_time_s:.2f}s "
+            f"utilisation={self.worker_utilisation:.0%}",
+            f"cache: {self.cache_hits} hits / {self.cache_misses} misses"
+            + (f" ({self.corrupt_entries} corrupt discarded)"
+               if self.corrupt_entries else ""),
+        ]
+        if self.cell_times:
+            slow = ", ".join(f"{p}/{c} {t:.2f}s"
+                             for p, c, t in self.slowest_cells())
+            lines.append(f"slowest cells: {slow}")
+        return "\n".join(lines)

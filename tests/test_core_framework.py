@@ -122,10 +122,20 @@ class TestMatrixInternals:
         cell = CellResult(PlatformClass.MOBILE, AttackCategory.PHYSICAL)
         assert cell.raw_score == 0.0
 
-    def test_scores_require_evaluation(self):
-        matrix = EvaluationMatrix()
-        with pytest.raises(RuntimeError):
-            matrix.performance_scores()
+    def test_scores_evaluate_lazily(self):
+        matrix = EvaluationMatrix(
+            platforms=(profile_for(PlatformClass.EMBEDDED),))
+        scores = matrix.performance_scores()  # no evaluate() call needed
+        assert scores[PlatformClass.EMBEDDED] == 1.0
+        assert matrix.cells and matrix.workloads
+
+    def test_stable_digest_seeding_not_hash(self):
+        """Seeds must come from the cell digest, never salted hash()."""
+        from repro.runner import derive_cell_seed
+        matrix = EvaluationMatrix(seed=0xBEEF)
+        assert matrix.cell_seed(PlatformClass.MOBILE,
+                                AttackCategory.PHYSICAL) \
+            == derive_cell_seed(0xBEEF, "mobile", "classical-physical")
 
 
 class TestAdvisor:

@@ -1,0 +1,261 @@
+"""The experiment runner: determinism, parallelism, caching, laziness.
+
+The determinism tests are the regression guard for the original bug:
+cell seeds were derived with Python's per-process-salted ``hash()``, so
+the "measured" matrix silently changed between interpreter runs.  The
+smoke test runs the matrix in fresh subprocesses under *different*
+``PYTHONHASHSEED`` values and demands byte-identical per-cell scores.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.attacks.base import AttackCategory
+from repro.attacks.suites import MatrixKnobs
+from repro.common import PlatformClass
+from repro.core.matrix import EvaluationMatrix
+from repro.core.platforms import PlatformProfile, profile_for
+from repro.cpu.soc import make_embedded_soc, soc_factory_for
+from repro.runner import (
+    WORKLOAD_CATEGORY,
+    CellSpec,
+    ExperimentRunner,
+    ResultCache,
+    cache_key_for,
+    derive_cell_seed,
+    derive_seed,
+    execute_spec,
+    parallel_map,
+)
+from repro.runner import engine as engine_module
+
+
+class TestSeeding:
+    def test_known_value_anchor(self):
+        """The derivation is pinned: sha256(f"{seed}:{platform}:{category}")
+        truncated to 64 bits.  If this constant moves, every cached and
+        published measurement silently changes — that must be loud."""
+        assert derive_cell_seed(0x2019, "server-desktop", "remote") \
+            == 0xFADF03C75BF8244E
+
+    def test_cells_get_distinct_streams(self):
+        seeds = {derive_cell_seed(0x2019, p.value, c.value)
+                 for p in PlatformClass for c in AttackCategory}
+        assert len(seeds) == len(PlatformClass) * len(AttackCategory)
+
+    def test_never_zero(self):
+        assert derive_seed() != 0
+        assert derive_cell_seed(0, "", "") != 0
+
+    def test_matrix_exposes_cell_seed(self):
+        matrix = EvaluationMatrix(seed=0x2019)
+        assert matrix.cell_seed(PlatformClass.SERVER_DESKTOP,
+                                AttackCategory.REMOTE) \
+            == 0xFADF03C75BF8244E
+
+
+_MATRIX_SCRIPT = """
+import json, sys
+from repro.core.matrix import EvaluationMatrix
+matrix = EvaluationMatrix(seed=0x2019)
+matrix.evaluate()
+json.dump({f"{p.value}:{c.value}": cell.raw_score
+           for (p, c), cell in matrix.cells.items()}, sys.stdout)
+"""
+
+
+def _matrix_scores_in_subprocess(hashseed: str) -> dict[str, float]:
+    env = os.environ.copy()
+    env["PYTHONHASHSEED"] = hashseed
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run([sys.executable, "-c", _MATRIX_SCRIPT],
+                          env=env, capture_output=True, text=True,
+                          check=True)
+    return json.loads(proc.stdout)
+
+
+class TestHashSeedInvariance:
+    def test_matrix_identical_across_hash_randomisation(self):
+        """Two fresh interpreters with different hash salts must measure
+        byte-identical raw scores in every cell (the headline bugfix)."""
+        first = _matrix_scores_in_subprocess("1")
+        second = _matrix_scores_in_subprocess("2")
+        assert first == second
+        assert len(first) == 12
+
+
+@pytest.fixture(scope="module")
+def serial_matrix() -> EvaluationMatrix:
+    matrix = EvaluationMatrix(runner=ExperimentRunner())
+    matrix.evaluate()
+    return matrix
+
+
+@pytest.fixture(scope="module")
+def warm_cache_root(tmp_path_factory, serial_matrix) -> Path:
+    """A cache directory pre-populated by one full quick-matrix run."""
+    root = tmp_path_factory.mktemp("cells")
+    runner = ExperimentRunner(cache=ResultCache(root))
+    matrix = EvaluationMatrix(runner=runner)
+    matrix.evaluate()
+    _assert_same_cells(matrix, serial_matrix)
+    return root
+
+
+def _assert_same_cells(matrix: EvaluationMatrix,
+                       other: EvaluationMatrix) -> None:
+    assert matrix.cells.keys() == other.cells.keys()
+    for key, cell in matrix.cells.items():
+        expected = other.cells[key]
+        assert cell.raw_score == expected.raw_score, key
+        assert [(a.name, a.success, a.score) for a in cell.attacks] \
+            == [(a.name, a.success, a.score) for a in expected.attacks], key
+    assert matrix.workloads.keys() == other.workloads.keys()
+    for platform, workload in matrix.workloads.items():
+        assert workload.cycles == other.workloads[platform].cycles
+
+
+class TestParallelExecution:
+    def test_parallel_equals_serial_cell_for_cell(self, serial_matrix):
+        runner = ExperimentRunner(jobs=4)
+        matrix = EvaluationMatrix(runner=runner)
+        matrix.evaluate()
+        _assert_same_cells(matrix, serial_matrix)
+        assert runner.stats.mode == "process-pool"
+        assert runner.stats.cells_executed == 15
+        assert 0.0 < runner.stats.worker_utilisation <= 1.0
+
+    def test_infrastructure_failure_falls_back_to_serial(self, monkeypatch):
+        class _NoPool:
+            def __init__(self, *a, **k):
+                raise OSError("fork denied")
+
+        monkeypatch.setattr(engine_module, "ProcessPoolExecutor", _NoPool)
+        results, mode = parallel_map(abs, [-1, -2, -3], jobs=4)
+        assert results == [1, 2, 3]
+        assert mode == "serial-fallback"
+
+    def test_task_errors_propagate(self):
+        def boom(_):
+            raise ValueError("experiment failed")
+
+        with pytest.raises(ValueError):
+            parallel_map(boom, [1, 2], jobs=1)
+
+
+class TestResultCache:
+    def test_hits_return_identical_scores_and_count(self, warm_cache_root,
+                                                    serial_matrix):
+        runner = ExperimentRunner(cache=ResultCache(warm_cache_root))
+        matrix = EvaluationMatrix(runner=runner)
+        matrix.evaluate()
+        _assert_same_cells(matrix, serial_matrix)
+        assert runner.stats.cache_hits == 15
+        assert runner.stats.cache_misses == 0
+        assert runner.stats.hit_rate == 1.0
+
+    def test_corrupted_entry_discarded_not_fatal(self, warm_cache_root,
+                                                 serial_matrix):
+        victim = next(iter(sorted(warm_cache_root.glob("*.json"))))
+        victim.write_text("{truncated garbage", encoding="utf-8")
+        runner = ExperimentRunner(cache=ResultCache(warm_cache_root))
+        matrix = EvaluationMatrix(runner=runner)
+        matrix.evaluate()
+        _assert_same_cells(matrix, serial_matrix)
+        assert runner.stats.cache_misses == 1
+        assert runner.stats.corrupt_entries == 1
+        # The recomputed payload was re-persisted, valid again.
+        assert json.loads(victim.read_text(encoding="utf-8"))
+
+    def test_key_binds_all_inputs(self):
+        spec = CellSpec(seed=1, platform="embedded", category="remote",
+                        knobs=MatrixKnobs.quick().as_key())
+        variants = [
+            CellSpec(seed=2, platform="embedded", category="remote",
+                     knobs=MatrixKnobs.quick().as_key()),
+            CellSpec(seed=1, platform="mobile", category="remote",
+                     knobs=MatrixKnobs.quick().as_key()),
+            CellSpec(seed=1, platform="embedded", category="local",
+                     knobs=MatrixKnobs.quick().as_key()),
+            CellSpec(seed=1, platform="embedded", category="remote",
+                     knobs=MatrixKnobs.full().as_key()),
+        ]
+        keys = {cache_key_for(v) for v in variants}
+        keys.add(cache_key_for(spec))
+        assert len(keys) == 5
+        # Package version participates: bumping it invalidates implicitly.
+        assert cache_key_for(spec, version="999.0") != cache_key_for(spec)
+
+    def test_unwritable_cache_degrades_not_fatal(self, tmp_path):
+        shadow = tmp_path / "shadowed"
+        shadow.write_text("a file, not a directory", encoding="utf-8")
+        cache = ResultCache(shadow)
+        cache.put("abc", {"x": 1})  # must not raise
+        assert cache.get("abc") is None
+        assert len(cache) == 0
+
+    def test_clear_is_explicit_invalidation(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("abc", {"x": 1})
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert cache.get("abc") is None
+
+
+class TestMatrixLaziness:
+    def test_scores_trigger_lazy_evaluation(self):
+        platforms = (profile_for(PlatformClass.EMBEDDED),)
+        matrix = EvaluationMatrix(platforms=platforms)
+        perf = matrix.performance_scores()   # no prior evaluate() call
+        assert set(perf) == {PlatformClass.EMBEDDED}
+        assert matrix.cells  # evaluation happened under the hood
+        energy = matrix.energy_constraint_scores()
+        assert energy[PlatformClass.EMBEDDED] == 1.0
+
+    def test_evaluate_is_idempotent(self):
+        platforms = (profile_for(PlatformClass.EMBEDDED),)
+        runner = ExperimentRunner()
+        matrix = EvaluationMatrix(platforms=platforms, runner=runner)
+        first = matrix.evaluate()
+        executed = runner.stats.cells_executed
+        assert executed == len(AttackCategory) + 1  # cells + workload
+        second = matrix.evaluate()
+        assert second is first
+        assert runner.stats.cells_executed == executed  # nothing reran
+        cells = dict(first)
+        assert matrix.evaluate(force=True).keys() == cells.keys()
+
+
+class TestWorkerConstructibility:
+    def test_every_platform_has_a_registered_factory(self):
+        for platform in PlatformClass:
+            soc = soc_factory_for(platform)()
+            assert soc.config.platform is platform
+
+    def test_workload_spec_executes(self):
+        payload = execute_spec(CellSpec(
+            seed=0x2019, platform="embedded", category=WORKLOAD_CATEGORY,
+            knobs=MatrixKnobs.quick().as_key()))
+        assert payload["kind"] == WORKLOAD_CATEGORY
+        assert payload["workload"]["cycles"] > 0
+
+    def test_custom_profile_falls_back_to_local_execution(self):
+        profile = PlatformProfile(
+            platform=PlatformClass.EMBEDDED,
+            description="custom rig",
+            make_soc=lambda: make_embedded_soc(),
+            physical_access_prior=1.0,
+            co_residency_prior=0.1)
+        matrix = EvaluationMatrix(platforms=(profile,))
+        cells = matrix.evaluate()
+        assert (PlatformClass.EMBEDDED, AttackCategory.REMOTE) in cells
+        assert PlatformClass.EMBEDDED in matrix.workloads
