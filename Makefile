@@ -1,0 +1,20 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench diff matrix
+
+## Tier-1 test suite (fast; micro-benchmarks excluded via the bench marker).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Run the simulator micro-benchmarks and record BENCH_<date>.json.
+bench:
+	$(PYTHON) benchmarks/record_baseline.py
+
+## Differential equivalence suite: fast engine vs reference interpreter.
+diff:
+	$(PYTHON) -m pytest -q tests/test_differential.py
+
+## Quick evaluation matrix (Figure 1) from the CLI.
+matrix:
+	$(PYTHON) -m repro figure1

@@ -11,6 +11,28 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--run-bench", action="store_true", default=False,
+        help="run tests marked 'bench' (simulator micro-benchmarks)")
+
+
+def pytest_collection_modifyitems(config: pytest.Config,
+                                  items: list[pytest.Item]) -> None:
+    """Deselect micro-benchmarks unless explicitly requested.
+
+    The paper-artefact benches always run; the ``bench``-marked timing
+    suite is opt-in so ``pytest benchmarks`` in CI stays fast and free of
+    wall-clock flakiness.
+    """
+    if config.getoption("--run-bench"):
+        return
+    skip = pytest.mark.skip(reason="micro-benchmark; pass --run-bench")
+    for item in items:
+        if "bench" in item.keywords:
+            item.add_marker(skip)
+
+
 @pytest.fixture
 def show():
     """Print through pytest's capture so tables always reach the user."""

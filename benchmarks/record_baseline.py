@@ -1,0 +1,112 @@
+"""Record a performance baseline for the simulator micro-benchmarks.
+
+Runs the ``bench``-marked suite under pytest-benchmark and distils the
+results into a small, diff-friendly ``BENCH_<iso-date>.json`` at the repo
+root.  Committing that file pins the numbers a future optimisation (or
+regression) is judged against — the acceptance bar for performance PRs is
+stated relative to the latest committed baseline.
+
+Usage::
+
+    python benchmarks/record_baseline.py            # writes BENCH_<date>.json
+    python benchmarks/record_baseline.py -k core    # subset of benchmarks
+    python benchmarks/record_baseline.py -o out.json --label "post-dispatch"
+
+Or simply ``make bench``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _git_revision() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def run_benchmarks(keyword: str | None = None) -> dict:
+    """Run the micro-benchmark suite; return pytest-benchmark's JSON."""
+    with tempfile.TemporaryDirectory() as tmp:
+        raw = Path(tmp) / "bench.json"
+        cmd = [
+            sys.executable, "-m", "pytest",
+            "benchmarks/test_perf_microbench.py",
+            "--run-bench", "-q", "-p", "no:cacheprovider",
+            "--benchmark-disable-gc", "--benchmark-warmup=on",
+            f"--benchmark-json={raw}",
+        ]
+        if keyword:
+            cmd += ["-k", keyword]
+        env = dict(PYTHONPATH=str(REPO_ROOT / "src"))
+        import os
+        env = {**os.environ, **env}
+        result = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+        if result.returncode != 0:
+            raise SystemExit(result.returncode)
+        return json.loads(raw.read_text())
+
+
+def distil(raw: dict, label: str | None = None) -> dict:
+    """Reduce pytest-benchmark output to the stats worth committing."""
+    import repro
+
+    benches = {}
+    for bench in raw["benchmarks"]:
+        stats = bench["stats"]
+        benches[bench["name"]] = {
+            "mean_s": stats["mean"],
+            "stddev_s": stats["stddev"],
+            "min_s": stats["min"],
+            "rounds": stats["rounds"],
+            "ops_per_s": stats["ops"],
+        }
+    return {
+        "schema": "repro-bench-baseline/1",
+        "date": _dt.date.today().isoformat(),
+        "label": label or "baseline",
+        "git_revision": _git_revision(),
+        "repro_version": repro.__version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": dict(sorted(benches.items())),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-k", dest="keyword", default=None,
+                        help="pytest -k filter for a benchmark subset")
+    parser.add_argument("-o", "--output", type=Path, default=None,
+                        help="output path (default BENCH_<date>.json)")
+    parser.add_argument("--label", default=None,
+                        help="free-form label stored in the baseline")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    baseline = distil(run_benchmarks(args.keyword), label=args.label)
+    out = args.output or REPO_ROOT / f"BENCH_{baseline['date']}.json"
+    out.write_text(json.dumps(baseline, indent=2, sort_keys=False) + "\n")
+    print(f"wrote {out}")
+    for name, stats in baseline["benchmarks"].items():
+        print(f"  {name}: mean {stats['mean_s'] * 1e3:.3f} ms "
+              f"({stats['ops_per_s']:.1f} ops/s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,10 @@ from repro.crypto.rng import XorShiftRNG
 from repro.crypto.sha256 import sha256
 from repro.isa import assemble
 
+#: Microbenchmarks time the substrate, not the paper; they only run when
+#: explicitly requested (``make bench`` / ``pytest --run-bench``).
+pytestmark = pytest.mark.bench
+
 KEY = bytes(range(16))
 BLOCK = bytes(16)
 

@@ -43,6 +43,8 @@ def _figure1(args) -> None:
     print(f"\ncell agreement with the published Figure 1: "
           f"{figure.agreement_with_paper():.0%}")
     print(f"\n{runner.stats.summary()}")
+    if args.profile:
+        print(f"\n{runner.stats.profile()}")
 
 
 def _architectures(args) -> None:
@@ -115,6 +117,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--full", action="store_true",
                         help="full (non-quick) attack sizing: more "
                              "traces, longer secrets, bigger keys")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a per-cell profile (wall time and "
+                             "simulated instructions/second) after "
+                             "figure1 runs")
     args = parser.parse_args(argv)
     if args.command == "all":
         for name, command in _COMMANDS.items():

@@ -77,7 +77,23 @@ class Cache:
         self.stats = CacheStats()
         self._sets: list[list[_Line | None]] = [
             [None] * ways for _ in range(num_sets)]
+        #: Tag array mirroring ``_sets`` (``None`` = invalid way).  The hot
+        #: lookup scans this flat int list with ``list.index`` instead of
+        #: walking ``_Line`` objects.
+        self._tags: list[list[int | None]] = [
+            [None] * ways for _ in range(num_sets)]
         self._policies = [policy_factory(ways) for _ in range(num_sets)]
+        # Hot-path allocation avoidance: per-set-index AccessResult
+        # singletons (results are frozen, so sharing is safe even when a
+        # caller holds several across calls), plus reusable all-True /
+        # all-occupied vectors for the unpartitioned victim query.
+        self._hit_results: list[AccessResult | None] = [None] * num_sets
+        self._fill_results: list[AccessResult | None] = [None] * num_sets
+        self._nofill_results: list[AccessResult | None] = [None] * num_sets
+        self._allowed_all = [True] * ways
+        self._occupied_full = [True] * ways
+        self._victim_full = [getattr(p, "victim_full", None)
+                             for p in self._policies]
 
     # -- geometry ------------------------------------------------------------
 
@@ -105,60 +121,99 @@ class Cache:
     def access(self, addr: int, is_write: bool = False,
                domain: str | None = None, fill: bool = True) -> AccessResult:
         """Look up ``addr``; on miss, optionally fill (evicting a victim)."""
-        idx = self.set_index(addr)
-        tag = self._tag(addr)
-        ways = self._sets[idx]
+        tag = addr // self.line_size
+        if self.index_fn is None:
+            idx = tag % self.num_sets
+        else:
+            idx = self.index_fn(addr) % self.num_sets
+        tags = self._tags[idx]
         policy = self._policies[idx]
 
-        for way, line in enumerate(ways):
-            if line is not None and line.tag == tag:
-                self.stats.hits += 1
-                policy.on_hit(way)
-                if is_write:
-                    line.dirty = True
-                return AccessResult(True, idx, self.hit_latency)
+        try:
+            way = tags.index(tag)
+        except ValueError:
+            way = -1
+        if way >= 0:
+            self.stats.hits += 1
+            policy.on_hit(way)
+            if is_write:
+                self._sets[idx][way].dirty = True
+            result = self._hit_results[idx]
+            if result is None:
+                result = self._hit_results[idx] = AccessResult(
+                    True, idx, self.hit_latency)
+            return result
 
         self.stats.misses += 1
         if not fill:
-            return AccessResult(False, idx, self.hit_latency, filled=False)
+            result = self._nofill_results[idx]
+            if result is None:
+                result = self._nofill_results[idx] = AccessResult(
+                    False, idx, self.hit_latency, filled=False)
+            return result
 
-        allowed = self._allowed_ways(domain)
-        occupied = [line is not None for line in ways]
-        way = policy.victim(occupied, allowed)
-        evicted = None
-        if ways[way] is not None:
-            evicted = ways[way].addr
-            self.stats.evictions += 1
-        ways[way] = _Line(tag=tag, addr=self.line_addr(addr), domain=domain,
-                          dirty=is_write)
+        ways = self._sets[idx]
+        if self.partition is None:
+            # Unpartitioned fast path: every policy prefers the first free
+            # way (victim() returns _first_free when one exists), and with
+            # all ways allowed that is exactly ``tags.index(None)``.
+            try:
+                way = tags.index(None)
+            except ValueError:
+                vf = self._victim_full[idx]
+                way = vf() if vf is not None else policy.victim(
+                    self._occupied_full, self._allowed_all)
+        else:
+            allowed = self.partition.allowed_ways(domain, self.ways)
+            occupied = [t is not None for t in tags]
+            way = policy.victim(occupied, allowed)
+        old = ways[way]
+        tags[way] = tag
+        if old is None:
+            ways[way] = _Line(tag=tag, addr=addr & ~(self.line_size - 1),
+                              domain=domain, dirty=is_write)
+            policy.on_fill(way)
+            result = self._fill_results[idx]
+            if result is None:
+                result = self._fill_results[idx] = AccessResult(
+                    False, idx, self.hit_latency)
+            return result
+        # Evicting fill: recycle the line record (never exposed outside
+        # this class) instead of allocating a fresh one.
+        evicted = old.addr
+        old.tag = tag
+        old.addr = addr & ~(self.line_size - 1)
+        old.domain = domain
+        old.dirty = is_write
         policy.on_fill(way)
+        self.stats.evictions += 1
         return AccessResult(False, idx, self.hit_latency, evicted=evicted)
 
     def probe(self, addr: int) -> bool:
         """Presence check without touching replacement state."""
-        idx = self.set_index(addr)
-        tag = self._tag(addr)
-        return any(line is not None and line.tag == tag
-                   for line in self._sets[idx])
+        return self._tag(addr) in self._tags[self.set_index(addr)]
 
     def flush_line(self, addr: int) -> bool:
         """Invalidate the line containing ``addr``; True if it was present."""
         idx = self.set_index(addr)
-        tag = self._tag(addr)
-        for way, line in enumerate(self._sets[idx]):
-            if line is not None and line.tag == tag:
-                self._sets[idx][way] = None
-                self.stats.flushes += 1
-                return True
-        return False
+        tags = self._tags[idx]
+        try:
+            way = tags.index(self._tag(addr))
+        except ValueError:
+            return False
+        self._sets[idx][way] = None
+        tags[way] = None
+        self.stats.flushes += 1
+        return True
 
     def flush_all(self) -> int:
         """Invalidate everything; returns the number of lines dropped."""
         count = 0
-        for ways in self._sets:
+        for ways, tags in zip(self._sets, self._tags):
             for way, line in enumerate(ways):
                 if line is not None:
                     ways[way] = None
+                    tags[way] = None
                     count += 1
         self.stats.flushes += count
         return count
@@ -166,10 +221,11 @@ class Cache:
     def flush_domain(self, domain: str | None) -> int:
         """Invalidate every line filled by ``domain`` (enclave exit flush)."""
         count = 0
-        for ways in self._sets:
+        for ways, tags in zip(self._sets, self._tags):
             for way, line in enumerate(ways):
                 if line is not None and line.domain == domain:
                     ways[way] = None
+                    tags[way] = None
                     count += 1
         self.stats.flushes += count
         return count

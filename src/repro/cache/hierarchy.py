@@ -76,6 +76,18 @@ class CacheHierarchy:
         #: Physical ranges served by core-private caches only (Sanctuary's
         #: "exclude enclave memory from the shared caches").
         self._llc_excluded: list[tuple[int, int]] = []
+        # Hot-path allocation avoidance: MemoryAccess is frozen, so the
+        # no-eviction outcomes (the overwhelming majority once caches warm
+        # up) are shared singletons; only accesses that displace a line
+        # allocate a fresh record carrying the victim addresses.
+        self._lat_l1_l2 = cfg.l1_latency + cfg.l2_latency
+        self._lat_l1_dram = cfg.l1_latency + cfg.dram_latency
+        self._lat_full = cfg.l1_latency + cfg.l2_latency + cfg.dram_latency
+        self._uncached_result = MemoryAccess("uncached", cfg.dram_latency)
+        self._l1_hit_result = MemoryAccess("l1", cfg.l1_latency)
+        self._l2_hit_result = MemoryAccess("l2", self._lat_l1_l2)
+        self._dram_result = MemoryAccess("dram", self._lat_full)
+        self._dram_excluded_result = MemoryAccess("dram", self._lat_l1_dram)
 
     def exclude_from_llc(self, base: int, size: int) -> None:
         """Mark ``[base, base+size)`` as never cached in the shared LLC."""
@@ -91,34 +103,38 @@ class CacheHierarchy:
                domain: str | None = None,
                cacheable: bool = True) -> MemoryAccess:
         """Serve one physical access for ``core``; returns level + latency."""
-        cfg = self.config
         if not cacheable:
-            return MemoryAccess("uncached", cfg.dram_latency)
+            return self._uncached_result
 
-        l1 = self.l1s[core]
-        r1 = l1.access(paddr, is_write, domain)
+        r1 = self.l1s[core].access(paddr, is_write, domain)
         if r1.hit:
-            return MemoryAccess("l1", cfg.l1_latency)
+            return self._l1_hit_result
+        l1_evicted = r1.evicted
 
-        if not self._llc_allowed(paddr):
+        if self._llc_excluded and not self._llc_allowed(paddr):
             # LLC-excluded range: L1 miss goes straight to DRAM and the
             # shared cache never learns the address.
-            return MemoryAccess("dram", cfg.l1_latency + cfg.dram_latency,
-                                l1_evicted=r1.evicted)
+            if l1_evicted is None:
+                return self._dram_excluded_result
+            return MemoryAccess("dram", self._lat_l1_dram,
+                                l1_evicted=l1_evicted)
 
         r2 = self.l2.access(paddr, is_write, domain)
         if r2.hit:
-            return MemoryAccess("l2", cfg.l1_latency + cfg.l2_latency,
-                                l1_evicted=r1.evicted)
+            if l1_evicted is None:
+                return self._l2_hit_result
+            return MemoryAccess("l2", self._lat_l1_l2, l1_evicted=l1_evicted)
 
         # LLC miss -> DRAM fill.  Inclusive LLC: its victim must leave
         # every L1 as well.
-        if r2.evicted is not None:
+        l2_evicted = r2.evicted
+        if l2_evicted is not None:
             for other in self.l1s:
-                other.flush_line(r2.evicted)
-        latency = cfg.l1_latency + cfg.l2_latency + cfg.dram_latency
-        return MemoryAccess("dram", latency,
-                            l1_evicted=r1.evicted, l2_evicted=r2.evicted)
+                other.flush_line(l2_evicted)
+        elif l1_evicted is None:
+            return self._dram_result
+        return MemoryAccess("dram", self._lat_full,
+                            l1_evicted=l1_evicted, l2_evicted=l2_evicted)
 
     # -- timing probe (the attacker's measurement primitive) --------------------
 

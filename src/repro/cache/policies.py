@@ -30,6 +30,12 @@ class ReplacementPolicy(Protocol):
         allowed ways are preferred over evicting.
         """
 
+    def victim_full(self) -> int:
+        """Victim for the common case: every way occupied, every way
+        allowed.  Must pick the same way :meth:`victim` would; the cache
+        calls this directly on unpartitioned sets to skip the vector
+        bookkeeping."""
+
 
 def _first_free(occupied: list[bool], allowed: list[bool]) -> int | None:
     for way, (occ, ok) in enumerate(zip(occupied, allowed)):
@@ -57,10 +63,22 @@ class LRUPolicy:
         free = _first_free(occupied, allowed)
         if free is not None:
             return free
-        candidates = [w for w in range(self.ways) if allowed[w]]
-        if not candidates:
+        # Inline argmin over allowed ways (strict < keeps the first minimum,
+        # matching min() over an ascending candidate list).
+        last_use = self._last_use
+        best = -1
+        best_stamp = 0
+        for way, ok in enumerate(allowed):
+            if ok and (best < 0 or last_use[way] < best_stamp):
+                best = way
+                best_stamp = last_use[way]
+        if best < 0:
             raise ValueError("no way allowed for this domain")
-        return min(candidates, key=lambda w: self._last_use[w])
+        return best
+
+    def victim_full(self) -> int:
+        last_use = self._last_use
+        return last_use.index(min(last_use))
 
 
 class FIFOPolicy:
@@ -86,6 +104,10 @@ class FIFOPolicy:
         if not candidates:
             raise ValueError("no way allowed for this domain")
         return min(candidates, key=lambda w: self._filled_at[w])
+
+    def victim_full(self) -> int:
+        filled_at = self._filled_at
+        return filled_at.index(min(filled_at))
 
 
 class RandomPolicy:
@@ -113,6 +135,11 @@ class RandomPolicy:
         if not candidates:
             raise ValueError("no way allowed for this domain")
         return self._rng.choice(candidates)
+
+    def victim_full(self) -> int:
+        # choice(range) draws identically to choice over the full
+        # candidate list, so the RNG stream is unchanged.
+        return self._rng.choice(range(self.ways))
 
 
 class TreePLRUPolicy:
@@ -155,6 +182,14 @@ class TreePLRUPolicy:
             return free
         if not any(allowed):
             raise ValueError("no way allowed for this domain")
+        way = self.victim_full()
+        if allowed[way]:
+            return way
+        # Partitioned sets may exclude the tree's choice; fall back to the
+        # first allowed way (hardware PLRU with way-locking does the same).
+        return next(w for w in range(self.ways) if allowed[w])
+
+    def victim_full(self) -> int:
         if self.ways == 1:
             return 0
         node = 0
@@ -168,8 +203,4 @@ class TreePLRUPolicy:
                 way += span
             else:
                 node = 2 * node + 1
-        if allowed[way]:
-            return way
-        # Partitioned sets may exclude the tree's choice; fall back to the
-        # first allowed way (hardware PLRU with way-locking does the same).
-        return next(w for w in range(self.ways) if allowed[w])
+        return way

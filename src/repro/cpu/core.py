@@ -21,7 +21,14 @@ from typing import Callable
 from repro.common import PrivilegeLevel, World
 from repro.cpu.exceptions import Trap, TrapCause, TrapInfo
 from repro.errors import AccessFault, MemoryFault, PageFault
-from repro.isa.instructions import INSTR_SIZE, Instruction, InstrKind, WORD_MASK
+from repro.isa.instructions import (
+    INSTR_SIZE,
+    NUM_OPCODES,
+    OPCODES,
+    Instruction,
+    InstrKind,
+    WORD_MASK,
+)
 from repro.isa.program import Program
 from repro.memory.bus import BusMaster, SystemBus
 
@@ -52,7 +59,16 @@ class CoreConfig:
 
 
 class Core:
-    """One in-order hardware thread."""
+    """One in-order hardware thread.
+
+    Execution uses a predecoded dispatch table: every
+    :class:`~repro.isa.program.Program` resolves each instruction to a
+    dense opcode at build time, and the core resolves each opcode to a
+    *bound handler method* once at construction.  Subclasses (the
+    speculative core) override only the handlers whose semantics they
+    change; :class:`repro.cpu.reference.ReferenceCore` retains the
+    original ``if``/``elif`` interpreter as the differential oracle.
+    """
 
     def __init__(self, config: CoreConfig, bus: SystemBus, hierarchy,
                  mmu) -> None:
@@ -61,6 +77,10 @@ class Core:
         self.hierarchy = hierarchy
         self.mmu = mmu
         self.master = BusMaster(config.name, kind="cpu", secure_capable=True)
+        #: Opcode-indexed dispatch table of bound handlers; ``getattr``
+        #: here is what lets a subclass swap semantics per-opcode.
+        self._handlers = tuple(
+            getattr(self, name) for name in self._HANDLER_NAMES)
 
         self.regs = [0] * 16
         self.pc = 0
@@ -247,11 +267,52 @@ class Core:
         return not self.halted
 
     def run(self, max_steps: int = 1_000_000) -> int:
-        """Run until halt or ``max_steps``; returns elapsed cycles."""
+        """Run until halt or ``max_steps``; returns elapsed cycles.
+
+        This is the batched fast path: interrupt polling, program-swap
+        detection and cycle/energy accounting are inlined so straight-line
+        blocks amortise the per-step bookkeeping, while trap delivery and
+        off-program fetches fall back to :meth:`step`.  Observables
+        (``cycles``, ``energy_pj``, trap order, cache state) are
+        bit-identical to stepping the reference interpreter.
+        """
         start = self.cycles
-        for _ in range(max_steps):
-            if not self.step():
+        energy_per_instr = self.config.energy_per_instr_pj
+        fetch_checks = self.config.fetch_checks
+        mmu = self.mmu
+        handlers = self._handlers
+        program = self.program
+        decoded = program._decoded if program is not None else None
+        steps = 0
+        while steps < max_steps:
+            if self.halted:
                 break
+            steps += 1
+            if self._pending_interrupts:
+                self.poll_interrupts()
+            if self.program is not program:  # ISR/syscall swapped programs
+                program = self.program
+                decoded = program._decoded if program is not None else None
+            entry = decoded.get(self.pc) if decoded is not None else None
+            if entry is None:
+                # No program, or fetch from an unmapped address: step()
+                # owns the trap delivery for these rare cases.
+                if not self.step():
+                    break
+                continue
+            if fetch_checks and mmu.root is not None:
+                try:
+                    self._translate(self.pc, "execute")
+                except MemoryFault as fault:
+                    self._trap(self._fault_to_trap(fault))
+                    continue  # a fetch fault retires nothing (as in step())
+            try:
+                handlers[entry[0]](entry[1], entry[2])
+            except MemoryFault as fault:
+                self._trap(self._fault_to_trap(fault))
+            self.instret += 1
+            self.cycles += 1
+            self.energy_pj += energy_per_instr
         return self.cycles - start
 
     def _branch_taken(self, instr: Instruction) -> bool:
@@ -269,85 +330,207 @@ class Core:
         assert self.program is not None
         return self.program.target_of(instr)
 
-    def _execute_branch(self, instr: Instruction, taken: bool) -> None:
-        """Redirect the PC; the speculative core overrides for prediction."""
-        self.pc = self._resolve_target(instr) if taken else self.pc + INSTR_SIZE
+    def _execute_branch(self, instr: Instruction, taken: bool,
+                        target: int | None = None) -> None:
+        """Redirect the PC; the speculative core overrides for prediction.
+
+        ``target`` is the predecoded destination when statically known;
+        ``None`` falls back to lazy label resolution (only consulted when
+        the branch is taken, as before).
+        """
+        if taken:
+            self.pc = target if target is not None \
+                else self._resolve_target(instr)
+        else:
+            self.pc += INSTR_SIZE
 
     def _execute_ret(self, target: int) -> None:
         self.pc = target
 
     def _execute(self, instr: Instruction) -> None:
-        k = instr.kind
-        next_pc = self.pc + INSTR_SIZE
+        """Dispatch one instruction through the opcode handler table.
 
-        if k is InstrKind.NOP:
-            self.pc = next_pc
-        elif k is InstrKind.HALT:
-            self.halted = True
-        elif k is InstrKind.LI:
-            self.set_reg(instr.rd, instr.imm)
-            self.pc = next_pc
-        elif k is InstrKind.ADDI:
-            self.set_reg(instr.rd, self.get_reg(instr.rs1) + instr.imm)
-            self.pc = next_pc
-        elif k in (InstrKind.ADD, InstrKind.SUB, InstrKind.AND, InstrKind.OR,
-                   InstrKind.XOR, InstrKind.SHL, InstrKind.SHR, InstrKind.MUL):
-            self.set_reg(instr.rd, self._alu(k, self.get_reg(instr.rs1),
-                                             self.get_reg(instr.rs2)))
-            self.pc = next_pc
-        elif k is InstrKind.LOAD:
-            addr = (self.get_reg(instr.rs1) + instr.imm) & WORD_MASK
-            self.set_reg(instr.rd, self.read_mem(addr))
-            self.pc = next_pc
-        elif k is InstrKind.STORE:
-            addr = (self.get_reg(instr.rs1) + instr.imm) & WORD_MASK
-            self.write_mem(addr, self.get_reg(instr.rs2))
-            self.pc = next_pc
-        elif k is InstrKind.FLUSH:
-            addr = (self.get_reg(instr.rs1) + instr.imm) & WORD_MASK
-            self.flush_line(addr)
-            self.pc = next_pc
-        elif k is InstrKind.FENCE:
-            self.pc = next_pc  # meaningful only to the speculative core
-        elif instr.is_branch:
-            taken = self._branch_taken(instr)
-            if self.cflow_collector is not None:
-                self.cflow_collector.append(("br", self.pc, int(taken)))
-            self._execute_branch(instr, taken)
-        elif k is InstrKind.JMP:
+        Kept as the single-instruction entry point for :meth:`step` and
+        external callers; :meth:`run` indexes the table directly with
+        predecoded entries.
+        """
+        self._handlers[OPCODES[instr.kind]](instr, None)
+
+    # -- opcode handlers ----------------------------------------------------
+    #
+    # One method per InstrKind, bound into ``self._handlers`` (indexed by
+    # the dense opcode from repro.isa.instructions.OPCODES).  ``target`` is
+    # the predecoded control-flow destination (None when unused or when a
+    # label could not be statically resolved).  Register accesses are
+    # inlined — r0 reads as zero and is never written, exactly as
+    # get_reg/set_reg enforce.
+
+    def _op_alu_result(self, instr: Instruction, value: int) -> None:
+        rd = instr.rd
+        if rd:
+            self.regs[rd] = value & WORD_MASK
+        self.pc += INSTR_SIZE
+
+    def _op_add(self, instr: Instruction, target: int | None) -> None:
+        regs = self.regs
+        rs1, rs2 = instr.rs1, instr.rs2
+        self._op_alu_result(instr, (regs[rs1] if rs1 else 0)
+                            + (regs[rs2] if rs2 else 0))
+
+    def _op_sub(self, instr: Instruction, target: int | None) -> None:
+        regs = self.regs
+        rs1, rs2 = instr.rs1, instr.rs2
+        self._op_alu_result(instr, (regs[rs1] if rs1 else 0)
+                            - (regs[rs2] if rs2 else 0))
+
+    def _op_and(self, instr: Instruction, target: int | None) -> None:
+        regs = self.regs
+        rs1, rs2 = instr.rs1, instr.rs2
+        self._op_alu_result(instr, (regs[rs1] if rs1 else 0)
+                            & (regs[rs2] if rs2 else 0))
+
+    def _op_or(self, instr: Instruction, target: int | None) -> None:
+        regs = self.regs
+        rs1, rs2 = instr.rs1, instr.rs2
+        self._op_alu_result(instr, (regs[rs1] if rs1 else 0)
+                            | (regs[rs2] if rs2 else 0))
+
+    def _op_xor(self, instr: Instruction, target: int | None) -> None:
+        regs = self.regs
+        rs1, rs2 = instr.rs1, instr.rs2
+        self._op_alu_result(instr, (regs[rs1] if rs1 else 0)
+                            ^ (regs[rs2] if rs2 else 0))
+
+    def _op_shl(self, instr: Instruction, target: int | None) -> None:
+        regs = self.regs
+        rs1, rs2 = instr.rs1, instr.rs2
+        self._op_alu_result(instr, (regs[rs1] if rs1 else 0)
+                            << ((regs[rs2] if rs2 else 0) & 63))
+
+    def _op_shr(self, instr: Instruction, target: int | None) -> None:
+        regs = self.regs
+        rs1, rs2 = instr.rs1, instr.rs2
+        self._op_alu_result(instr, (regs[rs1] if rs1 else 0)
+                            >> ((regs[rs2] if rs2 else 0) & 63))
+
+    def _op_mul(self, instr: Instruction, target: int | None) -> None:
+        regs = self.regs
+        rs1, rs2 = instr.rs1, instr.rs2
+        self._op_alu_result(instr, (regs[rs1] if rs1 else 0)
+                            * (regs[rs2] if rs2 else 0))
+
+    def _op_addi(self, instr: Instruction, target: int | None) -> None:
+        rs1 = instr.rs1
+        self._op_alu_result(instr, (self.regs[rs1] if rs1 else 0)
+                            + instr.imm)
+
+    def _op_li(self, instr: Instruction, target: int | None) -> None:
+        self._op_alu_result(instr, instr.imm)
+
+    def _op_load(self, instr: Instruction, target: int | None) -> None:
+        rs1 = instr.rs1
+        addr = ((self.regs[rs1] if rs1 else 0) + instr.imm) & WORD_MASK
+        value = self.read_mem(addr)
+        rd = instr.rd
+        if rd:
+            self.regs[rd] = value & WORD_MASK
+        self.pc += INSTR_SIZE
+
+    def _op_store(self, instr: Instruction, target: int | None) -> None:
+        regs = self.regs
+        rs1, rs2 = instr.rs1, instr.rs2
+        addr = ((regs[rs1] if rs1 else 0) + instr.imm) & WORD_MASK
+        self.write_mem(addr, regs[rs2] if rs2 else 0)
+        self.pc += INSTR_SIZE
+
+    def _op_flush(self, instr: Instruction, target: int | None) -> None:
+        rs1 = instr.rs1
+        addr = ((self.regs[rs1] if rs1 else 0) + instr.imm) & WORD_MASK
+        self.flush_line(addr)
+        self.pc += INSTR_SIZE
+
+    def _op_fence(self, instr: Instruction, target: int | None) -> None:
+        self.pc += INSTR_SIZE  # meaningful only to the speculative core
+
+    def _op_beq(self, instr: Instruction, target: int | None) -> None:
+        taken = self.get_reg(instr.rs1) == self.get_reg(instr.rs2)
+        if self.cflow_collector is not None:
+            self.cflow_collector.append(("br", self.pc, int(taken)))
+        self._execute_branch(instr, taken, target)
+
+    def _op_bne(self, instr: Instruction, target: int | None) -> None:
+        taken = self.get_reg(instr.rs1) != self.get_reg(instr.rs2)
+        if self.cflow_collector is not None:
+            self.cflow_collector.append(("br", self.pc, int(taken)))
+        self._execute_branch(instr, taken, target)
+
+    def _op_blt(self, instr: Instruction, target: int | None) -> None:
+        taken = self.get_reg(instr.rs1) < self.get_reg(instr.rs2)
+        if self.cflow_collector is not None:
+            self.cflow_collector.append(("br", self.pc, int(taken)))
+        self._execute_branch(instr, taken, target)
+
+    def _op_bge(self, instr: Instruction, target: int | None) -> None:
+        taken = self.get_reg(instr.rs1) >= self.get_reg(instr.rs2)
+        if self.cflow_collector is not None:
+            self.cflow_collector.append(("br", self.pc, int(taken)))
+        self._execute_branch(instr, taken, target)
+
+    def _op_jmp(self, instr: Instruction, target: int | None) -> None:
+        if target is None:
             target = self._resolve_target(instr)
-            if self.cflow_collector is not None:
-                self.cflow_collector.append(("jmp", self.pc, target))
-            self.pc = target
-        elif k is InstrKind.JAL:
+        if self.cflow_collector is not None:
+            self.cflow_collector.append(("jmp", self.pc, target))
+        self.pc = target
+
+    def _op_jal(self, instr: Instruction, target: int | None) -> None:
+        if target is None:
             target = self._resolve_target(instr)
-            if self.cflow_collector is not None:
-                self.cflow_collector.append(("call", self.pc, target))
-            self.set_reg(15, next_pc)
-            self._note_call(next_pc)
-            self.pc = target
-        elif k is InstrKind.RET:
-            target = self.get_reg(15)
-            if self.cflow_collector is not None:
-                self.cflow_collector.append(("ret", self.pc, target))
-            self._execute_ret(target)
-        elif k is InstrKind.ECALL:
-            if self.syscall_handler is not None:
-                self.pc = next_pc
-                self.syscall_handler(self, instr.imm)
-            else:
-                self._trap(TrapInfo(TrapCause.ECALL, self.pc, value=instr.imm))
-        elif k is InstrKind.CSRR:
-            self._csr_read(instr)
-            self.pc = next_pc
-        elif k is InstrKind.CSRW:
-            self._csr_write(instr)
-            self.pc = next_pc
-        elif k is InstrKind.RDCYCLE:
-            self.set_reg(instr.rd, self.cycles)
-            self.pc = next_pc
-        else:  # pragma: no cover - vocabulary is closed
-            self._trap(TrapInfo(TrapCause.ILLEGAL_INSTRUCTION, self.pc))
+        next_pc = self.pc + INSTR_SIZE
+        if self.cflow_collector is not None:
+            self.cflow_collector.append(("call", self.pc, target))
+        self.set_reg(15, next_pc)
+        self._note_call(next_pc)
+        self.pc = target
+
+    def _op_ret(self, instr: Instruction, target: int | None) -> None:
+        target = self.get_reg(15)  # always dynamic: the link register
+        if self.cflow_collector is not None:
+            self.cflow_collector.append(("ret", self.pc, target))
+        self._execute_ret(target)
+
+    def _op_ecall(self, instr: Instruction, target: int | None) -> None:
+        if self.syscall_handler is not None:
+            self.pc += INSTR_SIZE
+            self.syscall_handler(self, instr.imm)
+        else:
+            self._trap(TrapInfo(TrapCause.ECALL, self.pc, value=instr.imm))
+
+    def _op_csrr(self, instr: Instruction, target: int | None) -> None:
+        self._csr_read(instr)
+        self.pc += INSTR_SIZE
+
+    def _op_csrw(self, instr: Instruction, target: int | None) -> None:
+        next_pc = self.pc + INSTR_SIZE
+        self._csr_write(instr)
+        self.pc = next_pc  # a CSR hook must not redirect the PC (as before)
+
+    def _op_rdcycle(self, instr: Instruction, target: int | None) -> None:
+        rd = instr.rd
+        if rd:
+            self.regs[rd] = self.cycles & WORD_MASK
+        self.pc += INSTR_SIZE
+
+    def _op_nop(self, instr: Instruction, target: int | None) -> None:
+        self.pc += INSTR_SIZE
+
+    def _op_halt(self, instr: Instruction, target: int | None) -> None:
+        self.halted = True
+
+    #: Opcode-ordered handler names; resolved to bound methods per core
+    #: instance so subclass overrides take effect automatically.
+    _HANDLER_NAMES = tuple(
+        "_op_" + kind.name.lower() for kind in InstrKind)
 
     @staticmethod
     def _alu(kind: InstrKind, a: int, b: int) -> int:

@@ -1,0 +1,139 @@
+"""Lockstep differential harness: fast engine vs reference interpreter.
+
+The contract of the fast-path execution engine is *observation
+equivalence*: for any program, the predecoded-dispatch core and the
+retained reference interpreter (:mod:`repro.cpu.reference`) must agree on
+every architecturally visible quantity **and** every side-channel-visible
+one — registers, memory, trap streams, ``cycles``, ``energy_pj``, and
+per-level cache hit/miss/eviction/flush counts.  This module provides the
+machinery the hypothesis suite (``tests/test_differential.py``) drives:
+
+* :func:`reference_twin` — build the reference-interpreter twin of a SoC;
+* :func:`lockstep` — step two cores instruction by instruction, comparing
+  full state after every step and raising :class:`Divergence` at the
+  first mismatch (with the step index and field in the message);
+* :func:`compare_socs` — whole-system comparison (memory images, cache
+  stats, bus counters) after both sides ran to completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.cpu.core import Core
+from repro.cpu.exceptions import Trap, TrapInfo
+from repro.cpu.soc import SoC
+
+
+class Divergence(AssertionError):
+    """The two engines disagreed on an observable."""
+
+
+@dataclass(frozen=True)
+class CoreState:
+    """Everything a single core exposes that the engines must agree on."""
+
+    pc: int
+    regs: tuple[int, ...]
+    halted: bool
+    privilege: Any
+    world: Any
+    cycles: int
+    instret: int
+    energy_pj: float
+    csrs: tuple[tuple[int, int], ...]
+    trap_count: int
+    last_trap: tuple | None
+
+
+def _trap_key(info: TrapInfo | None) -> tuple | None:
+    if info is None:
+        return None
+    return (info.cause, info.pc, info.value, info.detail)
+
+
+def core_state(core: Core) -> CoreState:
+    """Snapshot a core's architectural + accounting state."""
+    return CoreState(
+        pc=core.pc,
+        regs=tuple(core.regs),
+        halted=core.halted,
+        privilege=core.privilege,
+        world=core.world,
+        cycles=core.cycles,
+        instret=core.instret,
+        energy_pj=core.energy_pj,
+        csrs=tuple(sorted(core.csr.items())),
+        trap_count=len(core.trap_log),
+        last_trap=_trap_key(core.last_trap),
+    )
+
+
+def cache_observables(soc: SoC) -> dict[str, tuple]:
+    """Per-level cache counters plus resident-line sets and bus counts."""
+    obs: dict[str, tuple] = {}
+    caches = list(soc.hierarchy.l1s) + [soc.hierarchy.l2]
+    for cache in caches:
+        stats = cache.stats
+        obs[cache.name] = (stats.hits, stats.misses, stats.evictions,
+                           stats.flushes, tuple(sorted(cache.resident_lines())))
+    obs["bus"] = (soc.bus.transaction_count, soc.bus.denied_count)
+    return obs
+
+
+def reference_twin(soc: SoC) -> SoC:
+    """A freshly built SoC identical to ``soc`` but running the oracle."""
+    return SoC(replace(soc.config, interpreter="reference"))
+
+
+def _compare(step: int, field: str, fast: Any, ref: Any) -> None:
+    if fast != ref:
+        raise Divergence(
+            f"step {step}: {field} diverged\n  fast: {fast!r}\n  ref:  {ref!r}")
+
+
+def compare_cores(fast: Core, ref: Core, step: int = -1) -> None:
+    """Field-by-field core comparison; raises :class:`Divergence`."""
+    fs, rs = core_state(fast), core_state(ref)
+    for name in CoreState.__dataclass_fields__:
+        _compare(step, f"core.{name}", getattr(fs, name), getattr(rs, name))
+
+
+def compare_socs(fast: SoC, ref: SoC, step: int = -1) -> None:
+    """Whole-system comparison: cores, caches, bus, physical memory."""
+    for fast_core, ref_core in zip(fast.cores, ref.cores):
+        compare_cores(fast_core, ref_core, step)
+    _compare(step, "caches", cache_observables(fast), cache_observables(ref))
+    _compare(step, "memory", fast.memory._bytes, ref.memory._bytes)
+
+
+def lockstep(fast: Core, ref: Core, max_steps: int = 4096,
+             fast_soc: SoC | None = None, ref_soc: SoC | None = None) -> int:
+    """Step both cores together, comparing after every instruction.
+
+    When the SoCs are supplied, memory and cache observables are compared
+    each step as well.  A trap escaping to Python must escape on *both*
+    sides, at the same step, with the same trap frame.  Returns the number
+    of steps executed.
+    """
+    for step in range(max_steps):
+        fast_trap = ref_trap = None
+        fast_more = ref_more = False
+        try:
+            fast_more = fast.step()
+        except Trap as trap:
+            fast_trap = trap.info
+        try:
+            ref_more = ref.step()
+        except Trap as trap:
+            ref_trap = trap.info
+        _compare(step, "escaped trap", _trap_key(fast_trap),
+                 _trap_key(ref_trap))
+        compare_cores(fast, ref, step)
+        if fast_soc is not None and ref_soc is not None:
+            compare_socs(fast_soc, ref_soc, step)
+        _compare(step, "step() continue flag", fast_more, ref_more)
+        if fast_trap is not None or not fast_more:
+            return step + 1
+    return max_steps

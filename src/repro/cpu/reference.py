@@ -1,0 +1,151 @@
+"""Reference interpreter: the differential oracle for the fast engine.
+
+This module preserves the original step-at-a-time ``if``/``elif``
+interpreter exactly as it was before the predecoded-dispatch engine
+replaced it in :class:`repro.cpu.core.Core`.  It exists for one purpose:
+the differential harness (:mod:`repro.cpu.diff`,
+``tests/test_differential.py``) runs it in lockstep against the fast
+engine over randomly generated programs and asserts that *every*
+architecturally or microarchitecturally visible quantity — registers,
+memory, traps, ``cycles``, ``energy_pj``, cache fill/eviction counts —
+is bit-identical.  Because the leakage *is* the product in this
+reproduction, an optimisation that changed any observable would silently
+change attack results; the oracle is what makes the fast path an
+observation-equivalent optimisation rather than a hopeful one.
+
+Keep this interpreter boring.  It should never be optimised; it should
+only change when the ISA itself changes semantics.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.core import Core
+from repro.cpu.exceptions import TrapCause, TrapInfo
+from repro.cpu.speculative import SpeculativeCore
+from repro.errors import PageFault
+from repro.isa.instructions import (
+    INSTR_SIZE,
+    Instruction,
+    InstrKind,
+    WORD_MASK,
+)
+
+
+class ReferenceExecutionMixin:
+    """Serial fetch/decode/execute loop, one ``if``/``elif`` arm per kind.
+
+    Mixed in *before* a core class so its ``run``/``_execute`` shadow the
+    fast engine's.  Everything else — memory path, traps, CSRs, branch
+    hooks — is inherited, so the two engines differ only in dispatch and
+    batching, which is exactly the surface the differential tests probe.
+    """
+
+    def run(self, max_steps: int = 1_000_000) -> int:
+        """Run until halt or ``max_steps``; returns elapsed cycles."""
+        start = self.cycles
+        for _ in range(max_steps):
+            if not self.step():
+                break
+        return self.cycles - start
+
+    def _execute(self, instr: Instruction) -> None:
+        k = instr.kind
+        next_pc = self.pc + INSTR_SIZE
+
+        if k is InstrKind.NOP:
+            self.pc = next_pc
+        elif k is InstrKind.HALT:
+            self.halted = True
+        elif k is InstrKind.LI:
+            self.set_reg(instr.rd, instr.imm)
+            self.pc = next_pc
+        elif k is InstrKind.ADDI:
+            self.set_reg(instr.rd, self.get_reg(instr.rs1) + instr.imm)
+            self.pc = next_pc
+        elif k in (InstrKind.ADD, InstrKind.SUB, InstrKind.AND, InstrKind.OR,
+                   InstrKind.XOR, InstrKind.SHL, InstrKind.SHR, InstrKind.MUL):
+            self.set_reg(instr.rd, self._alu(k, self.get_reg(instr.rs1),
+                                             self.get_reg(instr.rs2)))
+            self.pc = next_pc
+        elif k is InstrKind.LOAD:
+            addr = (self.get_reg(instr.rs1) + instr.imm) & WORD_MASK
+            self.set_reg(instr.rd, self.read_mem(addr))
+            self.pc = next_pc
+        elif k is InstrKind.STORE:
+            addr = (self.get_reg(instr.rs1) + instr.imm) & WORD_MASK
+            self.write_mem(addr, self.get_reg(instr.rs2))
+            self.pc = next_pc
+        elif k is InstrKind.FLUSH:
+            addr = (self.get_reg(instr.rs1) + instr.imm) & WORD_MASK
+            self.flush_line(addr)
+            self.pc = next_pc
+        elif k is InstrKind.FENCE:
+            self.pc = next_pc  # meaningful only to the speculative core
+        elif instr.is_branch:
+            taken = self._branch_taken(instr)
+            if self.cflow_collector is not None:
+                self.cflow_collector.append(("br", self.pc, int(taken)))
+            self._execute_branch(instr, taken)
+        elif k is InstrKind.JMP:
+            target = self._resolve_target(instr)
+            if self.cflow_collector is not None:
+                self.cflow_collector.append(("jmp", self.pc, target))
+            self.pc = target
+        elif k is InstrKind.JAL:
+            target = self._resolve_target(instr)
+            if self.cflow_collector is not None:
+                self.cflow_collector.append(("call", self.pc, target))
+            self.set_reg(15, next_pc)
+            self._note_call(next_pc)
+            self.pc = target
+        elif k is InstrKind.RET:
+            target = self.get_reg(15)
+            if self.cflow_collector is not None:
+                self.cflow_collector.append(("ret", self.pc, target))
+            self._execute_ret(target)
+        elif k is InstrKind.ECALL:
+            if self.syscall_handler is not None:
+                self.pc = next_pc
+                self.syscall_handler(self, instr.imm)
+            else:
+                self._trap(TrapInfo(TrapCause.ECALL, self.pc, value=instr.imm))
+        elif k is InstrKind.CSRR:
+            self._csr_read(instr)
+            self.pc = next_pc
+        elif k is InstrKind.CSRW:
+            self._csr_write(instr)
+            self.pc = next_pc
+        elif k is InstrKind.RDCYCLE:
+            self.set_reg(instr.rd, self.cycles)
+            self.pc = next_pc
+        else:  # pragma: no cover - vocabulary is closed
+            self._trap(TrapInfo(TrapCause.ILLEGAL_INSTRUCTION, self.pc))
+
+
+class ReferenceCore(ReferenceExecutionMixin, Core):
+    """In-order core driven by the reference interpreter."""
+
+
+class ReferenceSpeculativeCore(ReferenceExecutionMixin, SpeculativeCore):
+    """Speculative core driven by the reference interpreter.
+
+    Reproduces the pre-dispatch-engine structure: a LOAD special case (the
+    Meltdown/Foreshadow forwarding window) wrapped around the plain chain.
+    The transient machinery itself is inherited unchanged.
+    """
+
+    def _execute(self, instr: Instruction) -> None:
+        if instr.kind is not InstrKind.LOAD:
+            ReferenceExecutionMixin._execute(self, instr)
+            return
+        addr = (self.get_reg(instr.rs1) + instr.imm) & WORD_MASK
+        next_pc = self.pc + INSTR_SIZE
+        try:
+            value = self.read_mem(addr)
+        except PageFault as fault:
+            forwarded = self._forwarded_value(fault)
+            if forwarded is not None:
+                self._run_transient(next_pc, preload={instr.rd: forwarded})
+            raise
+        self.set_reg(instr.rd, value)
+        self.pc = next_pc

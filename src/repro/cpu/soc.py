@@ -52,6 +52,10 @@ class SoCConfig:
     platform: PlatformClass
     num_cores: int = 2
     speculative: bool = True
+    #: "fast" = predecoded dispatch engine; "reference" = the retained
+    #: step-at-a-time oracle interpreter (repro.cpu.reference), used by the
+    #: differential equivalence harness.
+    interpreter: str = "fast"
     spec: SpeculativeConfig = field(default_factory=SpeculativeConfig)
     hierarchy: HierarchyConfig | None = None
     has_mmu: bool = True
@@ -110,11 +114,22 @@ class SoC:
                 core_id=i, name=f"core{i}",
                 energy_per_instr_pj=config.energy_per_instr_pj,
                 energy_per_mem_pj=config.energy_per_mem_pj)
-            if config.speculative:
-                core = SpeculativeCore(core_cfg, self.bus, self.hierarchy,
-                                       mmu, spec=config.spec)
+            if config.interpreter == "reference":
+                from repro.cpu.reference import (
+                    ReferenceCore,
+                    ReferenceSpeculativeCore,
+                )
+                spec_cls, plain_cls = ReferenceSpeculativeCore, ReferenceCore
+            elif config.interpreter == "fast":
+                spec_cls, plain_cls = SpeculativeCore, Core
             else:
-                core = Core(core_cfg, self.bus, self.hierarchy, mmu)
+                raise ValueError(
+                    f"unknown interpreter {config.interpreter!r}")
+            if config.speculative:
+                core = spec_cls(core_cfg, self.bus, self.hierarchy,
+                                mmu, spec=config.spec)
+            else:
+                core = plain_cls(core_cfg, self.bus, self.hierarchy, mmu)
             self._wire_dvfs_csrs(core)
             self.cores.append(core)
 

@@ -82,10 +82,12 @@ class SpeculativeCore(Core):
     def _asid(self) -> int:
         return getattr(self.mmu, "asid", 0)
 
-    def _execute_branch(self, instr: Instruction, taken: bool) -> None:
+    def _execute_branch(self, instr: Instruction, taken: bool,
+                        target: int | None = None) -> None:
         branch_pc = self.pc
         predicted = self.predictor.predict_taken(branch_pc)
-        target = self._resolve_target(instr)
+        if target is None:
+            target = self._resolve_target(instr)
         fallthrough = branch_pc + INSTR_SIZE
         self.predictor.update_direction(branch_pc, taken)
         self.predictor.record_outcome(predicted == taken)
@@ -127,10 +129,9 @@ class SpeculativeCore(Core):
             return self._l1_data(paddr)
         return None
 
-    def _execute(self, instr: Instruction) -> None:
-        if instr.kind is not InstrKind.LOAD:
-            super()._execute(instr)
-            return
+    def _op_load(self, instr: Instruction, target: int | None) -> None:
+        # Overrides only the LOAD handler slot in the dispatch table; every
+        # other opcode keeps the in-order core's semantics.
         addr = (self.get_reg(instr.rs1) + instr.imm) & WORD_MASK
         next_pc = self.pc + INSTR_SIZE
         try:

@@ -84,6 +84,18 @@ class InstrKind(enum.Enum):
     HALT = "halt"
 
 
+#: Dense opcode numbering used by the predecoded dispatch engine.  A
+#: :class:`~repro.isa.program.Program` resolves each instruction's kind to
+#: this index once at build time; :class:`repro.cpu.core.Core` indexes a
+#: tuple of bound handler methods with it instead of chaining ``if``/``elif``
+#: over :class:`InstrKind` members on every executed instruction.
+OPCODES: dict[InstrKind, int] = {
+    kind: op for op, kind in enumerate(InstrKind)
+}
+
+#: Number of distinct opcodes (length of any dispatch table).
+NUM_OPCODES = len(OPCODES)
+
 #: Kinds that may redirect control flow.
 BRANCH_KINDS = frozenset(
     {InstrKind.BEQ, InstrKind.BNE, InstrKind.BLT, InstrKind.BGE}

@@ -5,7 +5,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Sequence
 
-from repro.isa.instructions import INSTR_SIZE, Instruction
+from repro.isa.instructions import (
+    BRANCH_KINDS,
+    INSTR_SIZE,
+    JUMP_KINDS,
+    OPCODES,
+    Instruction,
+)
 
 
 @dataclass
@@ -30,6 +36,29 @@ class Program:
             self.base + i * INSTR_SIZE: instr
             for i, instr in enumerate(self.instructions)
         }
+        self._predecode()
+
+    def _predecode(self) -> None:
+        """Decode every instruction once: ``addr -> (opcode, instr, target)``.
+
+        ``target`` is the statically resolved control-flow destination for
+        branches/jumps (``None`` for other kinds, and for labels that are
+        not resolvable yet — e.g. fragments awaiting :func:`merge_programs`
+        — which fall back to lazy :meth:`target_of` resolution at execute
+        time, preserving the original failure behaviour).
+        """
+        labels = self.labels
+        decoded: dict[int, tuple[int, Instruction, int | None]] = {}
+        for addr, instr in self._by_addr.items():
+            kind = instr.kind
+            target: int | None = None
+            if kind in BRANCH_KINDS or kind in JUMP_KINDS:
+                if instr.label is not None:
+                    target = labels.get(instr.label)
+                else:
+                    target = instr.imm
+            decoded[addr] = (OPCODES[kind], instr, target)
+        self._decoded = decoded
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -96,4 +125,5 @@ def merge_programs(programs: Sequence[Program], name: str = "merged") -> Program
             by_addr[prog.base + i * INSTR_SIZE] = instr
     merged._by_addr = by_addr
     merged.instructions = [instr for _, instr in sorted(by_addr.items())]
+    merged._predecode()
     return merged

@@ -80,6 +80,11 @@ class MMU:
         self.asid: int = 0
         self.walk_hooks: list[WalkHook] = []
         self.walk_count = 0
+        # Identity-translation memo (root is None): results are frozen and
+        # depend only on the VA and the region layout, so they are shared
+        # until the RegionMap's version moves.
+        self._identity_cache: dict[int, TranslationResult] = {}
+        self._identity_version = -1
 
     # -- context management -------------------------------------------------
 
@@ -144,9 +149,21 @@ class MMU:
                   secure: bool = False) -> TranslationResult:
         """Translate ``va`` for ``access``; raise :class:`PageFault` on denial."""
         if self.root is None:
-            region = self.bus.regions.find(va)
-            cacheable = region.cacheable if region is not None else True
-            return TranslationResult(va, va, PageFlags(0), region, cacheable)
+            regions = self.bus.regions
+            cache = self._identity_cache
+            if regions.version != self._identity_version:
+                cache.clear()
+                self._identity_version = regions.version
+            result = cache.get(va)
+            if result is None:
+                region = regions.find(va)
+                cacheable = region.cacheable if region is not None else True
+                result = TranslationResult(va, va, PageFlags(0), region,
+                                           cacheable)
+                if len(cache) > 65536:
+                    cache.clear()
+                cache[va] = result
+            return result
 
         page_va = va & ~PAGE_MASK
         entry = self.tlb.lookup(self.asid, page_va) if self.tlb else None

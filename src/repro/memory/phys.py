@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from itertools import repeat
+
 from repro.errors import MemoryFault
 
 #: Bytes per machine word (register width).
@@ -57,8 +59,8 @@ class PhysicalMemory:
     def read_bytes(self, addr: int, length: int) -> bytes:
         """Read ``length`` raw bytes."""
         self._check(addr, length, "read")
-        get = self._bytes.get
-        return bytes(get(addr + i, 0) for i in range(length))
+        return bytes(map(self._bytes.get, range(addr, addr + length),
+                         repeat(0)))
 
     def write_bytes(self, addr: int, data: bytes) -> None:
         """Write raw bytes starting at ``addr``."""

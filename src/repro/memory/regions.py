@@ -110,6 +110,10 @@ class RegionMap:
 
     def __init__(self, regions: list[MemoryRegion] | None = None) -> None:
         self._regions: list[MemoryRegion] = []
+        #: Bumped on every layout change; memoising consumers (the MMU's
+        #: identity-translation cache, :meth:`find`) key on it.
+        self.version = 0
+        self._find_cache: dict[int, MemoryRegion | None] = {}
         for region in regions or []:
             self.add(region)
 
@@ -123,11 +127,15 @@ class RegionMap:
                     f"region {region.name!r} overlaps {existing.name!r}")
         self._regions.append(region)
         self._regions.sort(key=lambda r: r.base)
+        self.version += 1
+        self._find_cache.clear()
 
     def remove(self, name: str) -> MemoryRegion:
         """Remove and return the region called ``name``."""
         for i, region in enumerate(self._regions):
             if region.name == name:
+                self.version += 1
+                self._find_cache.clear()
                 return self._regions.pop(i)
         raise KeyError(name)
 
@@ -138,10 +146,20 @@ class RegionMap:
 
     def find(self, addr: int) -> MemoryRegion | None:
         """Region containing ``addr``, or None."""
+        cache = self._find_cache
+        try:
+            return cache[addr]
+        except KeyError:
+            pass
+        found = None
         for region in self._regions:
             if region.contains(addr):
-                return region
-        return None
+                found = region
+                break
+        if len(cache) > 65536:  # bound the memo for address-sweep workloads
+            cache.clear()
+        cache[addr] = found
+        return found
 
     def get(self, name: str) -> MemoryRegion:
         """Region called ``name``; raises ``KeyError`` if missing."""

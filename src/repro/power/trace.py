@@ -8,7 +8,11 @@ import numpy as np
 class TraceSet:
     """``n`` traces of ``m`` aligned samples plus per-trace metadata.
 
-    Backing arrays are numpy so the correlation analyses in
+    Samples accumulate into a preallocated, doubling ``(capacity, m)``
+    float64 matrix, so :attr:`samples` is an O(1) view instead of an O(n)
+    ``vstack``, and per-byte metadata columns are cached until the next
+    :meth:`add` (DPA key recovery reads each column 16 times per key
+    byte).  Backing arrays are numpy so the correlation analyses in
     :mod:`repro.attacks.dpa` vectorise.
     """
 
@@ -16,9 +20,12 @@ class TraceSet:
         if num_samples <= 0:
             raise ValueError("num_samples must be positive")
         self.num_samples = num_samples
-        self._samples: list[np.ndarray] = []
+        self._buf = np.empty((0, num_samples), dtype=np.float64)
+        self._count = 0
         self._plaintexts: list[bytes] = []
         self._ciphertexts: list[bytes] = []
+        self._pt_cols: dict[int, np.ndarray] = {}
+        self._ct_cols: dict[int, np.ndarray] = {}
 
     def add(self, samples: list[float], plaintext: bytes,
             ciphertext: bytes) -> None:
@@ -26,19 +33,25 @@ class TraceSet:
         if len(samples) != self.num_samples:
             raise ValueError(
                 f"trace has {len(samples)} samples, expected {self.num_samples}")
-        self._samples.append(np.asarray(samples, dtype=np.float64))
+        if self._count == self._buf.shape[0]:
+            grown = np.empty((max(16, 2 * self._buf.shape[0]),
+                              self.num_samples), dtype=np.float64)
+            grown[:self._count] = self._buf[:self._count]
+            self._buf = grown
+        self._buf[self._count] = samples
+        self._count += 1
         self._plaintexts.append(plaintext)
         self._ciphertexts.append(ciphertext)
+        self._pt_cols.clear()
+        self._ct_cols.clear()
 
     def __len__(self) -> int:
-        return len(self._samples)
+        return self._count
 
     @property
     def samples(self) -> np.ndarray:
-        """(n_traces, n_samples) matrix."""
-        if not self._samples:
-            return np.empty((0, self.num_samples))
-        return np.vstack(self._samples)
+        """(n_traces, n_samples) matrix (a view of the growth buffer)."""
+        return self._buf[:self._count]
 
     @property
     def plaintexts(self) -> list[bytes]:
@@ -50,18 +63,29 @@ class TraceSet:
 
     def plaintext_bytes(self, index: int) -> np.ndarray:
         """Column vector of plaintext byte ``index`` across traces."""
-        return np.array([pt[index] for pt in self._plaintexts], dtype=np.int64)
+        col = self._pt_cols.get(index)
+        if col is None:
+            col = np.fromiter((pt[index] for pt in self._plaintexts),
+                              dtype=np.int64, count=self._count)
+            self._pt_cols[index] = col
+        return col
 
     def ciphertext_bytes(self, index: int) -> np.ndarray:
         """Column vector of ciphertext byte ``index`` across traces."""
-        return np.array([ct[index] for ct in self._ciphertexts], dtype=np.int64)
+        col = self._ct_cols.get(index)
+        if col is None:
+            col = np.fromiter((ct[index] for ct in self._ciphertexts),
+                              dtype=np.int64, count=self._count)
+            self._ct_cols[index] = col
+        return col
 
     def subset(self, count: int) -> "TraceSet":
         """First ``count`` traces as a new set (trace-count sweeps)."""
         if count > len(self):
             raise ValueError(f"only {len(self)} traces available")
         out = TraceSet(self.num_samples)
-        out._samples = self._samples[:count]
+        out._buf = self._buf[:count].copy()
+        out._count = count
         out._plaintexts = self._plaintexts[:count]
         out._ciphertexts = self._ciphertexts[:count]
         return out

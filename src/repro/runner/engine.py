@@ -100,6 +100,7 @@ def execute_spec(spec: CellSpec) -> dict:
         payload = {"kind": "attacks",
                    "attacks": [attack_result_to_dict(r) for r in results]}
     payload["cell_wall_time_s"] = time.perf_counter() - start
+    payload["cell_instret"] = sum(core.instret for core in soc.cores)
     return payload
 
 
@@ -167,6 +168,8 @@ class ExperimentRunner:
                 results[spec] = payload
                 stats.cell_times[(spec.platform, spec.category)] = \
                     payload.get("cell_wall_time_s", 0.0)
+                stats.cell_instrets[(spec.platform, spec.category)] = \
+                    payload.get("cell_instret", 0)
                 if self.cache is not None:
                     self.cache.put(cache_key_for(spec), payload)
 

@@ -22,6 +22,8 @@ class RunnerStats:
     corrupt_entries: int = 0
     wall_time_s: float = 0.0
     cell_times: dict[tuple[str, str], float] = field(default_factory=dict)
+    #: Simulated instructions retired per executed cell (all cores).
+    cell_instrets: dict[tuple[str, str], int] = field(default_factory=dict)
 
     @property
     def cells_total(self) -> int:
@@ -48,6 +50,17 @@ class RunnerStats:
             return 0.0
         return self.cache_hits / self.cells_total
 
+    @property
+    def instructions_total(self) -> int:
+        return sum(self.cell_instrets.values())
+
+    @property
+    def instructions_per_s(self) -> float:
+        """Simulated instructions retired per busy worker-second."""
+        if self.busy_time_s <= 0.0:
+            return 0.0
+        return self.instructions_total / self.busy_time_s
+
     def slowest_cells(self, count: int = 3) -> list[tuple[str, str, float]]:
         ranked = sorted(self.cell_times.items(), key=lambda kv: -kv[1])
         return [(platform, category, seconds)
@@ -67,4 +80,27 @@ class RunnerStats:
             slow = ", ".join(f"{p}/{c} {t:.2f}s"
                              for p, c, t in self.slowest_cells())
             lines.append(f"slowest cells: {slow}")
+        return "\n".join(lines)
+
+    def profile(self) -> str:
+        """Per-cell profile table: wall time and simulated throughput.
+
+        Only cells *executed* this run appear — cache hits cost no
+        simulation and carry no timings.  The throughput column is the
+        engine-speed figure the micro-benchmarks track (``make bench``).
+        """
+        if not self.cell_times:
+            return "profile: no cells executed (all served from cache)"
+        header = f"{'cell':<38} {'wall':>9} {'instret':>10} {'instr/s':>12}"
+        lines = ["profile (executed cells, slowest first):", header]
+        ranked = sorted(self.cell_times.items(), key=lambda kv: -kv[1])
+        for (platform, category), seconds in ranked:
+            instret = self.cell_instrets.get((platform, category), 0)
+            rate = instret / seconds if seconds > 0 else 0.0
+            lines.append(f"{platform + '/' + category:<38} "
+                         f"{seconds * 1e3:>7.1f}ms {instret:>10} "
+                         f"{rate:>12,.0f}")
+        lines.append(f"{'total':<38} {self.busy_time_s * 1e3:>7.1f}ms "
+                     f"{self.instructions_total:>10} "
+                     f"{self.instructions_per_s:>12,.0f}")
         return "\n".join(lines)
