@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench diff matrix
+.PHONY: test bench diff matrix chaos
 
 ## Tier-1 test suite (fast; micro-benchmarks excluded via the bench marker).
 test:
@@ -18,3 +18,8 @@ diff:
 ## Quick evaluation matrix (Figure 1) from the CLI.
 matrix:
 	$(PYTHON) -m repro figure1
+
+## Chaos suite: inject crash/hang/raise/corrupt faults into the runner's
+## own workers and prove the recovery guarantees end to end.
+chaos:
+	$(PYTHON) -m pytest -q --run-chaos -m chaos tests/test_chaos.py

@@ -17,6 +17,13 @@ category); ``--no-cache`` bypasses the cache and ``--clear-cache``
 explicitly invalidates it first.  Runner statistics (mode, per-cell wall
 time, cache hits/misses, worker utilisation) are printed after every
 measured run.
+
+Execution is supervised: each cell runs under a ``--timeout``, failing
+cells are retried ``--retries`` times with deterministic-jitter backoff,
+hung or crashed workers are replaced, and cells that still fail render
+as explicitly not-evaluated (``--fail-fast`` restores the historical
+abort-on-first-error behaviour).  ``--chaos RATE`` turns the repo's
+fault-injection discipline on the harness itself.
 """
 
 from __future__ import annotations
@@ -26,13 +33,24 @@ import sys
 
 
 def _make_runner(args):
-    from repro.runner import ExperimentRunner, ResultCache
+    from repro.runner import (
+        ChaosConfig,
+        ExperimentRunner,
+        ResultCache,
+        RetryPolicy,
+    )
     cache = ResultCache()
     if args.clear_cache:
         removed = cache.clear()
         print(f"cache cleared: {removed} entries removed")
-    return ExperimentRunner(jobs=args.jobs,
-                            cache=None if args.no_cache else cache)
+    chaos = ChaosConfig(rate=args.chaos) if args.chaos > 0 else None
+    return ExperimentRunner(
+        jobs=args.jobs,
+        cache=None if args.no_cache else cache,
+        timeout_s=args.timeout if args.timeout > 0 else None,
+        retry=RetryPolicy(max_retries=args.retries),
+        chaos=chaos,
+        fail_fast=args.fail_fast)
 
 
 def _figure1(args) -> None:
@@ -118,9 +136,27 @@ def main(argv: list[str] | None = None) -> int:
                         help="full (non-quick) attack sizing: more "
                              "traces, longer secrets, bigger keys")
     parser.add_argument("--profile", action="store_true",
-                        help="print a per-cell profile (wall time and "
-                             "simulated instructions/second) after "
-                             "figure1 runs")
+                        help="print a per-cell profile (wall time, "
+                             "simulated instructions/second, and outcome/"
+                             "retry status) after figure1 runs")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        metavar="SECONDS",
+                        help="per-cell wall-time budget before a worker "
+                             "counts as hung and is replaced (default: "
+                             "120; 0 disables)")
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="re-executions permitted per failing cell, "
+                             "with capped exponential backoff and "
+                             "deterministic jitter (default: 2)")
+    parser.add_argument("--chaos", type=float, default=0.0, metavar="RATE",
+                        help="inject harness faults (worker crash/hang/"
+                             "raise/corrupt) into this fraction of cell "
+                             "attempts — exercises the recovery paths "
+                             "(default: 0, off)")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="abort on the first cell failure instead of "
+                             "recording it as a not-evaluated outcome "
+                             "(the historical behaviour)")
     args = parser.parse_args(argv)
     if args.command == "all":
         for name, command in _COMMANDS.items():

@@ -70,14 +70,23 @@ PAPER_EXPECTED: dict[tuple[str, PlatformClass], Importance] = {
 
 @dataclass
 class Figure1:
-    """The regenerated figure."""
+    """The regenerated figure.
 
-    grid: dict[tuple[str, PlatformClass], Importance]
-    scores: dict[tuple[str, PlatformClass], float]
+    A grid value of ``None`` marks a cell that was explicitly *not
+    evaluated* — its every execution attempt failed under the tolerant
+    runner policy — as opposed to a measured low-importance cell.
+    """
+
+    grid: dict[tuple[str, PlatformClass], Importance | None]
+    scores: dict[tuple[str, PlatformClass], float | None]
     details: dict = field(default_factory=dict)
 
-    def cell(self, row: str, platform: PlatformClass) -> Importance:
+    def cell(self, row: str, platform: PlatformClass) -> Importance | None:
         return self.grid[(row, platform)]
+
+    def not_evaluated(self) -> list[tuple[str, PlatformClass]]:
+        """The cells rendered as ``n/e`` (no trustworthy measurement)."""
+        return [key for key in self.grid if self.grid[key] is None]
 
     def agreement_with_paper(self) -> float:
         """Fraction of cells matching the published shading."""
@@ -103,11 +112,15 @@ class Figure1:
             for platform in COLUMN_ORDER:
                 level = self.grid[(row, platform)]
                 score = self.scores[(row, platform)]
-                cells.append(f"{level.shade} {score:4.2f}".center(col_width))
+                if level is None or score is None:
+                    cells.append("···  n/e".center(col_width))
+                else:
+                    cells.append(
+                        f"{level.shade} {score:4.2f}".center(col_width))
             lines.append(f"{row:<30}" + "".join(cells))
         lines.append("-" * len(header))
         lines.append("shading: ███ high   ▒▒▒ medium   ░░░ low "
-                     "(score in cell)")
+                     "(score in cell)   ··· not evaluated")
         return "\n".join(lines)
 
 
@@ -130,7 +143,12 @@ def generate_figure1(matrix: EvaluationMatrix | None = None,
 
     for row, category in _CATEGORY_ROWS.items():
         for platform in COLUMN_ORDER:
-            cell = matrix.cells[(platform, category)]
+            cell = matrix.cells.get((platform, category))
+            if cell is None or not cell.evaluated:
+                grid[(row, platform)] = None
+                scores[(row, platform)] = None
+                details[(row, platform)] = []
+                continue
             grid[(row, platform)] = cell.importance
             scores[(row, platform)] = cell.score
             details[(row, platform)] = [
@@ -143,5 +161,12 @@ def generate_figure1(matrix: EvaluationMatrix | None = None,
     for platform, score in matrix.energy_constraint_scores().items():
         grid[("energy budget", platform)] = importance_from_score(score)
         scores[("energy budget", platform)] = score
+
+    # A platform whose reference workload failed has no requirement-row
+    # measurements: mark those cells not-evaluated rather than KeyError.
+    for row in ROW_ORDER:
+        for platform in COLUMN_ORDER:
+            grid.setdefault((row, platform), None)
+            scores.setdefault((row, platform), None)
 
     return Figure1(grid=grid, scores=scores, details=details)

@@ -50,12 +50,19 @@ _QuickKnobs = MatrixKnobs
 
 @dataclass
 class CellResult:
-    """One (platform, adversary-category) cell."""
+    """One (platform, adversary-category) cell.
+
+    ``evaluated`` is ``False`` when the cell produced no trustworthy
+    measurement (its every execution attempt failed under the tolerant
+    runner policy); such a cell scores 0.0 but must be *rendered* as
+    not-evaluated, never presented as a measured low.
+    """
 
     platform: PlatformClass
     category: AttackCategory
     attacks: list[AttackResult] = field(default_factory=list)
     prior: float = 1.0
+    evaluated: bool = True
 
     @property
     def raw_score(self) -> float:
@@ -137,15 +144,23 @@ class EvaluationMatrix:
 
         for profile in remote:
             for category in SUITES:
-                payload = payloads[self._spec(profile, category.value)]
+                payload = payloads.get(self._spec(profile, category.value))
+                if payload is None:
+                    # Every attempt failed: an explicit not-evaluated
+                    # cell, not a crash and not a fake zero measurement.
+                    self.cells[(profile.platform, category)] = CellResult(
+                        profile.platform, category, [],
+                        self._prior(profile, category), evaluated=False)
+                    continue
                 attacks = [attack_result_from_dict(d)
                            for d in payload["attacks"]]
                 self.cells[(profile.platform, category)] = CellResult(
                     profile.platform, category, attacks,
                     self._prior(profile, category))
-            workload = payloads[self._spec(profile, WORKLOAD_CATEGORY)]
-            self.workloads[profile.platform] = \
-                workload_from_dict(workload["workload"])
+            workload = payloads.get(self._spec(profile, WORKLOAD_CATEGORY))
+            if workload is not None:
+                self.workloads[profile.platform] = \
+                    workload_from_dict(workload["workload"])
 
         for profile in local:
             self._evaluate_locally(profile)
@@ -165,12 +180,22 @@ class EvaluationMatrix:
 
     # -- requirement rows ----------------------------------------------------------
 
+    def not_evaluated(self) -> list[tuple[PlatformClass, AttackCategory]]:
+        """Cells without a trustworthy measurement (every attempt failed)."""
+        return sorted(
+            (coords for coords, cell in self.cells.items()
+             if not cell.evaluated),
+            key=lambda coords: (coords[0].value, coords[1].value))
+
     def performance_scores(self) -> dict[PlatformClass, float]:
         """Relative throughput (1.0 = fastest platform).
 
-        Evaluates the matrix lazily on first use.
+        Evaluates the matrix lazily on first use.  Platforms whose
+        reference-workload cell failed are absent from the result.
         """
         self.evaluate()
+        if not self.workloads:
+            return {}
         best = max(w.throughput_ops_per_s for w in self.workloads.values())
         return {p: w.throughput_ops_per_s / best
                 for p, w in self.workloads.items()}
@@ -185,6 +210,8 @@ class EvaluationMatrix:
         """
         import math
         self.evaluate()
+        if not self.workloads:
+            return {}
         energies = {p: w.energy_per_op_pj for p, w in self.workloads.items()}
         loosest = max(energies.values())
         tightest = min(energies.values())

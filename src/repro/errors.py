@@ -66,3 +66,63 @@ class FaultInjectionError(ReproError):
 
 class DeviceError(ReproError):
     """A peripheral/device model failed."""
+
+
+class HarnessError(ReproError):
+    """The experiment *harness* (not the simulated hardware) failed.
+
+    Distinct from the simulation faults above: a :class:`MemoryFault` is a
+    measurement, a :class:`HarnessError` is the measuring apparatus
+    breaking.  The supervised runner converts these into per-cell
+    outcomes unless ``fail_fast`` asks for the old abort behaviour.
+    """
+
+
+class CellExecutionError(HarnessError):
+    """A cell raised (or its worker died) on every permitted attempt.
+
+    Attributes:
+        platform/category: the failing cell's coordinates.
+        attempts: how many times the cell was executed.
+        cause: short machine-readable failure kind (``"raised"``,
+            ``"worker-crash"``, ``"corrupt-payload"``, ...).
+    """
+
+    def __init__(self, platform: str, category: str, attempts: int,
+                 cause: str, detail: str = "") -> None:
+        message = (f"cell {platform}/{category} failed after "
+                   f"{attempts} attempt(s): {cause}")
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+        self.platform = platform
+        self.category = category
+        self.attempts = attempts
+        self.cause = cause
+        self.detail = detail
+
+
+class CellTimeoutError(CellExecutionError):
+    """A cell's worker ran past the per-cell timeout and was replaced."""
+
+    def __init__(self, platform: str, category: str, attempts: int,
+                 timeout_s: float) -> None:
+        super().__init__(platform, category, attempts, "timed-out",
+                         f"exceeded {timeout_s:.1f}s per-cell timeout")
+        self.timeout_s = timeout_s
+
+
+class PayloadCorruptionError(HarnessError):
+    """A worker returned (or the cache held) a payload whose integrity
+    digest does not match its contents."""
+
+
+class ChaosError(HarnessError):
+    """Deliberate failure injected by :mod:`repro.runner.chaos`.
+
+    Raised by the ``"raise"`` chaos mode, and substituted for the
+    ``"crash"``/``"hang"`` modes when a cell executes in the parent
+    process (where a real ``os._exit`` would kill the whole run, not a
+    disposable worker).
+    """
+

@@ -1,45 +1,78 @@
-"""Deterministic, parallel, cached experiment execution.
+"""Deterministic, parallel, cached, *fault-tolerant* experiment execution.
 
 The evaluation grid (``repro.core.matrix``) and the comparison tables
 (``repro.core.comparison``) are *measured* artefacts: every cell is the
 outcome of running real attack code.  That only means something if a cell
-is a pure function of its inputs.  This package provides the three layers
-that make it so, and then make it fast:
+is a pure function of its inputs — and if the harness's guarantees hold
+under adversarial execution conditions, not just the happy path.  This
+package provides the layers that make it so:
 
 * :mod:`repro.runner.seeding` — stable, process-independent seed
   derivation (SHA-256 of the ``(seed, platform, category)`` coordinates;
   never Python's salted ``hash()``);
-* :mod:`repro.runner.engine` — :class:`ExperimentRunner`, which fans
-  independent cells out over a ``ProcessPoolExecutor`` (with a serial
-  fallback) and memoises results in a content-addressed on-disk
-  :class:`~repro.runner.cache.ResultCache`;
-* :mod:`repro.runner.stats` — :class:`RunnerStats`, the run's measured
-  metadata: per-cell wall time, cache hit/miss counts, worker
-  utilisation.
+* :mod:`repro.runner.engine` — :class:`ExperimentRunner`, a *supervised*
+  executor: cells are submitted as individual futures with a per-cell
+  timeout, hung workers are detected and their pool replaced, worker
+  crashes (``BrokenProcessPool``) requeue unfinished specs, failed cells
+  retry with capped deterministic-jitter backoff, and payload integrity
+  digests catch corrupted returns and torn cache entries;
+* :mod:`repro.runner.retry` — the :class:`RetryPolicy` (jitter derived
+  from the cell seed, so reruns replay the same schedule);
+* :mod:`repro.runner.chaos` — seeded fault injection *into the harness
+  itself* (crash / hang / raise / corrupt), proving the recovery
+  guarantees end to end (``make chaos``);
+* :mod:`repro.runner.cache` — crash-safe content-addressed on-disk
+  memoisation (:class:`ResultCache`: temp-file + ``os.replace`` writes,
+  corrupt-entry quarantine);
+* :mod:`repro.runner.stats` — :class:`RunnerStats` with one structured
+  :class:`CellOutcome` per cell (ok / ok-after-retry / timed-out /
+  failed / degraded-to-serial) plus wall times, cache hit/miss counts
+  and worker utilisation.
 """
 
 from repro.runner.cache import ResultCache, default_cache_root
+from repro.runner.chaos import ChaosConfig, FAULT_MODES, chaos_execute_spec
 from repro.runner.engine import (
+    DEFAULT_TIMEOUT_S,
+    INTEGRITY_KEY,
     WORKLOAD_CATEGORY,
     CellSpec,
+    CellTask,
     ExperimentRunner,
     cache_key_for,
     execute_spec,
+    execute_task,
     parallel_map,
+    payload_fingerprint,
+    payload_intact,
 )
+from repro.runner.retry import NO_RETRY, RetryPolicy
 from repro.runner.seeding import derive_cell_seed, derive_seed
-from repro.runner.stats import RunnerStats
+from repro.runner.stats import CellOutcome, OUTCOME_STATUSES, RunnerStats
 
 __all__ = [
+    "CellOutcome",
     "CellSpec",
+    "CellTask",
+    "ChaosConfig",
+    "DEFAULT_TIMEOUT_S",
     "ExperimentRunner",
+    "FAULT_MODES",
+    "INTEGRITY_KEY",
+    "NO_RETRY",
+    "OUTCOME_STATUSES",
     "ResultCache",
+    "RetryPolicy",
     "RunnerStats",
     "WORKLOAD_CATEGORY",
     "cache_key_for",
+    "chaos_execute_spec",
     "default_cache_root",
     "derive_cell_seed",
     "derive_seed",
     "execute_spec",
+    "execute_task",
     "parallel_map",
+    "payload_fingerprint",
+    "payload_intact",
 ]

@@ -6,15 +6,29 @@ return the payload that cell would recompute.  Bumping
 ``repro.__version__`` therefore invalidates every entry implicitly;
 :meth:`ResultCache.clear` invalidates explicitly.
 
-The cache is deliberately forgiving: a truncated or hand-edited entry is
-discarded (and deleted) rather than allowed to poison a run.
+The cache is deliberately forgiving, and crash-safe by construction:
+
+* :meth:`ResultCache.put` writes to a uniquely named ``*.tmp`` file in
+  the cache root, fsyncs it, and ``os.replace``\\ s it into place — a
+  run SIGKILLed mid-write leaves at worst an ignorable temp file, never
+  a torn ``*.json`` entry a later run could trust;
+* a truncated or hand-edited entry is discarded (and deleted) rather
+  than allowed to poison a run, and an optional ``validator`` lets the
+  caller reject entries that parse but whose *contents* are wrong (the
+  runner passes its payload-integrity check);
+* leftover temp files from killed runs are swept opportunistically.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from itertools import count
 from pathlib import Path
+from typing import Callable
+
+#: Per-process counter making concurrent same-key writers collision-free.
+_TMP_COUNTER = count()
 
 
 def default_cache_root() -> Path:
@@ -26,12 +40,21 @@ def default_cache_root() -> Path:
 
 
 class ResultCache:
-    """One JSON file per cell under ``root``, named by content key."""
+    """One JSON file per cell under ``root``, named by content key.
 
-    def __init__(self, root: str | Path | None = None) -> None:
+    ``validator``, when given, is applied to every parsed payload; an
+    entry it rejects is quarantined (deleted and counted in
+    ``corrupt_discarded``) exactly like unparseable JSON.
+    """
+
+    def __init__(self, root: str | Path | None = None,
+                 validator: Callable[[dict], bool] | None = None) -> None:
         self.root = Path(root) if root is not None else default_cache_root()
-        #: Entries discarded because they could not be parsed.
+        self.validator = validator
+        #: Entries discarded because they could not be parsed or trusted.
         self.corrupt_discarded = 0
+        #: Orphaned temp files from killed runs removed by :meth:`sweep`.
+        self.stale_tmp_removed = 0
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -47,37 +70,81 @@ class ResultCache:
             payload = json.loads(text)
             if not isinstance(payload, dict):
                 raise ValueError("cache payload must be an object")
+            if self.validator is not None and not self.validator(payload):
+                raise ValueError("cache payload failed validation")
         except (ValueError, TypeError):
-            self.corrupt_discarded += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self.quarantine(key)
             return None
         return payload
 
-    def put(self, key: str, payload: dict) -> None:
-        """Atomically persist ``payload`` (write-to-temp, then rename).
+    def quarantine(self, key: str) -> None:
+        """Discard an entry that parsed but cannot be trusted."""
+        self.corrupt_discarded += 1
+        try:
+            self.path_for(key).unlink()
+        except OSError:
+            pass
 
-        An unwritable cache (root shadowed by a file, permissions, disk
-        full) degrades to no memoisation — it must never abort the
-        measurement run that produced the payload.
+    def put(self, key: str, payload: dict) -> None:
+        """Crash-safely persist ``payload``.
+
+        The temp file lives in the cache root (same filesystem, so the
+        final ``os.replace`` is atomic) under a unique non-``.json``
+        name, and is fsynced before the rename: a SIGKILL at any point
+        leaves either the old entry, the new entry, or an orphaned temp
+        file — never a torn ``*.json``.  An unwritable cache (root
+        shadowed by a file, permissions, disk full) degrades to no
+        memoisation — it must never abort the measurement run that
+        produced the payload.
         """
+        tmp: Path | None = None
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             path = self.path_for(key)
-            tmp = path.with_suffix(f".tmp.{os.getpid()}")
-            tmp.write_text(json.dumps(payload, sort_keys=True),
-                           encoding="utf-8")
+            tmp = self.root / (f"{key}.{os.getpid()}."
+                               f"{next(_TMP_COUNTER)}.tmp")
+            fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+            try:
+                os.write(fd, json.dumps(payload,
+                                        sort_keys=True).encode("utf-8"))
+                os.fsync(fd)
+            finally:
+                os.close(fd)
             os.replace(tmp, path)
         except OSError:
-            pass
+            if tmp is not None:
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+
+    def sweep(self) -> int:
+        """Remove orphaned ``*.tmp`` files left by killed writers.
+
+        Only this process's *own* stale files are certainly dead; other
+        pids' temp files could belong to a live concurrent run, so only
+        files that have stopped changing (any existing ``*.tmp`` here,
+        since writers replace within milliseconds) are collected.  Safe
+        to call any time; returns how many were removed.
+        """
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("*.tmp"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self.stale_tmp_removed += removed
+        return removed
 
     def clear(self) -> int:
         """Explicit invalidation: delete all entries, return the count."""
         removed = 0
         if not self.root.is_dir():
             return removed
+        self.sweep()
         for path in self.root.glob("*.json"):
             try:
                 path.unlink()

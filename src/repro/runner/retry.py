@@ -1,0 +1,59 @@
+"""Retry policy: capped exponential backoff with *deterministic* jitter.
+
+A transiently failing cell (a worker crash, a corrupted payload, a
+timeout) is retried a bounded number of times.  Between attempts the
+runner backs off exponentially, and — because thundering-herd avoidance
+must not cost reproducibility — the jitter applied to each delay is not
+drawn from a wall-clock or process RNG but derived from the cell's own
+coordinates via the same SHA-256 scheme that seeds the cell itself
+(:mod:`repro.runner.seeding`).  Rerunning a matrix therefore replays the
+exact same retry schedule, which keeps chaos tests and flake
+investigations deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runner.seeding import derive_seed
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed cells are retried.
+
+    ``max_retries`` counts *re*-executions: a cell runs at most
+    ``1 + max_retries`` times.  Delays grow as ``base_delay_s *
+    growth ** retry`` capped at ``max_delay_s``, then scaled into
+    ``[1 - jitter, 1.0]`` by the deterministic jitter fraction.
+    """
+
+    max_retries: int = 2
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    growth: float = 2.0
+    jitter: float = 0.5
+
+    @property
+    def max_attempts(self) -> int:
+        return 1 + max(0, self.max_retries)
+
+    def jitter_fraction(self, seed: int, platform: str, category: str,
+                        attempt: int) -> float:
+        """Deterministic stand-in for ``random.random()``: a value in
+        ``[0, 1)`` that is a pure function of the cell and the attempt."""
+        digest = derive_seed(seed, platform, category, attempt, "retry")
+        return (digest % (1 << 32)) / float(1 << 32)
+
+    def delay_s(self, seed: int, platform: str, category: str,
+                attempt: int) -> float:
+        """Backoff before re-running ``attempt`` (1-based retry index)."""
+        retry = max(0, attempt - 1)
+        raw = min(self.base_delay_s * (self.growth ** retry),
+                  self.max_delay_s)
+        fraction = self.jitter_fraction(seed, platform, category, attempt)
+        return raw * (1.0 - self.jitter * fraction)
+
+
+#: Retry disabled: one attempt, no backoff.
+NO_RETRY = RetryPolicy(max_retries=0)

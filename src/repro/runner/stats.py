@@ -4,6 +4,50 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+#: The full outcome taxonomy, in "healthiest first" display order.
+OUTCOME_STATUSES = ("ok", "ok-after-retry", "degraded-to-serial",
+                    "timed-out", "failed")
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """How one cell's execution ended, structurally.
+
+    ``status`` is one of :data:`OUTCOME_STATUSES`:
+
+    * ``"ok"`` — first attempt succeeded (or the payload came from
+      cache, in which case ``attempts`` is 0);
+    * ``"ok-after-retry"`` — succeeded, but only after ≥1 retry;
+    * ``"degraded-to-serial"`` — succeeded, but in the parent process
+      after the worker pool was abandoned;
+    * ``"timed-out"`` — every permitted attempt exceeded the per-cell
+      timeout; no payload exists;
+    * ``"failed"`` — every permitted attempt raised, crashed its
+      worker, or returned a corrupt payload; no payload exists.
+
+    ``attempts`` counts executions (0 = pure cache hit); ``error`` holds
+    the last failure's description for the unhealthy statuses.
+    """
+
+    status: str
+    attempts: int = 1
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether a trustworthy payload exists for this cell."""
+        return self.status in ("ok", "ok-after-retry", "degraded-to-serial")
+
+    @property
+    def retries(self) -> int:
+        return max(0, self.attempts - 1)
+
+    def label(self) -> str:
+        """Compact rendering for tables: ``ok``, ``ok-after-retry(2)``."""
+        if self.retries:
+            return f"{self.status}({self.attempts})"
+        return self.status
+
 
 @dataclass
 class RunnerStats:
@@ -13,6 +57,8 @@ class RunnerStats:
     cell's execution *inside its worker*; ``wall_time_s`` is the caller's
     end-to-end wall time; the gap between ``busy_time_s`` spread over
     ``jobs`` workers and the elapsed wall time is ``worker_utilisation``.
+    ``outcomes`` carries one :class:`CellOutcome` per requested cell —
+    including the failed ones, which have no ``cell_times`` entry.
     """
 
     jobs: int = 1
@@ -24,6 +70,10 @@ class RunnerStats:
     cell_times: dict[tuple[str, str], float] = field(default_factory=dict)
     #: Simulated instructions retired per executed cell (all cores).
     cell_instrets: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: Structured per-cell outcome (ok / retried / timed-out / failed ...).
+    outcomes: dict[tuple[str, str], CellOutcome] = field(default_factory=dict)
+    #: Worker pools torn down and rebuilt (hang or crash recovery).
+    pool_rebuilds: int = 0
 
     @property
     def cells_total(self) -> int:
@@ -32,6 +82,19 @@ class RunnerStats:
     @property
     def cells_executed(self) -> int:
         return len(self.cell_times)
+
+    @property
+    def cells_failed(self) -> int:
+        return sum(1 for o in self.outcomes.values() if not o.ok)
+
+    @property
+    def cells_retried(self) -> int:
+        return sum(1 for o in self.outcomes.values()
+                   if o.ok and o.retries > 0)
+
+    @property
+    def retries_total(self) -> int:
+        return sum(o.retries for o in self.outcomes.values())
 
     @property
     def busy_time_s(self) -> float:
@@ -61,6 +124,13 @@ class RunnerStats:
             return 0.0
         return self.instructions_total / self.busy_time_s
 
+    def failed_cells(self) -> list[tuple[str, str, CellOutcome]]:
+        """The cells without a trustworthy payload, with their outcomes."""
+        return [(platform, category, outcome)
+                for (platform, category), outcome in sorted(
+                    self.outcomes.items())
+                if not outcome.ok]
+
     def slowest_cells(self, count: int = 3) -> list[tuple[str, str, float]]:
         ranked = sorted(self.cell_times.items(), key=lambda kv: -kv[1])
         return [(platform, category, seconds)
@@ -76,6 +146,15 @@ class RunnerStats:
             + (f" ({self.corrupt_entries} corrupt discarded)"
                if self.corrupt_entries else ""),
         ]
+        if self.retries_total or self.cells_failed or self.pool_rebuilds:
+            lines.append(
+                f"faults: {self.cells_failed} cells failed, "
+                f"{self.cells_retried} recovered by retry "
+                f"({self.retries_total} retries), "
+                f"{self.pool_rebuilds} pool rebuilds")
+        for platform, category, outcome in self.failed_cells():
+            lines.append(f"  not evaluated: {platform}/{category} "
+                         f"[{outcome.label()}] {outcome.error or ''}".rstrip())
         if self.cell_times:
             slow = ", ".join(f"{p}/{c} {t:.2f}s"
                              for p, c, t in self.slowest_cells())
@@ -83,23 +162,32 @@ class RunnerStats:
         return "\n".join(lines)
 
     def profile(self) -> str:
-        """Per-cell profile table: wall time and simulated throughput.
+        """Per-cell profile table: wall time, throughput, and outcome.
 
-        Only cells *executed* this run appear — cache hits cost no
-        simulation and carry no timings.  The throughput column is the
-        engine-speed figure the micro-benchmarks track (``make bench``).
+        Executed cells rank by wall time; cells that never produced a
+        payload (timed out / failed) follow, so a flaky or dead cell is
+        visible at a glance rather than silently absent.  The throughput
+        column is the engine-speed figure the micro-benchmarks track
+        (``make bench``).
         """
-        if not self.cell_times:
+        if not self.cell_times and not self.cells_failed:
             return "profile: no cells executed (all served from cache)"
-        header = f"{'cell':<38} {'wall':>9} {'instret':>10} {'instr/s':>12}"
+        header = (f"{'cell':<38} {'wall':>9} {'instret':>10} "
+                  f"{'instr/s':>12}  outcome")
         lines = ["profile (executed cells, slowest first):", header]
         ranked = sorted(self.cell_times.items(), key=lambda kv: -kv[1])
         for (platform, category), seconds in ranked:
             instret = self.cell_instrets.get((platform, category), 0)
             rate = instret / seconds if seconds > 0 else 0.0
+            outcome = self.outcomes.get((platform, category))
             lines.append(f"{platform + '/' + category:<38} "
                          f"{seconds * 1e3:>7.1f}ms {instret:>10} "
-                         f"{rate:>12,.0f}")
+                         f"{rate:>12,.0f}  "
+                         f"{outcome.label() if outcome else 'ok'}")
+        for platform, category, outcome in self.failed_cells():
+            lines.append(f"{platform + '/' + category:<38} "
+                         f"{'-':>9} {'-':>10} {'-':>12}  "
+                         f"{outcome.label()}")
         lines.append(f"{'total':<38} {self.busy_time_s * 1e3:>7.1f}ms "
                      f"{self.instructions_total:>10} "
                      f"{self.instructions_per_s:>12,.0f}")

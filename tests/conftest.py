@@ -15,6 +15,25 @@ from repro.memory.bus import SystemBus
 from repro.memory.phys import PhysicalMemory
 from repro.memory.regions import standard_layout
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--run-chaos", action="store_true", default=False,
+        help="run the chaos-harness fault-injection suite "
+             "(crashes/hangs/corrupts runner workers; wall-clock heavy)")
+
+
+def pytest_collection_modifyitems(config: pytest.Config,
+                                  items: list[pytest.Item]) -> None:
+    """``chaos``-marked tests are opt-in, like the ``bench`` marker:
+    they wait out real per-cell timeouts, so tier 1 skips them."""
+    if config.getoption("--run-chaos"):
+        return
+    skip = pytest.mark.skip(reason="chaos-harness test; pass --run-chaos")
+    for item in items:
+        if "chaos" in item.keywords:
+            item.add_marker(skip)
+
+
 #: FIPS-197 appendix key/plaintext/ciphertext (used all over the suite).
 AES_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
 AES_PT = bytes.fromhex("00112233445566778899aabbccddeeff")

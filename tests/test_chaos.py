@@ -1,0 +1,169 @@
+"""Chaos suite: the runner's recovery guarantees under injected faults.
+
+Opt-in (``--run-chaos`` / ``make chaos``): these tests deliberately
+crash, hang and corrupt worker processes, so they cost wall-clock time
+(hang detection waits out real timeouts) and are kept out of tier 1.
+
+The contract under test, end to end:
+
+* with crash/hang/raise/corrupt faults injected into ≥30% of
+  quick-matrix cell attempts, the run *completes* under the default
+  (tolerant) policy;
+* every surviving cell's payload is byte-identical (by deterministic
+  fingerprint) to a fault-free run's;
+* cells that never produced a payload carry accurate ``CellOutcome``s;
+* a killed-then-resumed run finishes from cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.base import AttackCategory
+from repro.attacks.suites import MatrixKnobs
+from repro.common import PlatformClass
+from repro.core.figure1 import generate_figure1
+from repro.core.matrix import EvaluationMatrix
+from repro.errors import HarnessError
+from repro.runner import (
+    NO_RETRY,
+    WORKLOAD_CATEGORY,
+    CellSpec,
+    ChaosConfig,
+    ExperimentRunner,
+    ResultCache,
+    RetryPolicy,
+    payload_fingerprint,
+    payload_intact,
+)
+
+pytestmark = pytest.mark.chaos
+
+#: Retry schedule used throughout: generous attempts, fast backoff.
+RETRY = RetryPolicy(max_retries=3, base_delay_s=0.01, max_delay_s=0.1)
+
+
+def quick_matrix_specs() -> list[CellSpec]:
+    """The 15 quick-matrix cells (12 attack cells + 3 workloads)."""
+    knobs = MatrixKnobs.quick().as_key()
+    specs = []
+    for platform in PlatformClass:
+        specs.extend(
+            CellSpec(seed=0x2019, platform=platform.value,
+                     category=category.value, knobs=knobs)
+            for category in AttackCategory)
+        specs.append(CellSpec(seed=0x2019, platform=platform.value,
+                              category=WORKLOAD_CATEGORY, knobs=knobs))
+    return specs
+
+
+@pytest.fixture(scope="module")
+def clean_payloads() -> dict[CellSpec, dict]:
+    """Fault-free payloads for every quick-matrix cell."""
+    return ExperimentRunner().run(quick_matrix_specs())
+
+
+class TestRecoveryUnderChaos:
+    #: Seeded so a known ≥30% of first attempts draw a fault (seed 3:
+    #: 9 of 15 cells — crash ×4, raise ×2, corrupt ×2, hang ×1).
+    CHAOS = ChaosConfig(rate=0.35, seed=3, hang_s=8.0)
+
+    def test_fault_rate_meets_the_bar(self):
+        specs = quick_matrix_specs()
+        injected = sum(1 for spec in specs
+                       if self.CHAOS.draw(spec, 0) is not None)
+        assert injected >= 0.3 * len(specs)
+
+    def test_run_completes_and_survivors_are_byte_identical(
+            self, clean_payloads):
+        specs = quick_matrix_specs()
+        runner = ExperimentRunner(jobs=2, timeout_s=3.0, retry=RETRY,
+                                  chaos=self.CHAOS)
+        results = runner.run(specs)
+
+        assert len(runner.stats.outcomes) == len(specs)
+        for spec in specs:
+            outcome = runner.stats.outcomes[(spec.platform, spec.category)]
+            if outcome.ok:
+                # Survivor: payload present, intact, and fingerprint-
+                # identical to the fault-free computation.
+                payload = results[spec]
+                assert payload_intact(payload)
+                assert payload_fingerprint(payload) == \
+                    payload_fingerprint(clean_payloads[spec])
+            else:
+                # Casualty: absent from results, with a structured cause.
+                assert spec not in results
+                assert outcome.status in ("timed-out", "failed")
+                assert outcome.error
+                assert outcome.attempts == RETRY.max_attempts
+
+    def test_chaos_draws_are_deterministic(self):
+        spec = quick_matrix_specs()[0]
+        draws = [self.CHAOS.draw(spec, attempt) for attempt in range(8)]
+        assert draws == [self.CHAOS.draw(spec, attempt)
+                         for attempt in range(8)]
+
+    def test_retry_schedule_is_deterministic(self):
+        spec = quick_matrix_specs()[0]
+        delays = [RETRY.delay_s(spec.seed, spec.platform, spec.category,
+                                attempt) for attempt in (1, 2, 3)]
+        assert delays == [RETRY.delay_s(spec.seed, spec.platform,
+                                        spec.category, attempt)
+                          for attempt in (1, 2, 3)]
+        assert all(0.0 < d <= RETRY.max_delay_s for d in delays)
+
+
+class TestPermanentFailures:
+    def test_figure1_renders_failed_cells_as_not_evaluated(self):
+        chaos = ChaosConfig(rate=1.0, modes=("raise",))
+        runner = ExperimentRunner(
+            jobs=2, chaos=chaos,
+            retry=RetryPolicy(max_retries=1, base_delay_s=0.01))
+        matrix = EvaluationMatrix(runner=runner)
+        matrix.evaluate()
+
+        assert runner.stats.cells_failed == 15
+        assert all(not o.ok for o in runner.stats.outcomes.values())
+        assert len(matrix.not_evaluated()) == 12
+
+        figure = generate_figure1(matrix=matrix)
+        rendered = figure.render()
+        assert "n/e" in rendered
+        assert len(figure.not_evaluated()) == 18  # incl. requirement rows
+        assert figure.agreement_with_paper() == 0.0
+
+    def test_fail_fast_restores_abort_on_first_error(self):
+        chaos = ChaosConfig(rate=1.0, modes=("raise",))
+        runner = ExperimentRunner(jobs=2, chaos=chaos, fail_fast=True)
+        with pytest.raises(HarnessError):
+            runner.run(quick_matrix_specs())
+
+
+class TestCrashResume:
+    def test_crash_heavy_run_then_clean_rerun_finishes_from_cache(
+            self, tmp_path, clean_payloads):
+        """Workers dying mid-run must leave only trustworthy cache
+        entries; a later clean run completes, serving survivors from
+        cache byte-identically."""
+        specs = quick_matrix_specs()
+        root = tmp_path / "cells"
+        chaos = ChaosConfig(rate=0.5, seed=11, modes=("crash",))
+        first = ExperimentRunner(jobs=2, timeout_s=5.0, retry=NO_RETRY,
+                                 cache=ResultCache(root), chaos=chaos)
+        first_results = first.run(specs)
+        # The campaign must actually have drawn blood for this test to
+        # mean anything.
+        assert first.stats.cells_failed > 0
+        assert first.stats.pool_rebuilds > 0
+
+        resumed = ExperimentRunner(jobs=2, cache=ResultCache(root))
+        results = resumed.run(specs)
+        assert len(results) == len(specs)
+        assert resumed.stats.cells_failed == 0
+        # Cells that survived the chaos run were served from cache ...
+        assert resumed.stats.cache_hits == len(first_results)
+        # ... and every payload matches the fault-free computation.
+        for spec in specs:
+            assert payload_fingerprint(results[spec]) == \
+                payload_fingerprint(clean_payloads[spec])

@@ -25,15 +25,21 @@ from repro.core.matrix import EvaluationMatrix
 from repro.core.platforms import PlatformProfile, profile_for
 from repro.cpu.soc import make_embedded_soc, soc_factory_for
 from repro.runner import (
+    INTEGRITY_KEY,
+    NO_RETRY,
     WORKLOAD_CATEGORY,
     CellSpec,
+    ChaosConfig,
     ExperimentRunner,
     ResultCache,
+    RetryPolicy,
     cache_key_for,
     derive_cell_seed,
     derive_seed,
     execute_spec,
     parallel_map,
+    payload_fingerprint,
+    payload_intact,
 )
 from repro.runner import engine as engine_module
 
@@ -124,6 +130,25 @@ def _assert_same_cells(matrix: EvaluationMatrix,
         assert workload.cycles == other.workloads[platform].cycles
 
 
+def _fail_and_mark(path: str):
+    """Module-level (picklable) worker: record the call, then fail."""
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("x")
+    raise OSError("experiment failed inside worker")
+
+
+def _cheap_specs(count: int = 2) -> list[CellSpec]:
+    """The cheapest real cells (sub-millisecond attack suites)."""
+    knobs = MatrixKnobs.quick().as_key()
+    specs = [CellSpec(seed=0x2019, platform="embedded", category="local",
+                      knobs=knobs),
+             CellSpec(seed=0x2019, platform="mobile", category="local",
+                      knobs=knobs),
+             CellSpec(seed=0x2019, platform="embedded", category="remote",
+                      knobs=knobs)]
+    return specs[:count]
+
+
 class TestParallelExecution:
     def test_parallel_equals_serial_cell_for_cell(self, serial_matrix):
         runner = ExperimentRunner(jobs=4)
@@ -150,6 +175,121 @@ class TestParallelExecution:
 
         with pytest.raises(ValueError):
             parallel_map(boom, [1, 2], jobs=1)
+
+    def test_worker_cell_exception_propagates_without_serial_rerun(
+            self, tmp_path):
+        """An ``OSError`` raised *by the cell* inside a worker must not
+        be conflated with pool-infrastructure failure: it propagates,
+        and the cells are not silently re-executed serially (each marker
+        file records exactly one execution)."""
+        markers = [str(tmp_path / "a"), str(tmp_path / "b")]
+        with pytest.raises(OSError, match="inside worker"):
+            parallel_map(_fail_and_mark, markers, jobs=2)
+        for marker in markers:
+            assert Path(marker).read_text(encoding="utf-8") == "x"
+
+
+class TestSupervisedRunner:
+    """The tentpole: degraded paths of the fault-tolerant executor."""
+
+    def test_pool_unavailable_degrades_to_serial_with_outcomes(
+            self, monkeypatch):
+        class _NoPool:
+            def __init__(self, *a, **k):
+                raise OSError("fork denied")
+
+        monkeypatch.setattr(engine_module, "ProcessPoolExecutor", _NoPool)
+        runner = ExperimentRunner(jobs=4)
+        specs = _cheap_specs(2)
+        results = runner.run(specs)
+        assert runner.stats.mode == "serial-fallback"
+        assert len(results) == 2
+        for spec in specs:
+            outcome = runner.stats.outcomes[(spec.platform, spec.category)]
+            assert outcome.status == "degraded-to-serial"
+            assert outcome.ok
+            assert payload_intact(results[spec])
+
+    def test_hung_worker_is_detected_and_timed_out(self):
+        chaos = ChaosConfig(rate=1.0, modes=("hang",), hang_s=10.0)
+        runner = ExperimentRunner(jobs=2, timeout_s=0.5, retry=NO_RETRY,
+                                  chaos=chaos)
+        results = runner.run(_cheap_specs(2))
+        assert results == {}
+        assert runner.stats.pool_rebuilds >= 1
+        for outcome in runner.stats.outcomes.values():
+            assert outcome.status == "timed-out"
+            assert outcome.attempts == 1
+            assert "timeout" in outcome.error
+
+    def test_worker_crash_yields_structured_failure(self):
+        chaos = ChaosConfig(rate=1.0, modes=("crash",))
+        runner = ExperimentRunner(jobs=2, timeout_s=30.0, retry=NO_RETRY,
+                                  chaos=chaos)
+        results = runner.run(_cheap_specs(2))
+        assert results == {}
+        assert runner.stats.pool_rebuilds >= 1
+        for outcome in runner.stats.outcomes.values():
+            assert outcome.status == "failed"
+            assert "worker-crash" in outcome.error
+
+    def test_corrupt_payload_detected_not_trusted(self):
+        spec = _cheap_specs(1)[0]
+        payload = execute_spec(spec)
+        assert payload_intact(payload)
+        payload["kind"] = "tampered"
+        assert not payload_intact(payload)
+
+        # The corrupt chaos mode (stale integrity digest) is caught and
+        # charged as a structured failure, never returned as a result.
+        chaos = ChaosConfig(rate=1.0, modes=("corrupt",))
+        runner = ExperimentRunner(retry=NO_RETRY, chaos=chaos)
+        results = runner.run([spec])
+        assert results == {}
+        outcome = runner.stats.outcomes[(spec.platform, spec.category)]
+        assert outcome.status == "failed"
+        assert "corrupt-payload" in outcome.error
+
+    def test_flaky_cell_recovers_as_ok_after_retry(self, monkeypatch):
+        spec = _cheap_specs(1)[0]
+        real = engine_module.execute_spec
+        calls = {"n": 0}
+
+        def flaky(s):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient harness failure")
+            return real(s)
+
+        monkeypatch.setattr(engine_module, "execute_spec", flaky)
+        runner = ExperimentRunner(
+            retry=RetryPolicy(max_retries=2, base_delay_s=0.001))
+        results = runner.run([spec])
+        outcome = runner.stats.outcomes[(spec.platform, spec.category)]
+        assert outcome.status == "ok-after-retry"
+        assert outcome.attempts == 2
+        assert runner.stats.cells_retried == 1
+        assert runner.stats.retries_total == 1
+        assert payload_intact(results[spec])
+
+    def test_retry_jitter_is_deterministic_and_capped(self):
+        policy = RetryPolicy(max_retries=5, base_delay_s=0.05,
+                             max_delay_s=0.4)
+        delays = [policy.delay_s(1, "embedded", "local", a)
+                  for a in (1, 2, 3, 4, 5)]
+        assert delays == [policy.delay_s(1, "embedded", "local", a)
+                          for a in (1, 2, 3, 4, 5)]
+        assert all(0.0 < d <= 0.4 for d in delays)
+        # Different cells draw different jitter from the same policy.
+        assert policy.delay_s(1, "embedded", "local", 1) \
+            != policy.delay_s(1, "mobile", "local", 1)
+
+    def test_profile_lists_outcome_column(self):
+        runner = ExperimentRunner()
+        runner.run(_cheap_specs(2))
+        profile = runner.stats.profile()
+        assert "outcome" in profile
+        assert "ok" in profile
 
 
 class TestResultCache:
@@ -209,6 +349,110 @@ class TestResultCache:
         assert len(cache) == 1
         assert cache.clear() == 1
         assert cache.get("abc") is None
+
+
+class TestCacheCrashSafety:
+    def test_torn_tmp_file_is_invisible_and_swept(self, tmp_path):
+        """A SIGKILLed writer leaves a ``*.tmp`` file, never a torn
+        ``*.json``: reads ignore it, and sweep() collects it."""
+        cache = ResultCache(tmp_path)
+        cache.put("abc", {"x": 1})
+        torn = tmp_path / "abc.9999.0.tmp"
+        torn.write_text('{"x": 1, "trunca', encoding="utf-8")
+        assert cache.get("abc") == {"x": 1}   # tmp never consulted
+        assert len(cache) == 1                # tmp not counted
+        assert cache.sweep() == 1
+        assert not torn.exists()
+        assert cache.stale_tmp_removed == 1
+        assert cache.get("abc") == {"x": 1}   # real entry untouched
+
+    def test_validator_hook_quarantines_parseable_but_untrusted(
+            self, tmp_path):
+        cache = ResultCache(tmp_path,
+                            validator=lambda p: p.get("blessed") is True)
+        cache.put("good", {"blessed": True})
+        cache.put("bad", {"blessed": False})
+        assert cache.get("good") == {"blessed": True}
+        assert cache.get("bad") is None
+        assert cache.corrupt_discarded == 1
+        assert not cache.path_for("bad").exists()
+
+    def test_tampered_entry_fails_integrity_and_is_recomputed(
+            self, warm_cache_root, serial_matrix):
+        """Valid JSON whose *contents* were altered (stale integrity
+        digest) must be quarantined by the runner, not trusted."""
+        victim = sorted(warm_cache_root.glob("*.json"))[1]
+        payload = json.loads(victim.read_text(encoding="utf-8"))
+        assert payload[INTEGRITY_KEY] == payload_fingerprint(payload)
+        payload["kind"] = "forged"
+        victim.write_text(json.dumps(payload), encoding="utf-8")
+
+        runner = ExperimentRunner(cache=ResultCache(warm_cache_root))
+        matrix = EvaluationMatrix(runner=runner)
+        matrix.evaluate()
+        _assert_same_cells(matrix, serial_matrix)
+        assert runner.stats.cache_misses == 1
+        assert runner.stats.corrupt_entries == 1
+        # Recomputed and re-persisted with a matching digest.
+        restored = json.loads(victim.read_text(encoding="utf-8"))
+        assert restored[INTEGRITY_KEY] == payload_fingerprint(restored)
+
+
+_KILLED_RUN_SCRIPT = """
+import os, signal, sys
+from repro.core.matrix import EvaluationMatrix
+from repro.runner import ExperimentRunner, ResultCache
+from repro.runner import engine
+
+root, kill_after = sys.argv[1], int(sys.argv[2])
+real = engine.execute_spec
+state = {"done": 0}
+
+def dying_execute(spec):
+    if state["done"] >= kill_after:
+        os.kill(os.getpid(), signal.SIGKILL)   # no cleanup, no atexit
+    state["done"] += 1
+    return real(spec)
+
+engine.execute_spec = dying_execute
+runner = ExperimentRunner(cache=ResultCache(root))
+EvaluationMatrix(runner=runner).evaluate()
+"""
+
+
+class TestResumeAfterKill:
+    KILL_AFTER = 5
+
+    def test_killed_run_resumes_from_cache(self, tmp_path, serial_matrix):
+        """SIGKILL the matrix mid-flight; the rerun must serve every
+        completed cell from cache and finish with identical results."""
+        import signal
+        import subprocess
+
+        root = tmp_path / "cells"
+        env = os.environ.copy()
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", _KILLED_RUN_SCRIPT, str(root),
+             str(self.KILL_AFTER)],
+            env=env, capture_output=True, text=True)
+        assert proc.returncode == -signal.SIGKILL
+
+        # Only whole, trustworthy entries survived the kill.
+        cache = ResultCache(root)
+        assert len(cache) == self.KILL_AFTER
+        for path in root.glob("*.json"):
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            assert payload[INTEGRITY_KEY] == payload_fingerprint(payload)
+
+        runner = ExperimentRunner(cache=ResultCache(root))
+        matrix = EvaluationMatrix(runner=runner)
+        matrix.evaluate()
+        assert runner.stats.cache_hits == self.KILL_AFTER
+        assert runner.stats.cache_misses == 15 - self.KILL_AFTER
+        assert runner.stats.cells_failed == 0
+        _assert_same_cells(matrix, serial_matrix)
 
 
 class TestMatrixLaziness:
