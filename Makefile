@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench diff matrix chaos
+.PHONY: test bench diff matrix chaos lint determinism ci
 
 ## Tier-1 test suite (fast; micro-benchmarks excluded via the bench marker).
 test:
@@ -23,3 +23,23 @@ matrix:
 ## own workers and prove the recovery guarantees end to end.
 chaos:
 	$(PYTHON) -m pytest -q --run-chaos -m chaos tests/test_chaos.py
+
+## Lint gate: ruff when installed (pyproject [tool.ruff]), else the
+## stdlib-only fallback implementing the same high-signal rule subset.
+lint:
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \
+		echo "ruff check ."; ruff check .; \
+	else \
+		echo "ruff not installed; using tools/lint.py fallback"; \
+		$(PYTHON) tools/lint.py; \
+	fi
+
+## Determinism smoke: the seed-invariance tests under a fixed and then a
+## different PYTHONHASHSEED — results must not depend on hash ordering.
+determinism:
+	PYTHONHASHSEED=0 $(PYTHON) -m pytest -q tests/test_runner.py -k HashSeed
+	PYTHONHASHSEED=12345 $(PYTHON) -m pytest -q tests/test_runner.py -k HashSeed
+
+## Everything CI gates on, runnable locally before pushing.
+ci: lint test determinism
+	@echo "local CI mirror passed"

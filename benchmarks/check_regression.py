@@ -1,0 +1,91 @@
+"""CI bench gate: compare a fresh baseline against the newest committed one.
+
+``record_baseline.py --quick -o current.json`` measures the two gated
+benchmarks; this script loads that file, finds the newest committed
+``BENCH_*.json`` at the repo root, and fails (exit 1) when any gated
+benchmark's mean regressed by more than the threshold (default 25% —
+generous because CI runners are noisy shared machines; the local
+acceptance bar in EXPERIMENTS.md is 5% on a quiet box).
+
+Usage::
+
+    python benchmarks/check_regression.py current.json
+    python benchmarks/check_regression.py current.json --threshold 0.10
+    python benchmarks/check_regression.py current.json --against BENCH_X.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from record_baseline import GATED_BENCHMARKS
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Full pytest node names as recorded in the committed baselines.
+_PREFIX = "test_perf_"
+
+
+def newest_committed_baseline() -> Path:
+    candidates = sorted(REPO_ROOT.glob("BENCH_*.json"))
+    if not candidates:
+        raise SystemExit("no committed BENCH_*.json baseline found")
+    return candidates[-1]
+
+
+def _gated_means(baseline: dict) -> dict[str, float]:
+    means: dict[str, float] = {}
+    for name, stats in baseline.get("benchmarks", {}).items():
+        short = name[len(_PREFIX):] if name.startswith(_PREFIX) else name
+        if short in GATED_BENCHMARKS:
+            means[short] = float(stats["mean_s"])
+    return means
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path,
+                        help="baseline JSON from record_baseline.py "
+                             "--quick for this checkout")
+    parser.add_argument("--against", type=Path, default=None,
+                        help="committed baseline to compare with "
+                             "(default: newest BENCH_*.json)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max tolerated relative mean increase "
+                             "(default 0.25 = 25%%)")
+    args = parser.parse_args(argv)
+
+    against = args.against or newest_committed_baseline()
+    committed = _gated_means(json.loads(against.read_text()))
+    current = _gated_means(json.loads(args.current.read_text()))
+
+    failures: list[str] = []
+    print(f"gate: {args.current} vs {against} "
+          f"(threshold +{args.threshold:.0%})")
+    for name in GATED_BENCHMARKS:
+        if name not in committed:
+            print(f"  {name}: absent from committed baseline, skipped")
+            continue
+        if name not in current:
+            failures.append(f"{name}: missing from current run")
+            continue
+        old, new = committed[name], current[name]
+        delta = (new - old) / old if old > 0 else 0.0
+        verdict = "FAIL" if delta > args.threshold else "ok"
+        print(f"  {name}: {old * 1e3:.3f} ms -> {new * 1e3:.3f} ms "
+              f"({delta:+.1%}) {verdict}")
+        if delta > args.threshold:
+            failures.append(f"{name}: {delta:+.1%} > +{args.threshold:.0%}")
+    if failures:
+        for failure in failures:
+            print(f"regression: {failure}", file=sys.stderr)
+        return 1
+    print("bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

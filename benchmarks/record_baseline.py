@@ -11,8 +11,12 @@ Usage::
     python benchmarks/record_baseline.py            # writes BENCH_<date>.json
     python benchmarks/record_baseline.py -k core    # subset of benchmarks
     python benchmarks/record_baseline.py -o out.json --label "post-dispatch"
+    python benchmarks/record_baseline.py --quick    # CI smoke: gate subset
 
-Or simply ``make bench``.
+Or simply ``make bench``.  ``--quick`` runs only the two regression-gated
+benchmarks (``core_load_loop``, ``cache_hierarchy_access``) with light
+rounds — the shape CI's bench-smoke job compares against the newest
+committed baseline via ``benchmarks/check_regression.py``.
 """
 
 from __future__ import annotations
@@ -39,7 +43,12 @@ def _git_revision() -> str:
         return "unknown"
 
 
-def run_benchmarks(keyword: str | None = None) -> dict:
+#: The benchmarks CI gates on; ``--quick`` measures exactly these.
+GATED_BENCHMARKS = ("core_load_loop", "cache_hierarchy_access")
+
+
+def run_benchmarks(keyword: str | None = None,
+                   quick: bool = False) -> dict:
     """Run the micro-benchmark suite; return pytest-benchmark's JSON."""
     with tempfile.TemporaryDirectory() as tmp:
         raw = Path(tmp) / "bench.json"
@@ -50,6 +59,9 @@ def run_benchmarks(keyword: str | None = None) -> dict:
             "--benchmark-disable-gc", "--benchmark-warmup=on",
             f"--benchmark-json={raw}",
         ]
+        if quick:
+            keyword = keyword or " or ".join(GATED_BENCHMARKS)
+            cmd += ["--benchmark-min-rounds=3"]
         if keyword:
             cmd += ["-k", keyword]
         env = dict(PYTHONPATH=str(REPO_ROOT / "src"))
@@ -95,10 +107,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="output path (default BENCH_<date>.json)")
     parser.add_argument("--label", default=None,
                         help="free-form label stored in the baseline")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: only the regression-gated "
+                             "benchmarks, fewer rounds, label 'quick'")
     args = parser.parse_args(argv)
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
-    baseline = distil(run_benchmarks(args.keyword), label=args.label)
+    if args.quick and args.label is None:
+        args.label = "quick"
+    baseline = distil(run_benchmarks(args.keyword, quick=args.quick),
+                      label=args.label)
     out = args.output or REPO_ROOT / f"BENCH_{baseline['date']}.json"
     out.write_text(json.dumps(baseline, indent=2, sort_keys=False) + "\n")
     print(f"wrote {out}")

@@ -120,6 +120,48 @@ def test_perf_runner_cell_remote_embedded(benchmark):
         round(payload["cell_wall_time_s"], 5)
 
 
+def test_perf_inactive_span_helper(benchmark):
+    """The module-level span helper with no active tracer — the price
+    every instrumented library call site pays on the unobserved fast
+    path (one global read + a shared null context)."""
+    import repro.obs as obs
+
+    def run():
+        for _ in range(1000):
+            with obs.span("phase", cat="attack"):
+                pass
+
+    benchmark(run)
+
+
+def test_observation_overhead_is_bounded():
+    """Full in-cell telemetry (tracer active, metrics attached) must
+    stay within 2x of the unobserved run of the same cell — and the
+    unobserved path, which is what the committed BENCH baselines gate,
+    carries only the no-op helpers."""
+    import time as _time
+
+    from repro.attacks.suites import MatrixKnobs
+    from repro.runner import CellSpec, execute_spec
+
+    spec = CellSpec(seed=0x2019, platform="embedded", category="local",
+                    knobs=MatrixKnobs.quick().as_key())
+
+    def best_of(fn, rounds: int = 7) -> float:
+        times = []
+        for _ in range(rounds):
+            t0 = _time.perf_counter()
+            fn()
+            times.append(_time.perf_counter() - t0)
+        return min(times)
+
+    unobserved = best_of(lambda: execute_spec(spec))
+    observed = best_of(lambda: execute_spec(spec, collect=True))
+    assert observed <= max(unobserved * 2.0, unobserved + 0.005), (
+        f"telemetry overhead too high: observed {observed * 1e3:.2f}ms "
+        f"vs unobserved {unobserved * 1e3:.2f}ms")
+
+
 def test_perf_runner_cached_matrix(benchmark, tmp_path):
     """A fully warmed cache turns the quick matrix into pure lookups —
     this tracks the memoisation overhead (15 key hashes + JSON reads)."""

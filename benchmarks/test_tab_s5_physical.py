@@ -19,8 +19,8 @@ from repro.attacks.dpa import cpa_recover_key, key_recovery_rate
 from repro.attacks.fault_attacks import BellcoreRSAAttack
 from repro.attacks.timing import KocherTimingAttack
 from repro.common import PlatformClass, World
-from repro.cpu import SoC, SoCConfig, make_mobile_soc
 from repro.core.comparison import render_table
+from repro.cpu import SoC, SoCConfig, make_mobile_soc
 from repro.crypto.aes import AES128, MaskedAES
 from repro.crypto.rng import XorShiftRNG
 from repro.crypto.rsa import RSA, generate_rsa_key
@@ -35,9 +35,15 @@ def _acquire(variant: str, n: int):
     model = HammingWeightModel(noise_std=1.5, rng=XorShiftRNG(3))
     if variant == "masked":
         mask_rng = XorShiftRNG(11)
-        factory = lambda leak: MaskedAES(KEY, mask_rng, leak_hook=leak)
+
+        def factory(leak):
+            return MaskedAES(KEY, mask_rng, leak_hook=leak)
+
         return capture_aes_traces(factory, n, model, rng=XorShiftRNG(4))
-    factory = lambda leak: AES128(KEY, leak_hook=leak)
+
+    def factory(leak):
+        return AES128(KEY, leak_hook=leak)
+
     return capture_aes_traces(factory, n, model, rng=XorShiftRNG(4),
                               shuffle=(variant == "shuffled"))
 

@@ -18,7 +18,7 @@ Quick start::
     print(ForeshadowAttack(sgx, victim.handle).run())
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "arch",
@@ -33,6 +33,7 @@ __all__ = [
     "fault",
     "isa",
     "memory",
+    "obs",
     "power",
     "runner",
 ]

@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro figure1            # Figure 1 from live attacks
+    python -m repro                    # same (figure1 is the default)
     python -m repro figure1 --jobs 4   # ... cells fanned over 4 workers
     python -m repro figure1 --full     # ... non-quick attack sizing
     python -m repro architectures      # TAB-S3 feature comparison
@@ -10,6 +11,12 @@ Usage::
     python -m repro transient          # TAB-S42 transient attacks
     python -m repro advisor            # Section-6 recommendations demo
     python -m repro all                # everything above
+
+Observability (``--trace``, ``--metrics``, ``--manifest``) makes a
+figure1 run emit machine-readable evidence: a Chrome ``trace_event``
+file of every runner/cell/attack phase, a Prometheus (or JSON) metrics
+snapshot, and a diffable per-run manifest.  All three default to off,
+which keeps execution on the unobserved fast path.
 
 Cell results are memoised on disk (``~/.cache/repro/cells`` or
 ``$REPRO_CACHE_DIR``) keyed by (package version, knobs, seed, platform,
@@ -32,7 +39,28 @@ import argparse
 import sys
 
 
-def _make_runner(args):
+def _make_observer(args):
+    """An :class:`~repro.obs.Observability` sink, or ``None`` when no
+    telemetry artefact was requested (the no-op fast path)."""
+    if not (args.trace or args.metrics or args.manifest):
+        return None
+    from repro.obs import Observability
+    command = "repro " + " ".join(
+        part for part in (args.command, "--full" if args.full else "")
+        if part)
+    return Observability(run_seed=0x2019, command=command)
+
+
+def _write_artifacts(args, observer) -> None:
+    if observer is None:
+        return
+    for path in observer.write_artifacts(trace=args.trace,
+                                         metrics=args.metrics,
+                                         manifest=args.manifest):
+        print(f"wrote {path}")
+
+
+def _make_runner(args, observer=None):
     from repro.runner import (
         ChaosConfig,
         ExperimentRunner,
@@ -50,12 +78,14 @@ def _make_runner(args):
         timeout_s=args.timeout if args.timeout > 0 else None,
         retry=RetryPolicy(max_retries=args.retries),
         chaos=chaos,
-        fail_fast=args.fail_fast)
+        fail_fast=args.fail_fast,
+        observer=observer)
 
 
 def _figure1(args) -> None:
     from repro.core import generate_figure1
-    runner = _make_runner(args)
+    observer = _make_observer(args)
+    runner = _make_runner(args, observer=observer)
     figure = generate_figure1(quick=not args.full, runner=runner)
     print(figure.render())
     print(f"\ncell agreement with the published Figure 1: "
@@ -63,6 +93,7 @@ def _figure1(args) -> None:
     print(f"\n{runner.stats.summary()}")
     if args.profile:
         print(f"\n{runner.stats.profile()}")
+    _write_artifacts(args, observer)
 
 
 def _architectures(args) -> None:
@@ -122,7 +153,9 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate artefacts of 'In Hardware We Trust' "
                     "(DAC 2019) from simulation.")
     parser.add_argument("command", choices=[*_COMMANDS, "all"],
-                        help="which artefact to regenerate")
+                        nargs="?", default="figure1",
+                        help="which artefact to regenerate "
+                             "(default: figure1)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for independent cells "
                              "(default: 1, serial)")
@@ -157,6 +190,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="abort on the first cell failure instead of "
                              "recording it as a not-evaluated outcome "
                              "(the historical behaviour)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome trace_event JSON of the run "
+                             "(open in chrome://tracing or Perfetto) plus "
+                             "a sibling .jsonl of the raw records "
+                             "(figure1 runs only)")
+    parser.add_argument("--metrics", metavar="PATH", default=None,
+                        help="write run metrics: Prometheus text "
+                             "exposition, or JSON when PATH ends in "
+                             ".json (figure1 runs only)")
+    parser.add_argument("--manifest", metavar="PATH", default=None,
+                        help="write the diffable RunManifest JSON "
+                             "(version, knobs, seeds, outcomes, payload "
+                             "fingerprints, metric snapshot) "
+                             "(figure1 runs only)")
     args = parser.parse_args(argv)
     if args.command == "all":
         for name, command in _COMMANDS.items():

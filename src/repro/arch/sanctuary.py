@@ -155,7 +155,7 @@ class Sanctuary(SecurityArchitecture):
             raise EnclaveError(f"offset {offset:#x} outside enclave")
         self.soc.cores[handle.core_id].write_mem(handle.base + offset, value)
 
-    # -- attestation (secure-world primitive) --------------------------------------------
+    # -- attestation (secure-world primitive) ----------------------------------
 
     def attest(self, handle: EnclaveHandle,
                nonce: bytes) -> AttestationReport:

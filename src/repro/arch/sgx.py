@@ -27,7 +27,6 @@ from repro.arch.base import (
 from repro.attestation.measure import Measurement
 from repro.attestation.report import AttestationReport
 from repro.common import PlatformClass, PrivilegeLevel
-from repro.cpu.soc import SoC
 from repro.crypto.rng import XorShiftRNG
 from repro.errors import AccessFault, EnclaveError
 from repro.memory.bus import BusTransaction
@@ -253,7 +252,7 @@ class SGX(SecurityArchitecture):
                 "EGETKEY outside the enclave's execution context")
         return self._report_key(handle)
 
-    # -- secure page swapping (EWB / ELDU) ----------------------------------------------
+    # -- secure page swapping (EWB / ELDU) -------------------------------------
 
     def swap_out(self, handle: EnclaveHandle, page_offset: int) -> None:
         """EWB: encrypt an enclave page out to regular memory, unmap it."""

@@ -23,7 +23,6 @@ is no DMA filter, deliberately.
 from __future__ import annotations
 
 from repro.arch.base import ArchFeatures, EnclaveHandle, SecurityArchitecture
-from repro.attestation.measure import measure_memory
 from repro.attestation.report import AttestationReport
 from repro.common import PlatformClass
 from repro.cpu.core import Core

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import repro.obs as obs
 from repro.arch.base import AES_TABLE_STRIDE, AESVictim
 from repro.attacks.base import AttackCategory, AttackResult, AttackerProcess
 from repro.crypto.aes import TTABLE_LOOKUP_BYTE, TTableAES
@@ -117,33 +118,38 @@ class PrimeProbeAttack:
         recovered: dict[int, int] = {}
         coverage = 0.0
         for target_byte in cfg.target_bytes:
-            table = BYTE_TO_TABLE[target_byte]
-            eviction = self._eviction_sets(table)
-            covered = sum(1 for addrs in eviction
-                          if len(addrs) >= self._ways)
-            coverage = max(coverage, covered / LINES_PER_TABLE)
-            if covered < LINES_PER_TABLE:
-                continue  # cannot even prime: the defence already won
-            activity: dict[int, list[float]] = {}
-            for v in range(0, 16, max(16 // cfg.plaintext_values, 1)):
-                counts = [0.0] * LINES_PER_TABLE
-                for _ in range(cfg.samples_per_value):
-                    pt = bytearray(self.rng.bytes(16))
-                    pt[target_byte] = (v << 4) | (pt[target_byte] & 0x0F)
-                    # Prime: fill every line's set with attacker data.
-                    for addrs in eviction:
-                        for addr in addrs:
-                            self.attacker.touch(addr)
-                    self.victim.encrypt(bytes(pt))
-                    # Probe: a displaced attacker line means victim traffic.
-                    for line, addrs in enumerate(eviction):
-                        misses = sum(
-                            1 for addr in addrs
-                            if self.attacker.timed_read(addr)
-                            > self.attacker.hit_threshold)
-                        counts[line] += misses
-                activity[v] = counts
-            recovered[target_byte] = _best_nibble(activity)
+            with obs.span("prime+probe:byte", cat="attack",
+                          byte=target_byte):
+                table = BYTE_TO_TABLE[target_byte]
+                eviction = self._eviction_sets(table)
+                covered = sum(1 for addrs in eviction
+                              if len(addrs) >= self._ways)
+                coverage = max(coverage, covered / LINES_PER_TABLE)
+                if covered < LINES_PER_TABLE:
+                    obs.event("prime+probe.blocked", cat="attack",
+                              byte=target_byte, covered=covered)
+                    continue  # cannot even prime: the defence already won
+                activity: dict[int, list[float]] = {}
+                for v in range(0, 16, max(16 // cfg.plaintext_values, 1)):
+                    counts = [0.0] * LINES_PER_TABLE
+                    for _ in range(cfg.samples_per_value):
+                        pt = bytearray(self.rng.bytes(16))
+                        pt[target_byte] = (v << 4) | (pt[target_byte] & 0x0F)
+                        # Prime: fill every line's set with attacker data.
+                        for addrs in eviction:
+                            for addr in addrs:
+                                self.attacker.touch(addr)
+                        self.victim.encrypt(bytes(pt))
+                        # Probe: a displaced attacker line means victim
+                        # traffic.
+                        for line, addrs in enumerate(eviction):
+                            misses = sum(
+                                1 for addr in addrs
+                                if self.attacker.timed_read(addr)
+                                > self.attacker.hit_threshold)
+                            counts[line] += misses
+                    activity[v] = counts
+                recovered[target_byte] = _best_nibble(activity)
 
         score = _grade(recovered, self.victim.key)
         return AttackResult(
@@ -186,24 +192,26 @@ class FlushReloadAttack:
 
         recovered: dict[int, int] = {}
         for target_byte in cfg.target_bytes:
-            table = BYTE_TO_TABLE[target_byte]
-            lines = [self._line_paddr(table, line)
-                     for line in range(LINES_PER_TABLE)]
-            activity: dict[int, list[float]] = {}
-            for v in range(0, 16, max(16 // cfg.plaintext_values, 1)):
-                counts = [0.0] * LINES_PER_TABLE
-                for _ in range(cfg.samples_per_value):
-                    pt = bytearray(self.rng.bytes(16))
-                    pt[target_byte] = (v << 4) | (pt[target_byte] & 0x0F)
-                    for paddr in lines:
-                        self.attacker.flush(paddr)
-                    self.victim.encrypt(bytes(pt))
-                    for line, paddr in enumerate(lines):
-                        if self.attacker.timed_read(paddr) \
-                                <= self.attacker.hit_threshold:
-                            counts[line] += 1
-                activity[v] = counts
-            recovered[target_byte] = _best_nibble(activity)
+            with obs.span("flush+reload:byte", cat="attack",
+                          byte=target_byte):
+                table = BYTE_TO_TABLE[target_byte]
+                lines = [self._line_paddr(table, line)
+                         for line in range(LINES_PER_TABLE)]
+                activity: dict[int, list[float]] = {}
+                for v in range(0, 16, max(16 // cfg.plaintext_values, 1)):
+                    counts = [0.0] * LINES_PER_TABLE
+                    for _ in range(cfg.samples_per_value):
+                        pt = bytearray(self.rng.bytes(16))
+                        pt[target_byte] = (v << 4) | (pt[target_byte] & 0x0F)
+                        for paddr in lines:
+                            self.attacker.flush(paddr)
+                        self.victim.encrypt(bytes(pt))
+                        for line, paddr in enumerate(lines):
+                            if self.attacker.timed_read(paddr) \
+                                    <= self.attacker.hit_threshold:
+                                counts[line] += 1
+                    activity[v] = counts
+                recovered[target_byte] = _best_nibble(activity)
 
         score = _grade(recovered, self.victim.key)
         return AttackResult(

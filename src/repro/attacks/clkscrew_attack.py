@@ -15,9 +15,9 @@ from __future__ import annotations
 
 from repro.attacks.base import AttackCategory, AttackResult
 from repro.attacks.fault_attacks import AESLastRoundDFA
+from repro.cpu.soc import SoC
 from repro.crypto.aes import TTableAES
 from repro.crypto.rng import XorShiftRNG
-from repro.cpu.soc import SoC
 from repro.fault.clkscrew import ClkscrewGlitcher
 
 

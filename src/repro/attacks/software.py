@@ -8,9 +8,9 @@ always falls; the interesting question is whether the enclave does too.
 
 from __future__ import annotations
 
-from repro.attacks.base import AttackCategory, AttackResult, AttackerProcess
 from repro.arch.base import AES_KEY_OFFSET, EnclaveHandle, SecurityArchitecture
-from repro.errors import AccessFault, EnclaveError, MemoryFault
+from repro.attacks.base import AttackCategory, AttackResult, AttackerProcess
+from repro.errors import AccessFault, MemoryFault
 
 
 class CodeInjectionAttack:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 
+import repro.obs as obs
 from repro.arch.null import NullArchitecture
 from repro.attacks.base import AttackCategory, AttackResult, AttackerProcess
 from repro.attacks.cache_sca import (
@@ -74,7 +75,8 @@ class MatrixKnobs:
 
 def remote_suite(arch: NullArchitecture, rng: XorShiftRNG,
                  knobs: MatrixKnobs) -> list[AttackResult]:
-    return [CodeInjectionAttack(arch).run()]
+    with obs.span("attack:code-injection", cat="attack"):
+        return [CodeInjectionAttack(arch).run()]
 
 
 def local_suite(arch: NullArchitecture, rng: XorShiftRNG,
@@ -83,9 +85,11 @@ def local_suite(arch: NullArchitecture, rng: XorShiftRNG,
     secret_paddr = dram.base + dram.size // 2 - 0x8000
     secret = rng.bytes(8)
     arch.soc.memory.write_bytes(secret_paddr, secret)
-    probe = KernelMemoryProbeAttack(arch, secret_paddr=secret_paddr,
-                                    secret_value=secret).run()
-    dma = DMAAttack(arch, secret_paddr, expected=secret).run()
+    with obs.span("attack:kernel-memory-probe", cat="attack"):
+        probe = KernelMemoryProbeAttack(arch, secret_paddr=secret_paddr,
+                                        secret_value=secret).run()
+    with obs.span("attack:dma", cat="attack"):
+        dma = DMAAttack(arch, secret_paddr, expected=secret).run()
     return [probe, dma]
 
 
@@ -94,8 +98,10 @@ def microarch_suite(arch: NullArchitecture, rng: XorShiftRNG,
     soc = arch.soc
     secret = bytes(0x41 + rng.next_below(26)
                    for _ in range(knobs.secret_len))
-    results = [SpectreV1Attack(soc, secret, rng=rng).run(),
-               MeltdownAttack(soc, secret).run()]
+    with obs.span("attack:spectre-v1", cat="attack"):
+        results = [SpectreV1Attack(soc, secret, rng=rng).run()]
+    with obs.span("attack:meltdown", cat="attack"):
+        results.append(MeltdownAttack(soc, secret).run())
     service = SharedAESService(soc, rng.bytes(16), core_id=0)
     attacker_core = min(1, len(soc.cores) - 1)
     attacker = AttackerProcess(arch, core_id=attacker_core)
@@ -103,8 +109,10 @@ def microarch_suite(arch: NullArchitecture, rng: XorShiftRNG,
         samples_per_value=knobs.fr_samples,
         plaintext_values=knobs.fr_values,
         target_bytes=(0, 5))
-    results.append(FlushReloadAttack(service, attacker, rng,
-                                     config).run())
+    with obs.span("attack:flush-reload", cat="attack",
+                  samples=knobs.fr_samples, values=knobs.fr_values):
+        results.append(FlushReloadAttack(service, attacker, rng,
+                                         config).run())
     return results
 
 
@@ -116,7 +124,8 @@ def physical_suite(arch: NullArchitecture, rng: XorShiftRNG,
         lambda leak: AES128(aes_key, leak_hook=leak), knobs.traces,
         HammingWeightModel(noise_std=1.0, rng=XorShiftRNG(rng.next_u64())),
         rng=XorShiftRNG(rng.next_u64()))
-    rate = key_recovery_rate(cpa_recover_key(traces), aes_key)
+    with obs.span("attack:cpa-power", cat="attack", traces=knobs.traces):
+        rate = key_recovery_rate(cpa_recover_key(traces), aes_key)
     cpa_result = AttackResult(
         name="cpa-power", category=AttackCategory.PHYSICAL,
         success=rate >= 0.9, score=rate,
@@ -124,13 +133,17 @@ def physical_suite(arch: NullArchitecture, rng: XorShiftRNG,
     # Faults: Bellcore on an unprotected CRT signer.
     rsa_key = generate_rsa_key(knobs.rsa_bits,
                                XorShiftRNG(rng.next_u64()))
-    bellcore = BellcoreRSAAttack(RSA(rsa_key),
-                                 rng=XorShiftRNG(rng.next_u64())).run()
+    with obs.span("attack:bellcore-rsa", cat="attack",
+                  rsa_bits=knobs.rsa_bits):
+        bellcore = BellcoreRSAAttack(RSA(rsa_key),
+                                     rng=XorShiftRNG(rng.next_u64())).run()
     # Timing: Kocher against square-and-multiply.
-    timing = KocherTimingAttack(
-        RSA(rsa_key), samples=knobs.timing_samples,
-        max_bits=knobs.timing_bits,
-        rng=XorShiftRNG(rng.next_u64())).run()
+    with obs.span("attack:kocher-timing", cat="attack",
+                  samples=knobs.timing_samples):
+        timing = KocherTimingAttack(
+            RSA(rsa_key), samples=knobs.timing_samples,
+            max_bits=knobs.timing_bits,
+            rng=XorShiftRNG(rng.next_u64())).run()
     return [cpa_result, bellcore, timing]
 
 

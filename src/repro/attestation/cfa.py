@@ -19,7 +19,6 @@ from __future__ import annotations
 from repro.attestation.report import AttestationReport
 from repro.cpu.core import Core
 from repro.crypto.sha256 import sha256
-from repro.errors import AttestationError
 from repro.isa.program import Program
 
 

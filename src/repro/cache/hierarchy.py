@@ -19,7 +19,7 @@ parts, and it does here too.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cache.cache import Cache
 from repro.cache.policies import LRUPolicy
@@ -191,3 +191,26 @@ class CacheHierarchy:
         for i, l1 in enumerate(self.l1s):
             summary[f"l1_core{i}_hit_rate"] = l1.stats.hit_rate
         return summary
+
+    def metrics_into(self, registry) -> None:
+        """Export every level's counters into a ``MetricsRegistry``.
+
+        Absolute snapshots are fine here: one hierarchy is exported once,
+        at the end of its cell's execution, into a fresh per-cell
+        registry; the runner merges registries across cells by addition.
+        """
+        events = registry.counter(
+            "repro_cache_events_total",
+            "Cache hits / misses / evictions / flushes per level")
+        rates = registry.gauge(
+            "repro_cache_hit_rate",
+            "Hit fraction per cache level")
+        for cache in (*self.l1s, self.l2):
+            stats = cache.stats
+            for event, count in (("hit", stats.hits),
+                                 ("miss", stats.misses),
+                                 ("eviction", stats.evictions),
+                                 ("flush", stats.flushes)):
+                if count:
+                    events.inc(count, level=cache.name, event=event)
+            rates.set(stats.hit_rate, level=cache.name)

@@ -16,7 +16,7 @@ corresponding attack:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.arch import (
     SGX,
@@ -29,7 +29,6 @@ from repro.arch import (
     TyTAN,
 )
 from repro.arch.null import NullArchitecture
-from repro.arch.smart import KEY_ADDR
 from repro.attacks.base import AttackerProcess
 from repro.attacks.cache_sca import (
     EvictTimeAttack,

@@ -17,7 +17,7 @@ single-purpose embedded nodes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.common import PlatformClass

@@ -15,15 +15,14 @@ attacker needs for every timing channel in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.common import PrivilegeLevel, World
 from repro.cpu.exceptions import Trap, TrapCause, TrapInfo
-from repro.errors import AccessFault, MemoryFault, PageFault
+from repro.errors import MemoryFault, PageFault
 from repro.isa.instructions import (
     INSTR_SIZE,
-    NUM_OPCODES,
     OPCODES,
     Instruction,
     InstrKind,
@@ -93,6 +92,14 @@ class Core:
         self.cycles = 0
         self.instret = 0
         self.energy_pj = 0.0
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry`.  ``None``
+        #: (the default) keeps :meth:`run` free of any metrics work; when
+        #: set, counters are flushed *once per run*, as deltas against
+        #: the marks below, never per retired instruction.
+        self.metrics = None
+        self._m_instret0 = 0
+        self._m_cycles0 = 0
+        self._m_energy0 = 0.0
 
         #: OS service entry point: handler(core, code) -> None.
         self.syscall_handler: Callable[["Core", int], None] | None = None
@@ -313,7 +320,39 @@ class Core:
             self.instret += 1
             self.cycles += 1
             self.energy_pj += energy_per_instr
+        if self.metrics is not None:
+            self.flush_metrics()
         return self.cycles - start
+
+    def flush_metrics(self) -> None:
+        """Flush retire/cycle/energy deltas into ``self.metrics``.
+
+        Deltas (not absolutes) so repeated runs of one core accumulate
+        correctly into the counters; marks advance so a flush is
+        idempotent when nothing executed in between.
+        """
+        registry = self.metrics
+        if registry is None:
+            return
+        name = self.config.name
+        d_instret = self.instret - self._m_instret0
+        d_cycles = self.cycles - self._m_cycles0
+        d_energy = self.energy_pj - self._m_energy0
+        if d_instret:
+            registry.counter(
+                "repro_core_instructions_total",
+                "Instructions retired per core").inc(d_instret, core=name)
+        if d_cycles:
+            registry.counter(
+                "repro_core_cycles_total",
+                "Simulated cycles elapsed per core").inc(d_cycles, core=name)
+        if d_energy:
+            registry.counter(
+                "repro_core_energy_picojoules_total",
+                "Modelled energy spent per core").inc(d_energy, core=name)
+        self._m_instret0 = self.instret
+        self._m_cycles0 = self.cycles
+        self._m_energy0 = self.energy_pj
 
     def _branch_taken(self, instr: Instruction) -> bool:
         a = self.get_reg(instr.rs1)

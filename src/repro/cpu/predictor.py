@@ -15,7 +15,7 @@ Design knobs map one-to-one onto attacks from Section 4.2:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cache.btb import BranchTargetBuffer
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.crypto.rng import XorShiftRNG
-from repro.fault.models import FaultKind, FaultSpec, apply_fault
+from repro.fault.models import FaultSpec, apply_fault
 
 
 class GlitchInjector:

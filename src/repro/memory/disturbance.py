@@ -19,7 +19,7 @@ adjacent row.  The model is deterministic under its seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.crypto.rng import XorShiftRNG
 from repro.memory.bus import BusTransaction

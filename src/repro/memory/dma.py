@@ -10,7 +10,7 @@ installed on the bus decides what the device can reach.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import AccessFault, MemoryFault
 from repro.memory.bus import BusMaster, BusTransaction, SystemBus

@@ -1,0 +1,156 @@
+"""Serialisers for the observability artefacts.
+
+Three output formats, all dependency-free:
+
+* **JSONL** — one tracer record per line, the raw machine-readable form
+  (grep-able, stream-appendable, diffable after dropping timestamps);
+* **Chrome ``trace_event`` JSON** — loads directly in
+  ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_: spans
+  become complete (``"ph": "X"``) events, tracer scopes become named
+  threads so each cell renders as its own track;
+* **Prometheus text exposition** — ``# HELP`` / ``# TYPE`` headed
+  samples, histograms with cumulative ``le`` buckets, ``_sum`` and
+  ``_count``, parseable by any Prometheus scraper or ``promtool``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    _cumulative,
+)
+
+# -- tracer records ---------------------------------------------------------
+
+
+def records_to_jsonl(records: list[dict]) -> str:
+    """One compact JSON object per line, in record order."""
+    return "\n".join(
+        json.dumps(record, sort_keys=True, separators=(",", ":"))
+        for record in records) + ("\n" if records else "")
+
+
+def _scope_tids(records: list[dict]) -> dict[str, int]:
+    """Stable thread id per scope, in first-appearance order."""
+    tids: dict[str, int] = {}
+    for record in records:
+        scope = record.get("scope", "run")
+        if scope not in tids:
+            tids[scope] = len(tids)
+    return tids
+
+
+def records_to_chrome(records: list[dict],
+                      process_name: str = "repro") -> dict:
+    """Chrome ``trace_event`` document (the JSON Object Format)."""
+    tids = _scope_tids(records)
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+        "args": {"name": process_name},
+    }]
+    for scope, tid in tids.items():
+        events.append({"name": "thread_name", "ph": "M", "pid": 0,
+                       "tid": tid, "args": {"name": scope}})
+    for record in records:
+        tid = tids[record.get("scope", "run")]
+        event = {
+            "name": record["name"],
+            "cat": record.get("cat", "obs"),
+            "pid": 0,
+            "tid": tid,
+            "ts": record.get("ts_us", 0),
+            "args": dict(record.get("args", {}),
+                         id=record.get("id"),
+                         parent=record.get("parent")),
+        }
+        if record.get("kind") == "event":
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            event["dur"] = record.get("dur_us", 0)
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_trace(records: list[dict], path: str | Path,
+                process_name: str = "repro") -> Path:
+    """Write the Chrome trace to ``path`` and the JSONL next to it.
+
+    ``trace.json`` gets ``trace.jsonl`` as a sibling (a ``.jsonl`` path
+    inverts the pairing), so one flag yields both serialisations.
+    """
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        jsonl_path, chrome_path = path, path.with_suffix(".json")
+    else:
+        jsonl_path, chrome_path = path.with_suffix(".jsonl"), path
+    chrome_path.write_text(
+        json.dumps(records_to_chrome(records, process_name), indent=1,
+                   sort_keys=True) + "\n", encoding="utf-8")
+    jsonl_path.write_text(records_to_jsonl(records), encoding="utf-8")
+    return chrome_path
+
+
+# -- metrics ----------------------------------------------------------------
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labels: tuple[tuple[str, str], ...],
+                   extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [*labels, *extra]
+    if not pairs:
+        return ""
+    escaped = ",".join(
+        '{}="{}"'.format(k, v.replace("\\", "\\\\").replace('"', '\\"'))
+        for k, v in pairs)
+    return "{" + escaped + "}"
+
+
+def metrics_to_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition format 0.0.4 of the whole registry."""
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        if isinstance(family, (Counter, Gauge)):
+            for labels, value in sorted(family.children.items()):
+                lines.append(f"{family.name}{_format_labels(labels)} "
+                             f"{_format_value(value)}")
+        elif isinstance(family, Histogram):
+            for labels, child in sorted(family.children.items()):
+                bounds = [*(repr(b) if not float(b).is_integer()
+                            else f"{b:.1f}" for b in family.buckets), "+Inf"]
+                for bound, count in zip(bounds,
+                                        _cumulative(child.counts)):
+                    label_str = _format_labels(labels, (("le", bound),))
+                    lines.append(f"{family.name}_bucket{label_str} {count}")
+                lines.append(f"{family.name}_sum{_format_labels(labels)} "
+                             f"{_format_value(child.total)}")
+                lines.append(f"{family.name}_count{_format_labels(labels)} "
+                             f"{child.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write the registry to ``path``: Prometheus text, or JSON when the
+    path ends in ``.json``."""
+    path = Path(path)
+    if path.suffix == ".json":
+        path.write_text(json.dumps(registry.to_json(), indent=2,
+                                   sort_keys=True) + "\n", encoding="utf-8")
+    else:
+        path.write_text(metrics_to_prometheus(registry), encoding="utf-8")
+    return path

@@ -1,0 +1,215 @@
+"""In-process metrics: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` owns named metric *families*; a family owns
+one child per label set.  The model mirrors the Prometheus exposition
+format (which :mod:`repro.obs.export` emits) without importing anything:
+counters are monotonic sums, gauges are last-write-wins, histograms
+bucket observations against *fixed* boundaries chosen at declaration
+time, so two runs' histograms are structurally identical and diffable.
+
+Everything is plain Python and allocation-light; the hot paths the
+simulator cares about only touch a registry at run *end* (see
+``Core.run``), never per instruction.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+#: Default wall-time bucket boundaries (seconds): spans cell runtimes
+#: from sub-millisecond cache hits to the full-matrix minutes scale.
+DEFAULT_TIME_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+                        10.0, 30.0, 60.0, 120.0)
+
+LabelSet = tuple[tuple[str, str], ...]
+
+
+def _labelset(labels: dict[str, object]) -> LabelSet:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonic sum, optionally per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_: str = "") -> None:
+        self.name = name
+        self.help = help_
+        self.children: dict[LabelSet, float] = {}
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _labelset(labels)
+        self.children[key] = self.children.get(key, 0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self.children.get(_labelset(labels), 0)
+
+
+class Gauge:
+    """Last-write-wins value, optionally per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_: str = "") -> None:
+        self.name = name
+        self.help = help_
+        self.children: dict[LabelSet, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self.children[_labelset(labels)] = value
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        key = _labelset(labels)
+        self.children[key] = self.children.get(key, 0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self.children.get(_labelset(labels), 0)
+
+
+class _HistogramChild:
+    __slots__ = ("counts", "total", "count")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.counts = [0] * (num_buckets + 1)  # +1 for the +Inf bucket
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram:
+    """Fixed-boundary histogram (cumulative buckets at export time)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_: str = "",
+                 buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS) -> None:
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self.name = name
+        self.help = help_
+        self.buckets = tuple(float(b) for b in buckets)
+        self.children: dict[LabelSet, _HistogramChild] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _labelset(labels)
+        child = self.children.get(key)
+        if child is None:
+            child = self.children[key] = _HistogramChild(len(self.buckets))
+        child.counts[bisect_left(self.buckets, value)] += 1
+        child.total += value
+        child.count += 1
+
+
+class MetricsRegistry:
+    """Named metric families; the unit of export and snapshotting."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _declare(self, cls, name: str, help_: str, **kwargs):
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = cls(name, help_, **kwargs)
+        elif not isinstance(family, cls):
+            raise ValueError(
+                f"metric {name!r} already declared as {family.kind}")
+        return family
+
+    def counter(self, name: str, help_: str = "") -> Counter:
+        return self._declare(Counter, name, help_)
+
+    def gauge(self, name: str, help_: str = "") -> Gauge:
+        return self._declare(Gauge, name, help_)
+
+    def histogram(self, name: str, help_: str = "",
+                  buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+                  ) -> Histogram:
+        return self._declare(Histogram, name, help_, buckets=buckets)
+
+    def families(self) -> list:
+        """Declaration-independent stable order: sorted by name."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    # -- snapshots ---------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Nested plain-dict snapshot (manifest material, diffable)."""
+        out: dict[str, dict] = {}
+        for family in self.families():
+            if isinstance(family, Histogram):
+                children = {}
+                for labels, child in sorted(family.children.items()):
+                    children[_label_key(labels)] = {
+                        "buckets": dict(zip(
+                            [str(b) for b in family.buckets] + ["+Inf"],
+                            _cumulative(child.counts))),
+                        "sum": child.total,
+                        "count": child.count,
+                    }
+            else:
+                children = {_label_key(labels): value
+                            for labels, value in sorted(
+                                family.children.items())}
+            out[family.name] = {"kind": family.kind, "help": family.help,
+                                "values": children}
+        return out
+
+    def merge_json(self, snapshot: dict, **extra_labels: object) -> None:
+        """Fold a worker-side :meth:`to_json` snapshot into this registry.
+
+        Counters add, gauges overwrite, histograms are re-binned from
+        their cumulative bucket counts (boundaries must match — they do,
+        both sides declare the same families).  ``extra_labels`` are
+        appended to every child so per-cell snapshots stay attributable.
+        """
+        for name, family_snap in snapshot.items():
+            kind = family_snap.get("kind")
+            for label_key, value in family_snap.get("values", {}).items():
+                labels = dict(_parse_label_key(label_key), **{
+                    k: str(v) for k, v in extra_labels.items()})
+                if kind == "counter":
+                    self.counter(name, family_snap.get("help", "")).inc(
+                        value, **labels)
+                elif kind == "gauge":
+                    self.gauge(name, family_snap.get("help", "")).set(
+                        value, **labels)
+                elif kind == "histogram":
+                    buckets = tuple(
+                        float(b) for b in value["buckets"] if b != "+Inf")
+                    hist = self.histogram(name, family_snap.get("help", ""),
+                                          buckets=buckets)
+                    key = _labelset(labels)
+                    child = hist.children.get(key)
+                    if child is None:
+                        child = hist.children[key] = _HistogramChild(
+                            len(hist.buckets))
+                    cumulative = list(value["buckets"].values())
+                    previous = 0
+                    for i, total in enumerate(cumulative):
+                        child.counts[i] += total - previous
+                        previous = total
+                    child.total += value["sum"]
+                    child.count += value["count"]
+
+
+def _cumulative(counts: list[int]) -> list[int]:
+    out, running = [], 0
+    for c in counts:
+        running += c
+        out.append(running)
+    return out
+
+
+def _label_key(labels: LabelSet) -> str:
+    """Canonical string form of a label set (JSON map key)."""
+    if not labels:
+        return ""
+    return ",".join(f"{k}={v}" for k, v in labels)
+
+
+def _parse_label_key(key: str) -> dict[str, str]:
+    if not key:
+        return {}
+    return dict(part.split("=", 1) for part in key.split(","))

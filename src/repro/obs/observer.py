@@ -1,0 +1,253 @@
+"""Runner observation: the no-op default and the full telemetry sink.
+
+:class:`RunObserver` is the hook surface
+(:class:`~repro.runner.engine.ExperimentRunner` calls it at every
+lifecycle edge); every method is a no-op so the default costs one
+attribute lookup and a call per edge — edges are per *cell*, never per
+instruction, so the fast path is untouched (the bench suite asserts
+the bound).  :class:`Observability` is the real implementation: it owns
+a :class:`~repro.obs.tracer.Tracer` and a
+:class:`~repro.obs.metrics.MetricsRegistry`, turns runner edges into
+spans and metric samples, adopts the per-cell records workers ship back
+inside payloads, and can distil everything into a
+:class:`~repro.obs.manifest.RunManifest` plus on-disk artefacts.
+
+This module deliberately does not import :mod:`repro.runner` — specs,
+outcomes and stats arrive duck-typed — so the dependency arrow points
+runner → obs only.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.export import write_metrics, write_trace
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
+from repro.obs.tracer import Tracer
+
+#: Payload keys carrying worker-side telemetry (excluded from integrity
+#: digests by the engine: deterministic in content for spans' IDs but
+#: not their timestamps, and only present when an observer asked).
+SPANS_KEY = "cell_spans"
+CELL_METRICS_KEY = "cell_metrics"
+
+
+class RunObserver:
+    """No-op observer: the hook surface and the default behaviour.
+
+    ``wants_cell_spans`` tells the runner whether workers should collect
+    in-cell telemetry (span records, core/cache metric snapshots) into
+    their payloads; leaving it ``False`` keeps worker payloads and the
+    execution fast path byte-for-byte at their unobserved behaviour.
+    """
+
+    wants_cell_spans = False
+
+    def on_run_start(self, specs: list) -> None:
+        """A runner run began with these cell specs."""
+
+    def on_cache_hit(self, spec) -> None:
+        """A cell was served from the result cache."""
+
+    def on_cache_miss(self, spec) -> None:
+        """A cell must execute (no trustworthy cache entry)."""
+
+    def on_cache_quarantine(self, key: str) -> None:
+        """A cache entry was discarded as corrupt."""
+
+    def on_cell_start(self, spec, attempt: int) -> None:
+        """One execution attempt of one cell began (submit or in-process)."""
+
+    def on_cell_end(self, spec, status: str, attempts: int,
+                    payload: dict | None) -> None:
+        """A cell reached a terminal outcome; payload is None on failure."""
+
+    def on_retry(self, spec, attempt: int, cause: str,
+                 delay_s: float) -> None:
+        """A failed attempt was requeued with backoff."""
+
+    def on_pool_rebuild(self, reason: str) -> None:
+        """The worker pool was torn down and will be rebuilt."""
+
+    def on_queue_depth(self, queued: int, in_flight: int) -> None:
+        """Supervisor queue state changed (sampled, not exhaustive)."""
+
+    def on_run_end(self, stats) -> None:
+        """The run finished; ``stats`` is the final RunnerStats."""
+
+
+#: Shared default instance (stateless, safe to reuse everywhere).
+NULL_OBSERVER = RunObserver()
+
+
+class Observability(RunObserver):
+    """Tracer + metrics + manifest, fed by runner lifecycle edges."""
+
+    wants_cell_spans = True
+
+    def __init__(self, run_seed: int = 0, command: str = "",
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.tracer = tracer if tracer is not None else Tracer(
+            scope="runner", seed=run_seed)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.command = command
+        self.run_seed = run_seed
+        self.fingerprints: dict[str, str] = {}
+        self.knobs: dict = {}
+        self._run_span = None
+        self._cell_spans: dict = {}
+        self._last_stats = None
+
+        m = self.metrics
+        self._m_outcomes = m.counter(
+            "repro_runner_cell_outcomes_total",
+            "Terminal cell outcomes by status")
+        self._m_attempts = m.counter(
+            "repro_runner_attempts_total",
+            "Cell execution attempts started")
+        self._m_retries = m.counter(
+            "repro_runner_retries_total",
+            "Attempts requeued after a failure, by cause")
+        self._m_cache = m.counter(
+            "repro_runner_cache_events_total",
+            "Result-cache hits / misses / quarantines")
+        self._m_rebuilds = m.counter(
+            "repro_runner_pool_rebuilds_total",
+            "Worker pools torn down and rebuilt")
+        self._m_queue = m.gauge(
+            "repro_runner_queue_depth",
+            "Cells waiting for a worker slot")
+        self._m_inflight = m.gauge(
+            "repro_runner_in_flight",
+            "Cells currently executing in workers")
+        self._m_cell_wall = m.histogram(
+            "repro_runner_cell_wall_seconds",
+            "In-worker wall time per executed cell",
+            buckets=DEFAULT_TIME_BUCKETS)
+        self._m_cell_span = m.histogram(
+            "repro_runner_cell_span_seconds",
+            "Queue-to-outcome duration per cell (includes retries)",
+            buckets=DEFAULT_TIME_BUCKETS)
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _coords(spec) -> str:
+        return f"{spec.platform}/{spec.category}"
+
+    # -- runner edges ------------------------------------------------------
+
+    def on_run_start(self, specs: list) -> None:
+        self._run_span = self.tracer.span("runner.run", cat="runner",
+                                          cells=len(specs))
+        self._run_span.__enter__()
+        if specs:
+            self.knobs = dict(getattr(specs[0], "knobs", ()) or ())
+
+    def on_cache_hit(self, spec) -> None:
+        self._m_cache.inc(event="hit")
+        self.tracer.event("cache.hit", cat="cache",
+                          cell=self._coords(spec))
+
+    def on_cache_miss(self, spec) -> None:
+        self._m_cache.inc(event="miss")
+
+    def on_cache_quarantine(self, key: str) -> None:
+        self._m_cache.inc(event="quarantine")
+        self.tracer.event("cache.quarantine", cat="cache", key=key)
+
+    def on_cell_start(self, spec, attempt: int) -> None:
+        coords = self._coords(spec)
+        self._m_attempts.inc(cell=coords)
+        if coords not in self._cell_spans:
+            span = self.tracer.span(f"cell:{coords}", cat="cell",
+                                    seed=spec.seed)
+            span.__enter__()
+            self._cell_spans[coords] = span
+        self.tracer.event("attempt", cat="cell", cell=coords,
+                          attempt=attempt)
+
+    def on_cell_end(self, spec, status: str, attempts: int,
+                    payload: dict | None) -> None:
+        coords = self._coords(spec)
+        self._m_outcomes.inc(status=status)
+        span = self._cell_spans.pop(coords, None)
+        if span is not None:
+            span.add_args(status=status, attempts=attempts)
+            span.__exit__(None, None, None)
+        if payload is None:
+            return
+        self.fingerprints[coords] = payload.get("payload_sha256", "")
+        wall = payload.get("cell_wall_time_s")
+        if wall is not None:
+            self._m_cell_wall.observe(wall, cell=coords)
+        records = payload.get(SPANS_KEY)
+        if records:
+            self.tracer.ingest(records, scope=coords)
+        snapshot = payload.get(CELL_METRICS_KEY)
+        if snapshot:
+            self.metrics.merge_json(snapshot, cell=coords)
+
+    def on_retry(self, spec, attempt: int, cause: str,
+                 delay_s: float) -> None:
+        self._m_retries.inc(cause=cause)
+        self.tracer.event("retry", cat="runner", cell=self._coords(spec),
+                          attempt=attempt, cause=cause,
+                          delay_s=round(delay_s, 4))
+
+    def on_pool_rebuild(self, reason: str) -> None:
+        self._m_rebuilds.inc(reason=reason)
+        self.tracer.event("pool.rebuild", cat="runner", reason=reason)
+
+    def on_queue_depth(self, queued: int, in_flight: int) -> None:
+        self._m_queue.set(queued)
+        self._m_inflight.set(in_flight)
+
+    def on_run_end(self, stats) -> None:
+        self._last_stats = stats
+        # Close any cell span left open by a fail-fast abort.
+        for span in list(self._cell_spans.values()):
+            span.add_args(status="aborted")
+            span.__exit__(None, None, None)
+        self._cell_spans.clear()
+        for (platform, category), seconds in stats.cell_spans.items():
+            self._m_cell_span.observe(seconds,
+                                      cell=f"{platform}/{category}")
+        if self._run_span is not None:
+            self._run_span.add_args(
+                mode=stats.mode, cache_hits=stats.cache_hits,
+                cells_failed=stats.cells_failed)
+            self._run_span.__exit__(None, None, None)
+            self._run_span = None
+
+    # -- artefacts ---------------------------------------------------------
+
+    def manifest(self, version: str | None = None) -> RunManifest:
+        """The manifest of the most recent observed run."""
+        if self._last_stats is None:
+            raise RuntimeError("no run observed yet")
+        if version is None:
+            import repro
+            version = repro.__version__
+        return RunManifest.from_stats(
+            version, self._last_stats, command=self.command,
+            seed=self.run_seed, knobs=self.knobs,
+            fingerprints=self.fingerprints, metrics=self.metrics.to_json())
+
+    def write_artifacts(self, trace: str | Path | None = None,
+                        metrics: str | Path | None = None,
+                        manifest: str | Path | None = None) -> list[Path]:
+        """Write the requested artefact files; returns the paths written."""
+        written: list[Path] = []
+        if trace is not None:
+            chrome = write_trace(self.tracer.records, trace,
+                                 process_name=self.command or "repro")
+            written += [chrome, Path(chrome).with_suffix(".jsonl")
+                        if Path(trace).suffix != ".jsonl" else Path(trace)]
+        if metrics is not None:
+            written.append(write_metrics(self.metrics, metrics))
+        if manifest is not None:
+            written.append(self.manifest().write(manifest))
+        return written

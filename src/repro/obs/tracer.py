@@ -1,0 +1,169 @@
+"""Structured, deterministic-ID span/event tracing.
+
+A :class:`Tracer` is an append-only in-process recorder: spans (timed
+phases with nesting) and events (instants) accumulate as plain dicts in
+:attr:`Tracer.records`.  There are no locks — under CPython's GIL a
+``list.append`` is atomic, and the runner's design keeps one tracer per
+process anyway ("lock-free-ish" by construction, not by CAS heroics).
+
+Span *identifiers* are deterministic: each is the SHA-256 of the
+tracer's scope (derived from the run or cell seed), the span name, and
+the span's per-name occurrence index.  Wall-clock fields (``ts_us``,
+``dur_us``) obviously vary between runs, but under serial execution two
+runs of the same seed produce the same records in the same order with
+the same IDs — the property ``tests/test_obs.py`` locks in, and what
+makes traces from two runs diffable after stripping timestamps.
+
+Serialisation (JSONL and Chrome ``trace_event`` JSON) lives in
+:mod:`repro.obs.export`; the tracer only builds records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Callable
+
+#: Fields that vary between identical reruns (stripped for determinism
+#: comparisons; everything else in a record is a pure function of the
+#: execution's seed under serial execution).
+VOLATILE_FIELDS = ("ts_us", "dur_us")
+
+
+def derive_span_id(*parts: object) -> str:
+    """16-hex-digit stable identifier over the joined parts."""
+    material = "|".join(str(p) for p in parts)
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+
+class _Span:
+    """Context manager for one open span; records on exit."""
+
+    __slots__ = ("_tracer", "_record", "_start")
+
+    def __init__(self, tracer: "Tracer", record: dict,
+                 start: float) -> None:
+        self._tracer = tracer
+        self._record = record
+        self._start = start
+
+    @property
+    def span_id(self) -> str:
+        return self._record["id"]
+
+    def add_args(self, **args: object) -> None:
+        """Attach result-side arguments before the span closes."""
+        self._record["args"].update(args)
+
+    def __enter__(self) -> "_Span":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer._finish(self._record, self._start,
+                             failed=exc_info[0] is not None)
+
+
+class Tracer:
+    """Seeded span/event recorder for one process (or one cell).
+
+    ``scope`` seeds the ID derivation — the runner passes the run seed,
+    workers pass their cell coordinates — and also labels the Chrome
+    track the records land on.  ``clock`` is injectable so golden-file
+    tests can use a fake monotonic clock.
+    """
+
+    def __init__(self, scope: str = "run", seed: int = 0,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self.scope = scope
+        self.seed = seed
+        self._clock = clock
+        self._t0 = clock()
+        #: Closed records, in completion order (spans) / emit order
+        #: (events); each is a JSON-safe dict.
+        self.records: list[dict] = []
+        self._seq = 0
+        self._name_counts: dict[str, int] = {}
+        self._stack: list[str] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def _now_us(self) -> int:
+        return int((self._clock() - self._t0) * 1e6)
+
+    def _next_id(self, name: str) -> str:
+        index = self._name_counts.get(name, 0)
+        self._name_counts[name] = index + 1
+        return derive_span_id(self.seed, self.scope, name, index)
+
+    def span(self, name: str, cat: str = "obs", **args: object) -> _Span:
+        """Open a span; use as ``with tracer.span("phase"): ...``."""
+        start = self._clock()
+        record = {
+            "kind": "span",
+            "name": name,
+            "cat": cat,
+            "id": self._next_id(name),
+            "parent": self._stack[-1] if self._stack else None,
+            "scope": self.scope,
+            "seq": self._seq,
+            "ts_us": int((start - self._t0) * 1e6),
+            "dur_us": 0,
+            "args": dict(args),
+        }
+        self._seq += 1
+        self._stack.append(record["id"])
+        return _Span(self, record, start)
+
+    def _finish(self, record: dict, start: float, failed: bool) -> None:
+        record["dur_us"] = max(int((self._clock() - start) * 1e6), 0)
+        if failed:
+            record["args"]["failed"] = True
+        if self._stack and self._stack[-1] == record["id"]:
+            self._stack.pop()
+        self.records.append(record)
+
+    def event(self, name: str, cat: str = "obs", **args: object) -> dict:
+        """Record an instant event; returns the record."""
+        record = {
+            "kind": "event",
+            "name": name,
+            "cat": cat,
+            "id": self._next_id(name),
+            "parent": self._stack[-1] if self._stack else None,
+            "scope": self.scope,
+            "seq": self._seq,
+            "ts_us": self._now_us(),
+            "dur_us": 0,
+            "args": dict(args),
+        }
+        self._seq += 1
+        self.records.append(record)
+        return record
+
+    # -- aggregation -------------------------------------------------------
+
+    def ingest(self, records: list[dict], scope: str | None = None) -> None:
+        """Adopt records collected elsewhere (a worker's cell tracer).
+
+        Records keep their own deterministic IDs; ``scope`` overrides
+        their track label so each cell renders as its own Chrome thread.
+        """
+        for record in records:
+            adopted = dict(record)
+            if scope is not None:
+                adopted["scope"] = scope
+            self.records.append(adopted)
+
+    def export_records(self) -> list[dict]:
+        """JSON-safe copies of every record (for payload shipping)."""
+        return [dict(record) for record in self.records]
+
+    def deterministic_view(self) -> list[tuple]:
+        """Records minus volatile fields — the determinism contract."""
+        view = []
+        for record in self.records:
+            stable = {k: v for k, v in sorted(record.items())
+                      if k not in VOLATILE_FIELDS}
+            view.append(tuple(sorted(stable.items(),
+                                     key=lambda kv: kv[0])))
+        return view

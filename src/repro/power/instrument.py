@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+import repro.obs as obs
 from repro.crypto.rng import XorShiftRNG
 from repro.power.trace import TraceSet
 
@@ -39,6 +40,14 @@ class PowerInstrument:
     def capture(self, cipher_factory: CipherFactory, plaintexts: list[bytes],
                 ) -> TraceSet:
         """Encrypt each plaintext, recording one aligned trace per block."""
+        with obs.span("trace-acquisition", cat="power",
+                      traces=len(plaintexts),
+                      samples_per_trace=self.samples_per_trace,
+                      shuffle=self.shuffle):
+            return self._capture(cipher_factory, plaintexts)
+
+    def _capture(self, cipher_factory: CipherFactory,
+                 plaintexts: list[bytes]) -> TraceSet:
         traces = TraceSet(self.samples_per_trace)
         round_offset = {rnd: 16 * i for i, rnd in enumerate(self.rounds)}
         for plaintext in plaintexts:

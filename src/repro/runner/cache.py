@@ -55,6 +55,14 @@ class ResultCache:
         self.corrupt_discarded = 0
         #: Orphaned temp files from killed runs removed by :meth:`sweep`.
         self.stale_tmp_removed = 0
+        #: Optional telemetry hook ``(event, key)`` with event one of
+        #: ``"hit" | "miss" | "quarantine" | "put"``; the runner points
+        #: it at its observer.  Must never raise into cache operations.
+        self.on_event: Callable[[str, str], None] | None = None
+
+    def _emit(self, event: str, key: str) -> None:
+        if self.on_event is not None:
+            self.on_event(event, key)
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -80,6 +88,7 @@ class ResultCache:
     def quarantine(self, key: str) -> None:
         """Discard an entry that parsed but cannot be trusted."""
         self.corrupt_discarded += 1
+        self._emit("quarantine", key)
         try:
             self.path_for(key).unlink()
         except OSError:

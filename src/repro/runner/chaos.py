@@ -99,12 +99,15 @@ def corrupt_payload(payload: dict) -> dict:
 
 
 def chaos_execute_spec(spec, attempt: int, config: ChaosConfig,
-                       in_worker: bool = True) -> dict:
+                       in_worker: bool = True,
+                       collect: bool = False) -> dict:
     """:func:`execute_spec` with a chance of drawn sabotage.
 
     ``in_worker`` gates the process-lethal modes: a crash or hang is only
     realised inside a disposable pool worker; in the parent process both
     downgrade to :class:`ChaosError` so serial runs stay survivable.
+    ``collect`` is forwarded to :func:`execute_spec` (telemetry rides
+    along even under chaos — observed recovery must stay observable).
     """
     from repro.runner.engine import execute_spec
 
@@ -119,7 +122,8 @@ def chaos_execute_spec(spec, attempt: int, config: ChaosConfig,
         raise ChaosError(
             f"injected failure in {spec.platform}/{spec.category} "
             f"(attempt {attempt})")
-    payload = execute_spec(spec)
+    payload = execute_spec(spec, collect=True) if collect \
+        else execute_spec(spec)
     if mode == "corrupt":
         payload = corrupt_payload(payload)
     return payload

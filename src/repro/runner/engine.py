@@ -31,6 +31,7 @@ import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 from dataclasses import dataclass
 from pickle import PicklingError
 from typing import Callable, Iterable, Sequence
@@ -39,6 +40,12 @@ from repro.errors import (
     CellExecutionError,
     CellTimeoutError,
     PayloadCorruptionError,
+)
+from repro.obs.observer import (
+    CELL_METRICS_KEY,
+    NULL_OBSERVER,
+    SPANS_KEY,
+    RunObserver,
 )
 from repro.runner.cache import ResultCache
 from repro.runner.chaos import ChaosConfig, chaos_execute_spec
@@ -56,8 +63,13 @@ DEFAULT_TIMEOUT_S = 120.0
 INTEGRITY_KEY = "payload_sha256"
 
 #: Payload fields that legitimately vary between identical reruns and are
-#: therefore excluded from the integrity digest.
-VOLATILE_KEYS = frozenset({"cell_wall_time_s"})
+#: therefore excluded from the integrity digest.  The telemetry keys are
+#: excluded so an *observed* run computes the same fingerprint as an
+#: unobserved one — observation must never invalidate (or fork) the
+#: cache, and the chaos suite's byte-identity guarantees must hold with
+#: tracing on.
+VOLATILE_KEYS = frozenset({"cell_wall_time_s", SPANS_KEY,
+                           CELL_METRICS_KEY})
 
 
 @dataclass(frozen=True)
@@ -123,12 +135,22 @@ def payload_intact(payload: object) -> bool:
         return False
 
 
-def execute_spec(spec: CellSpec) -> dict:
+def execute_spec(spec: CellSpec, collect: bool = False) -> dict:
     """Compute one cell; importable by reference from worker processes.
+
+    ``collect`` turns on in-cell telemetry: a per-cell
+    :class:`~repro.obs.tracer.Tracer` (IDs derived from the cell seed)
+    is activated around the suite so attack-phase spans are recorded, a
+    :class:`~repro.obs.metrics.MetricsRegistry` is attached to every
+    core (``Core.run`` flushes instructions/cycles/energy into it) and
+    fed the cache-hierarchy hit rates, and both land in the payload
+    under volatile keys — the payload fingerprint is unchanged, so
+    observed and unobserved runs share cache entries.
 
     Imports are deferred so that importing :mod:`repro.runner` stays
     cheap and free of circular imports with :mod:`repro.core`.
     """
+    import repro.obs as obs
     from repro.arch.null import NullArchitecture
     from repro.attacks.base import AttackCategory
     from repro.attacks.suites import SUITES, MatrixKnobs
@@ -138,34 +160,58 @@ def execute_spec(spec: CellSpec) -> dict:
     from repro.crypto.rng import XorShiftRNG
     from repro.runner.serialize import attack_result_to_dict, workload_to_dict
 
+    coords = f"{spec.platform}/{spec.category}"
+    tracer = obs.Tracer(scope=coords, seed=derive_cell_seed(
+        spec.seed, spec.platform, spec.category)) if collect else None
+    registry = obs.MetricsRegistry() if collect else None
+
     start = time.perf_counter()
     platform = PlatformClass(spec.platform)
     soc = soc_factory_for(platform)()
-    if spec.category == WORKLOAD_CATEGORY:
-        payload = {"kind": WORKLOAD_CATEGORY,
-                   "workload": workload_to_dict(reference_workload(soc))}
-    else:
-        category = AttackCategory(spec.category)
-        arch = NullArchitecture(soc, platform)
-        rng = XorShiftRNG(derive_cell_seed(spec.seed, spec.platform,
-                                           spec.category))
-        knobs = MatrixKnobs.from_key(spec.knobs)
-        results = SUITES[category](arch, rng, knobs)
-        payload = {"kind": "attacks",
-                   "attacks": [attack_result_to_dict(r) for r in results]}
+    if registry is not None:
+        for core in soc.cores:
+            core.metrics = registry
+    with obs.activate(tracer) if collect else nullcontext():
+        with obs.span(f"cell:{coords}", cat="cell", seed=spec.seed):
+            if spec.category == WORKLOAD_CATEGORY:
+                payload = {
+                    "kind": WORKLOAD_CATEGORY,
+                    "workload": workload_to_dict(reference_workload(soc))}
+            else:
+                category = AttackCategory(spec.category)
+                arch = NullArchitecture(soc, platform)
+                rng = XorShiftRNG(derive_cell_seed(spec.seed, spec.platform,
+                                                   spec.category))
+                knobs = MatrixKnobs.from_key(spec.knobs)
+                results = SUITES[category](arch, rng, knobs)
+                payload = {
+                    "kind": "attacks",
+                    "attacks": [attack_result_to_dict(r) for r in results]}
     payload["cell_instret"] = sum(core.instret for core in soc.cores)
     payload["cell_wall_time_s"] = time.perf_counter() - start
+    if collect:
+        for core in soc.cores:
+            core.flush_metrics()
+        soc.hierarchy.metrics_into(registry)
+        payload[SPANS_KEY] = tracer.export_records()
+        payload[CELL_METRICS_KEY] = registry.to_json()
     payload[INTEGRITY_KEY] = payload_fingerprint(payload)
     return payload
 
 
 @dataclass(frozen=True)
 class CellTask:
-    """One execution attempt of one cell, as shipped to a worker."""
+    """One execution attempt of one cell, as shipped to a worker.
+
+    ``collect`` asks the worker to gather in-cell telemetry (span
+    records, core/cache metric snapshots) into the payload's volatile
+    keys; it is only set when the runner's observer wants them.
+    """
 
     spec: CellSpec
     attempt: int = 0
     chaos: ChaosConfig | None = None
+    collect: bool = False
 
 
 def execute_task(task: CellTask) -> tuple[str, object]:
@@ -179,8 +225,13 @@ def execute_task(task: CellTask) -> tuple[str, object]:
     try:
         if task.chaos is not None:
             payload = chaos_execute_spec(task.spec, task.attempt,
-                                         task.chaos, in_worker=True)
+                                         task.chaos, in_worker=True,
+                                         collect=task.collect)
+        elif task.collect:
+            payload = execute_spec(task.spec, collect=True)
         else:
+            # Positional-free call: the unobserved path keeps the exact
+            # historical call shape (tests monkeypatch one-arg stand-ins).
             payload = execute_spec(task.spec)
         return ("ok", payload)
     except BaseException as exc:  # noqa: BLE001 — the tag is the contract
@@ -268,14 +319,29 @@ class ExperimentRunner:
                  timeout_s: float | None = DEFAULT_TIMEOUT_S,
                  retry: RetryPolicy | None = None,
                  chaos: ChaosConfig | None = None,
-                 fail_fast: bool = False) -> None:
+                 fail_fast: bool = False,
+                 observer: RunObserver | None = None) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.timeout_s = timeout_s if timeout_s and timeout_s > 0 else None
         self.retry = retry if retry is not None else RetryPolicy()
         self.chaos = chaos
         self.fail_fast = fail_fast
+        #: Lifecycle hook surface; the default no-op observer keeps the
+        #: fast path at its unobserved cost (one call per cell edge).
+        self.observer = observer if observer is not None else NULL_OBSERVER
+        self._collect = bool(getattr(self.observer, "wants_cell_spans",
+                                     False))
+        if self.cache is not None:
+            self.cache.on_event = self._cache_event
         self.stats = RunnerStats(jobs=self.jobs)
+        #: Per-spec queue-to-outcome start times for the current run.
+        self._span_start: dict[CellSpec, float] = {}
+
+    def _cache_event(self, event: str, key: str) -> None:
+        """Forward cache-internal events (quarantines) to the observer."""
+        if event == "quarantine":
+            self.observer.on_cache_quarantine(key)
 
     # -- public entry ----------------------------------------------------------
 
@@ -290,9 +356,12 @@ class ExperimentRunner:
         start = time.perf_counter()
         corrupt_before = (self.cache.corrupt_discarded
                           if self.cache else 0)
+        observer = self.observer
+        observer.on_run_start(specs)
 
         results: dict[CellSpec, dict] = {}
         pending: list[CellSpec] = []
+        self._span_start = {}
         for spec in specs:
             payload = self._cached_payload(spec)
             if payload is not None:
@@ -300,9 +369,15 @@ class ExperimentRunner:
                 results[spec] = payload
                 stats.outcomes[(spec.platform, spec.category)] = \
                     CellOutcome(status="ok", attempts=0)
+                observer.on_cache_hit(spec)
+                observer.on_cell_end(spec, "ok", 0, payload)
             else:
                 pending.append(spec)
+                observer.on_cache_miss(spec)
         stats.cache_misses = len(pending)
+        now = time.perf_counter()
+        for spec in pending:
+            self._span_start[spec] = now
 
         try:
             if pending:
@@ -318,6 +393,7 @@ class ExperimentRunner:
                     self.cache.corrupt_discarded - corrupt_before
             stats.wall_time_s = time.perf_counter() - start
             self.stats = stats
+            observer.on_run_end(stats)
         return results
 
     # -- cache -----------------------------------------------------------------
@@ -340,6 +416,11 @@ class ExperimentRunner:
             return None
         return payload
 
+    def _cell_span_s(self, spec: CellSpec) -> float:
+        """Queue-to-outcome duration of a cell in this run (seconds)."""
+        started = self._span_start.get(spec)
+        return time.perf_counter() - started if started is not None else 0.0
+
     def _record_success(self, spec: CellSpec, attempt: int, payload: dict,
                         results: dict, stats: RunnerStats,
                         degraded: bool) -> None:
@@ -347,12 +428,14 @@ class ExperimentRunner:
         coords = (spec.platform, spec.category)
         stats.cell_times[coords] = payload.get("cell_wall_time_s", 0.0)
         stats.cell_instrets[coords] = payload.get("cell_instret", 0)
+        stats.cell_spans[coords] = self._cell_span_s(spec)
         if degraded:
             status = "degraded-to-serial"
         else:
             status = "ok" if attempt == 0 else "ok-after-retry"
         stats.outcomes[coords] = CellOutcome(status=status,
                                              attempts=attempt + 1)
+        self.observer.on_cell_end(spec, status, attempt + 1, payload)
         if self.cache is not None:
             self.cache.put(cache_key_for(spec), payload)
 
@@ -368,18 +451,25 @@ class ExperimentRunner:
             raise CellExecutionError(spec.platform, spec.category,
                                      attempts, cause, detail)
         status = "timed-out" if cause == "timed-out" else "failed"
-        stats.outcomes[(spec.platform, spec.category)] = CellOutcome(
+        coords = (spec.platform, spec.category)
+        stats.cell_spans[coords] = self._cell_span_s(spec)
+        stats.outcomes[coords] = CellOutcome(
             status=status, attempts=attempts,
             error=f"{cause}: {detail}" if detail else cause)
+        self.observer.on_cell_end(spec, status, attempts, None)
 
     # -- serial path -----------------------------------------------------------
 
     def _attempt_in_process(self, spec: CellSpec, attempt: int) -> dict:
         """One in-parent-process attempt; raises :class:`_CellFailure`."""
+        self.observer.on_cell_start(spec, attempt)
         try:
             if self.chaos is not None:
                 payload = chaos_execute_spec(spec, attempt, self.chaos,
-                                             in_worker=False)
+                                             in_worker=False,
+                                             collect=self._collect)
+            elif self._collect:
+                payload = execute_spec(spec, collect=True)
             else:
                 payload = execute_spec(spec)
         except Exception as exc:
@@ -398,8 +488,12 @@ class ExperimentRunner:
             failure: _CellFailure | None = None
             for attempt in range(self.retry.max_attempts):
                 if attempt:
-                    time.sleep(self.retry.delay_s(
-                        spec.seed, spec.platform, spec.category, attempt))
+                    delay = self.retry.delay_s(
+                        spec.seed, spec.platform, spec.category, attempt)
+                    self.observer.on_retry(spec, attempt,
+                                           failure.cause if failure
+                                           else "unknown", delay)
+                    time.sleep(delay)
                 try:
                     payload = self._attempt_in_process(spec, attempt)
                 except _CellFailure as exc:
@@ -491,6 +585,7 @@ class ExperimentRunner:
             if attempt + 1 < self.retry.max_attempts:
                 delay = self.retry.delay_s(spec.seed, spec.platform,
                                            spec.category, attempt + 1)
+                self.observer.on_retry(spec, attempt + 1, cause, delay)
                 queue.append((spec, attempt + 1,
                               time.monotonic() + delay))
             else:
@@ -522,7 +617,8 @@ class ExperimentRunner:
                         deferred.append((spec, attempt, not_before))
                         continue
                     task = CellTask(spec=spec, attempt=attempt,
-                                    chaos=self.chaos)
+                                    chaos=self.chaos,
+                                    collect=self._collect)
                     try:
                         future = pool.submit(execute_task, task)
                     except (RuntimeError, BrokenProcessPool, OSError,
@@ -533,10 +629,13 @@ class ExperimentRunner:
                         submit_failed = True
                         break
                     futures[future] = (spec, attempt)
+                    self.observer.on_cell_start(spec, attempt)
                 queue.extend(deferred)
+                self.observer.on_queue_depth(len(queue), len(futures))
 
                 if submit_failed and not futures:
                     stats.pool_rebuilds += 1
+                    self.observer.on_pool_rebuild("submit-failed")
                     teardown(kill=True)
                     continue
 
@@ -586,6 +685,7 @@ class ExperimentRunner:
                     # tasks that were observed running (one of them took
                     # the worker down); requeue the rest unchanged.
                     stats.pool_rebuilds += 1
+                    self.observer.on_pool_rebuild("worker-crash")
                     broken += [(future, *futures[future])
                                for future in list(futures)]
                     was_running = {future for future, _, _ in broken
@@ -609,6 +709,7 @@ class ExperimentRunner:
                            if now > deadline and future in futures]
                 if overdue:
                     stats.pool_rebuilds += 1
+                    self.observer.on_pool_rebuild("hung-worker")
                     for future in overdue:
                         spec, attempt = futures.pop(future)
                         retry_or_fail(

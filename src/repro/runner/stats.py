@@ -72,6 +72,9 @@ class RunnerStats:
     cell_instrets: dict[tuple[str, str], int] = field(default_factory=dict)
     #: Structured per-cell outcome (ok / retried / timed-out / failed ...).
     outcomes: dict[tuple[str, str], CellOutcome] = field(default_factory=dict)
+    #: Queue-to-outcome duration per cell as seen by the caller — unlike
+    #: ``cell_times`` this includes queueing, retries and backoff sleeps.
+    cell_spans: dict[tuple[str, str], float] = field(default_factory=dict)
     #: Worker pools torn down and rebuilt (hang or crash recovery).
     pool_rebuilds: int = 0
 
@@ -162,33 +165,51 @@ class RunnerStats:
         return "\n".join(lines)
 
     def profile(self) -> str:
-        """Per-cell profile table: wall time, throughput, and outcome.
+        """Per-cell profile table: wall time, span, throughput, outcome.
 
         Executed cells rank by wall time; cells that never produced a
         payload (timed out / failed) follow, so a flaky or dead cell is
-        visible at a glance rather than silently absent.  The throughput
-        column is the engine-speed figure the micro-benchmarks track
-        (``make bench``).
+        visible at a glance rather than silently absent.  ``wall`` is the
+        in-worker execution time, ``span`` the caller-side queue-to-
+        outcome duration (queueing + retries + backoff); a large gap
+        between the two is the runner's overhead, not the engine's.  The
+        throughput column is the engine-speed figure the
+        micro-benchmarks track (``make bench``).  The cell column is
+        sized to the longest cell name so wide matrices keep every
+        column aligned.
         """
         if not self.cell_times and not self.cells_failed:
             return "profile: no cells executed (all served from cache)"
-        header = (f"{'cell':<38} {'wall':>9} {'instret':>10} "
-                  f"{'instr/s':>12}  outcome")
+        cells = set(self.cell_times) | set(self.outcomes)
+        names = [f"{platform}/{category}" for platform, category in cells]
+        width = max([38] + [len(name) for name in names])
+
+        def span_col(cell: tuple[str, str]) -> str:
+            seconds = self.cell_spans.get(cell)
+            if seconds is None:
+                return f"{'-':>9}"
+            return f"{seconds * 1e3:>7.1f}ms"
+
+        header = (f"{'cell':<{width}} {'wall':>9} {'span':>9} "
+                  f"{'instret':>10} {'instr/s':>12}  outcome")
         lines = ["profile (executed cells, slowest first):", header]
         ranked = sorted(self.cell_times.items(), key=lambda kv: -kv[1])
         for (platform, category), seconds in ranked:
             instret = self.cell_instrets.get((platform, category), 0)
             rate = instret / seconds if seconds > 0 else 0.0
             outcome = self.outcomes.get((platform, category))
-            lines.append(f"{platform + '/' + category:<38} "
-                         f"{seconds * 1e3:>7.1f}ms {instret:>10} "
-                         f"{rate:>12,.0f}  "
+            lines.append(f"{platform + '/' + category:<{width}} "
+                         f"{seconds * 1e3:>7.1f}ms "
+                         f"{span_col((platform, category))} "
+                         f"{instret:>10} {rate:>12,.0f}  "
                          f"{outcome.label() if outcome else 'ok'}")
         for platform, category, outcome in self.failed_cells():
-            lines.append(f"{platform + '/' + category:<38} "
-                         f"{'-':>9} {'-':>10} {'-':>12}  "
+            lines.append(f"{platform + '/' + category:<{width}} "
+                         f"{'-':>9} {span_col((platform, category))} "
+                         f"{'-':>10} {'-':>12}  "
                          f"{outcome.label()}")
-        lines.append(f"{'total':<38} {self.busy_time_s * 1e3:>7.1f}ms "
+        lines.append(f"{'total':<{width}} {self.busy_time_s * 1e3:>7.1f}ms "
+                     f"{sum(self.cell_spans.values()) * 1e3:>7.1f}ms "
                      f"{self.instructions_total:>10} "
                      f"{self.instructions_per_s:>12,.0f}")
         return "\n".join(lines)

@@ -4,7 +4,6 @@ import pytest
 
 from repro.arch import SGX, Sancus
 from repro.attacks.base import AttackerProcess
-from repro.cpu import make_embedded_soc, make_server_soc
 from repro.errors import AccessFault, EnclaveError
 
 

@@ -5,7 +5,6 @@ import pytest
 from repro.arch import SMART, Sancus, TrustLite, TyTAN
 from repro.arch.smart import KEY_ADDR, KEY_SIZE, SCRATCH_ADDR
 from repro.attacks.base import AttackerProcess
-from repro.cpu import make_embedded_soc
 from repro.errors import EnclaveError, SecurityViolation
 
 REGION = 0x8000_4000

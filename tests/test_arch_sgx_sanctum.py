@@ -3,12 +3,10 @@
 import pytest
 
 from repro.arch import SGX, Sanctum
-from repro.arch.base import AES_KEY_OFFSET
 from repro.attacks.base import AttackerProcess
 from repro.attestation.protocol import RemoteVerifier
 from repro.errors import AccessFault, EnclaveError
 from repro.memory.paging import PAGE_SIZE, PageFlags
-from tests.conftest import AES_KEY2
 
 
 @pytest.fixture

@@ -1,7 +1,5 @@
 """TLB-contention and branch-shadowing side channels."""
 
-import pytest
-
 from repro.attacks.tlb_btb import BranchShadowingAttack, TLBContentionAttack
 from repro.cache.btb import BranchTargetBuffer
 from repro.cache.tlb import TLB

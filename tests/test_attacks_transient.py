@@ -1,7 +1,5 @@
 """Transient-execution attacks: Spectre v1/v2, Meltdown, Foreshadow."""
 
-import pytest
-
 from repro.arch import SGX
 from repro.attacks.foreshadow import ForeshadowAttack
 from repro.attacks.meltdown import MeltdownAttack

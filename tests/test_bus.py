@@ -3,8 +3,7 @@
 import pytest
 
 from repro.errors import AccessFault, ConfigurationError, MemoryFault
-from repro.memory.bus import BusMaster, BusTransaction, SystemBus
-from repro.memory.regions import MemoryRegion
+from repro.memory.bus import BusMaster, BusTransaction
 
 CPU = BusMaster("core0", kind="cpu", secure_capable=True)
 DMA = BusMaster("nic", kind="dma")

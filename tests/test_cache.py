@@ -4,7 +4,6 @@ import pytest
 
 from repro.cache.cache import Cache
 from repro.cache.partition import WayPartition
-from repro.cache.policies import LRUPolicy
 
 
 @pytest.fixture

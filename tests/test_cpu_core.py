@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common import PrivilegeLevel
-from repro.cpu.core import CSR_CYCLE, CSR_EPC, Core, CoreConfig
+from repro.cpu.core import CSR_CYCLE, CSR_EPC
 from repro.cpu.exceptions import Trap, TrapCause
 from repro.isa import assemble
 
@@ -181,7 +181,10 @@ class TestCSRs:
     def test_csr_write_hook(self, embedded_soc):
         core = embedded_soc.cores[0]
         seen = []
-        core.csr_write_hooks[0x900] = lambda c, v: seen.append(v)
+        def hook(c, v):
+            seen.append(v)
+
+        core.csr_write_hooks[0x900] = hook
         prog = assemble("li r1, 77\ncsrw 0x900, r1\nhalt",
                         base=DRAM + 0x1000)
         core.load_program(prog)
@@ -221,7 +224,10 @@ class TestTraps:
     def test_ecall_dispatch(self, embedded_soc):
         core = embedded_soc.cores[0]
         calls = []
-        core.syscall_handler = lambda c, code: calls.append(code)
+        def handler(c, code):
+            calls.append(code)
+
+        core.syscall_handler = handler
         prog = assemble("ecall 5\necall 9\nhalt", base=DRAM + 0x1000)
         core.load_program(prog)
         core.run()

@@ -16,9 +16,8 @@ from repro.attestation.cfa import (
 )
 from repro.cpu import make_embedded_soc, make_server_soc
 from repro.crypto.rng import XorShiftRNG
-from repro.errors import SecurityViolation
 from repro.isa import assemble
-from repro.memory.disturbance import ROW_SIZE, DisturbanceModel
+from repro.memory.disturbance import DisturbanceModel
 from repro.memory.paging import PAGE_SIZE
 
 SECRET_EXP = 0b1011001110001011

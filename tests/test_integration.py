@@ -101,7 +101,6 @@ class TestEmbeddedAttestationChain:
         assert SMART.verify_report(verifier_key, report, expected, nonce1)
 
         # Remote adversary injects code into the application.
-        from repro.arch.null import NullArchitecture
         from repro.attacks.software import CodeInjectionAttack
         injection = CodeInjectionAttack(
             smart, victim_region=(app_base, 64)).run()

@@ -6,7 +6,6 @@ from repro.common import PrivilegeLevel
 from repro.errors import PageFault
 from repro.memory.mmu import MMU
 from repro.memory.paging import (
-    PAGE_SIZE,
     FrameAllocator,
     PageFlags,
     PageTable,

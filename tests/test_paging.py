@@ -12,7 +12,6 @@ from repro.memory.paging import (
     pte_unpack,
     vpn_split,
 )
-from repro.memory.phys import PhysicalMemory
 
 USER_RW = PageFlags.PRESENT | PageFlags.WRITABLE | PageFlags.USER
 

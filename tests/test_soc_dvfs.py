@@ -30,7 +30,9 @@ class TestSoCFactories:
         assert mobile_soc.tlbs[0] is not mobile_soc.tlbs[1]
 
     def test_energy_ordering(self, server_soc, mobile_soc, embedded_soc):
-        get = lambda soc: soc.config.energy_per_instr_pj
+        def get(soc):
+            return soc.config.energy_per_instr_pj
+
         assert get(server_soc) > get(mobile_soc) > get(embedded_soc)
 
     def test_page_table_factory(self, server_soc):

@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.common import PrivilegeLevel
+from repro.common import PlatformClass, PrivilegeLevel
 from repro.cpu.predictor import BranchPredictor, PredictorConfig
 from repro.cpu.soc import SoC, SoCConfig
 from repro.cpu.speculative import SpeculativeConfig
-from repro.common import PlatformClass
 from repro.isa import assemble
 from repro.memory.paging import PageFlags
 
