@@ -1,7 +1,8 @@
 """CI bench gate: compare a fresh baseline against the newest committed one.
 
-``record_baseline.py --quick -o current.json`` measures the two gated
-benchmarks; this script loads that file, finds the newest committed
+``record_baseline.py --quick -o current.json`` measures the gated
+benchmarks (``record_baseline.GATED_BENCHMARKS``); this script loads
+that file, finds the newest committed
 ``BENCH_*.json`` at the repo root, and fails (exit 1) when any gated
 benchmark's mean regressed by more than the threshold (default 25% —
 generous because CI runners are noisy shared machines; the local

@@ -13,8 +13,9 @@ Usage::
     python benchmarks/record_baseline.py -o out.json --label "post-dispatch"
     python benchmarks/record_baseline.py --quick    # CI smoke: gate subset
 
-Or simply ``make bench``.  ``--quick`` runs only the two regression-gated
-benchmarks (``core_load_loop``, ``cache_hierarchy_access``) with light
+Or simply ``make bench``.  ``--quick`` runs only the regression-gated
+benchmarks (see ``GATED_BENCHMARKS``: core load loop, cache hierarchy
+access, scalar/batched trace acquisition, batched CPA) with light
 rounds — the shape CI's bench-smoke job compares against the newest
 committed baseline via ``benchmarks/check_regression.py``.
 """
@@ -44,7 +45,25 @@ def _git_revision() -> str:
 
 
 #: The benchmarks CI gates on; ``--quick`` measures exactly these.
-GATED_BENCHMARKS = ("core_load_loop", "cache_hierarchy_access")
+GATED_BENCHMARKS = (
+    "core_load_loop",
+    "cache_hierarchy_access",
+    "trace_acquisition[scalar]",
+    "trace_acquisition[batched]",
+    "cpa_key_recovery_batched",
+)
+
+
+def _quick_keyword() -> str:
+    """``-k`` filter covering the gated set.
+
+    ``-k`` expressions cannot contain ``[``, so parametrized gate
+    entries are reduced to their test-function stem (which selects all
+    of that test's parametrizations — a superset is fine for the smoke
+    run; the gate itself matches full names).
+    """
+    stems = dict.fromkeys(name.split("[")[0] for name in GATED_BENCHMARKS)
+    return " or ".join(stems)
 
 
 def run_benchmarks(keyword: str | None = None,
@@ -60,7 +79,7 @@ def run_benchmarks(keyword: str | None = None,
             f"--benchmark-json={raw}",
         ]
         if quick:
-            keyword = keyword or " or ".join(GATED_BENCHMARKS)
+            keyword = keyword or _quick_keyword()
             cmd += ["--benchmark-min-rounds=3"]
         if keyword:
             cmd += ["-k", keyword]

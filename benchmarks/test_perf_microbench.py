@@ -95,6 +95,42 @@ def test_perf_aes_block(benchmark, cipher_name, factory):
     benchmark(cipher.encrypt_block, BLOCK)
 
 
+@pytest.mark.parametrize("mode", ["scalar", "batched"])
+def test_perf_trace_acquisition(benchmark, mode):
+    """200-trace noisy Hamming-weight acquisition of round-1 AES leakage
+    — the dominant cost of every physical-suite cell.  The two modes are
+    bit-identical (tests/test_power_differential.py proves it); the gap
+    between them is the vectorization win the batched kernels exist for."""
+    from repro.power.instrument import capture_aes_traces
+    from repro.power.leakage import HammingWeightModel
+
+    def run():
+        return capture_aes_traces(
+            lambda leak: AES128(KEY, leak_hook=leak), 200,
+            HammingWeightModel(noise_std=1.0, rng=XorShiftRNG(3)),
+            rng=XorShiftRNG(4), batch=(mode == "batched"))
+
+    traces = benchmark(run)
+    assert len(traces) == 200
+
+
+def test_perf_cpa_key_recovery_batched(benchmark):
+    """End-to-end CPA: batched 300-trace acquisition plus full 16-byte
+    key recovery — the whole attacker pipeline as the matrix runs it."""
+    from repro.attacks.dpa import cpa_recover_key
+    from repro.power.instrument import capture_aes_traces
+    from repro.power.leakage import HammingWeightModel
+
+    def run():
+        traces = capture_aes_traces(
+            lambda leak: AES128(KEY, leak_hook=leak), 300,
+            HammingWeightModel(noise_std=1.0, rng=XorShiftRNG(3)),
+            rng=XorShiftRNG(4), batch=True)
+        return cpa_recover_key(traces)
+
+    assert benchmark(run) == KEY
+
+
 def test_perf_sha256_1kib(benchmark):
     data = bytes(range(256)) * 4
     benchmark(sha256, data)

@@ -11,6 +11,11 @@ The Section 5 countermeasure taxonomy, measured:
   samples and degrades the attack gracefully;
 * the trace-count sweep shows the classic success curves.
 
+Acquisition runs on the batched instrument by default (bit-identical to
+the scalar reference — see the Performance model section of README.md);
+the sweep re-analyses O(1) ``subset`` views of one acquisition, so the
+whole lab is a few hundred milliseconds.
+
 Run:  python examples/power_analysis_lab.py
 """
 

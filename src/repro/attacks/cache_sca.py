@@ -29,6 +29,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 import repro.obs as obs
 from repro.arch.base import AES_TABLE_STRIDE, AESVictim
 from repro.attacks.base import AttackCategory, AttackResult, AttackerProcess
@@ -51,21 +53,30 @@ def _grade(recovered: dict[int, int], key: bytes) -> float:
     return correct / len(recovered)
 
 
-def _best_nibble(activity: dict[int, list[float]]) -> int:
+def _plaintext_nibbles(config: "_CacheAttackConfig") -> list[int]:
+    """The high-nibble values of ``pt[b]`` an attack samples."""
+    return list(range(0, 16, max(16 // config.plaintext_values, 1)))
+
+
+def _best_nibble(values: np.ndarray, counts: np.ndarray) -> int:
     """Score nibble candidates from per-plaintext-value line activity.
 
-    ``activity[v][line]`` counts observed victim touches of table line
-    ``line`` when ``pt[b]`` had high nibble ``v``.  The correct candidate
-    ``k`` maximises activity on line ``v ^ k`` across all ``v``.
+    ``counts[i, line]`` counts observed victim touches of table line
+    ``line`` when ``pt[b]`` had high nibble ``values[i]``.  The correct
+    candidate ``k`` maximises activity on line ``v ^ k`` across all
+    ``v``; one fancy-indexed gather scores every candidate against every
+    value at once instead of 256 dict walks.
     """
-    def rank(candidate: int) -> tuple[float, float]:
-        counts = [lines[v ^ candidate] for v, lines in activity.items()]
-        # The true line is touched on *every* encryption (the round-1
-        # lookup is unconditional), so the worst single-value count is a
-        # far sharper discriminator than the sum; the sum breaks ties.
-        return min(counts), sum(counts)
-
-    return max(range(16), key=rank)
+    values = np.asarray(values, dtype=np.int64)
+    gathered = counts[np.arange(len(values))[:, np.newaxis],
+                      values[:, np.newaxis] ^ np.arange(16)]
+    # The true line is touched on *every* encryption (the round-1
+    # lookup is unconditional), so the worst single-value count is a
+    # far sharper discriminator than the sum; the sum breaks ties.
+    # Counts are integer-valued floats, so both reductions are exact.
+    mins = gathered.min(axis=0)
+    sums = gathered.sum(axis=0)
+    return max(range(16), key=lambda c: (mins[c], sums[c]))
 
 
 @dataclass
@@ -129,9 +140,9 @@ class PrimeProbeAttack:
                     obs.event("prime+probe.blocked", cat="attack",
                               byte=target_byte, covered=covered)
                     continue  # cannot even prime: the defence already won
-                activity: dict[int, list[float]] = {}
-                for v in range(0, 16, max(16 // cfg.plaintext_values, 1)):
-                    counts = [0.0] * LINES_PER_TABLE
+                values = _plaintext_nibbles(cfg)
+                counts = np.zeros((len(values), LINES_PER_TABLE))
+                for vi, v in enumerate(values):
                     for _ in range(cfg.samples_per_value):
                         pt = bytearray(self.rng.bytes(16))
                         pt[target_byte] = (v << 4) | (pt[target_byte] & 0x0F)
@@ -142,14 +153,13 @@ class PrimeProbeAttack:
                         self.victim.encrypt(bytes(pt))
                         # Probe: a displaced attacker line means victim
                         # traffic.
-                        for line, addrs in enumerate(eviction):
-                            misses = sum(
-                                1 for addr in addrs
-                                if self.attacker.timed_read(addr)
-                                > self.attacker.hit_threshold)
-                            counts[line] += misses
-                    activity[v] = counts
-                recovered[target_byte] = _best_nibble(activity)
+                        counts[vi] += np.fromiter(
+                            (sum(1 for addr in addrs
+                                 if self.attacker.timed_read(addr)
+                                 > self.attacker.hit_threshold)
+                             for addrs in eviction),
+                            dtype=np.float64, count=LINES_PER_TABLE)
+                recovered[target_byte] = _best_nibble(values, counts)
 
         score = _grade(recovered, self.victim.key)
         return AttackResult(
@@ -197,21 +207,21 @@ class FlushReloadAttack:
                 table = BYTE_TO_TABLE[target_byte]
                 lines = [self._line_paddr(table, line)
                          for line in range(LINES_PER_TABLE)]
-                activity: dict[int, list[float]] = {}
-                for v in range(0, 16, max(16 // cfg.plaintext_values, 1)):
-                    counts = [0.0] * LINES_PER_TABLE
+                values = _plaintext_nibbles(cfg)
+                counts = np.zeros((len(values), LINES_PER_TABLE))
+                for vi, v in enumerate(values):
                     for _ in range(cfg.samples_per_value):
                         pt = bytearray(self.rng.bytes(16))
                         pt[target_byte] = (v << 4) | (pt[target_byte] & 0x0F)
                         for paddr in lines:
                             self.attacker.flush(paddr)
                         self.victim.encrypt(bytes(pt))
-                        for line, paddr in enumerate(lines):
-                            if self.attacker.timed_read(paddr) \
-                                    <= self.attacker.hit_threshold:
-                                counts[line] += 1
-                    activity[v] = counts
-                recovered[target_byte] = _best_nibble(activity)
+                        latencies = np.fromiter(
+                            (self.attacker.timed_read(paddr)
+                             for paddr in lines),
+                            dtype=np.float64, count=LINES_PER_TABLE)
+                        counts[vi] += latencies <= self.attacker.hit_threshold
+                recovered[target_byte] = _best_nibble(values, counts)
 
         score = _grade(recovered, self.victim.key)
         return AttackResult(
@@ -259,18 +269,17 @@ class EvictTimeAttack:
                     llc.set_index(paddr), self._ways))
             if any(len(addrs) < self._ways for addrs in eviction):
                 continue  # defence: sets unreachable
-            activity: dict[int, list[float]] = {}
-            for v in range(0, 16, max(16 // cfg.plaintext_values, 1)):
-                times = [0.0] * LINES_PER_TABLE
+            values = _plaintext_nibbles(cfg)
+            times = np.zeros((len(values), LINES_PER_TABLE))
+            for vi, v in enumerate(values):
                 for line in range(LINES_PER_TABLE):
                     for _ in range(cfg.samples_per_value):
                         pt = bytearray(self.rng.bytes(16))
                         pt[target_byte] = (v << 4) | (pt[target_byte] & 0x0F)
                         for addr in eviction[line]:
                             self.attacker.touch(addr)
-                        times[line] += self._victim_cycles(bytes(pt))
-                activity[v] = times
-            recovered[target_byte] = _best_nibble(activity)
+                        times[vi, line] += self._victim_cycles(bytes(pt))
+            recovered[target_byte] = _best_nibble(values, times)
 
         score = _grade(recovered, self.victim.key)
         return AttackResult(

@@ -18,6 +18,8 @@ intermediates) defeats them outright at first order.
 
 from __future__ import annotations
 
+import inspect
+
 import numpy as np
 
 from repro.crypto.aes import SBOX
@@ -86,14 +88,27 @@ def key_recovery_rate(recovered: bytes, true_key: bytes) -> float:
 
 def traces_to_success(acquire, analyse, true_key: bytes,
                       trace_counts: list[int],
-                      threshold: float = 1.0) -> dict[int, float]:
+                      threshold: float = 1.0,
+                      batch: bool = True) -> dict[int, float]:
     """Recovery rate as a function of trace count (the classic SCA curve).
 
     ``acquire(n)`` returns a TraceSet of ``n`` traces; ``analyse`` is one
     of the ``*_recover_key`` functions.  Acquires once at the maximum and
-    re-analyses prefixes, as real evaluations do.
+    re-analyses prefixes, as real evaluations do — ``subset`` hands back
+    O(1) read-only views, so the sweep never copies the sample matrix.
+
+    When ``acquire`` accepts a ``batch`` keyword it is forwarded
+    (defaulting to the vectorized, bit-identical acquisition path); an
+    acquire callable without the knob is invoked unchanged.
     """
-    full = acquire(max(trace_counts))
+    try:
+        accepts_batch = "batch" in inspect.signature(acquire).parameters
+    except (TypeError, ValueError):
+        accepts_batch = False
+    if accepts_batch:
+        full = acquire(max(trace_counts), batch=batch)
+    else:
+        full = acquire(max(trace_counts))
     rates: dict[int, float] = {}
     for count in sorted(trace_counts):
         rates[count] = key_recovery_rate(analyse(full.subset(count)),

@@ -1,0 +1,136 @@
+"""Batched AES-128: fancy-indexed table lookups over ``(N, 16)`` matrices.
+
+The scalar ciphers in :mod:`repro.crypto.aes` drive trace acquisition one
+block (and one Python byte-loop) at a time; for the Table-S5 suites and
+trace-count sweeps that per-block interpretation dominates the cost of
+the whole physical-attack stack.  This module encrypts an ``(N, 16)``
+uint8 plaintext matrix in ~10 numpy round steps and hands back the
+per-round intermediate-state matrices the power instrument needs —
+exactly the values the scalar ``leak_hook`` would have seen, in the same
+round order.
+
+Two batch ciphers mirror the two leak-hook-bearing scalar variants the
+power stack measures:
+
+* :class:`BatchAES128` — the reference S-box path.  Intermediates are
+  the post-SubBytes state of each round, matching where
+  ``AES128.encrypt_block`` fires its hook.
+* :class:`BatchMaskedAES` — first-order boolean masking.  The scalar
+  ``MaskedAES`` leaks ``S(state) ^ m_out`` (the masked share) and draws
+  18 bytes per block from its RNG (``m_in``, ``m_out``, 16 share bytes);
+  the batch path consumes the *identical* stream via a pre-drawn block
+  and XORs ``m_out`` into the plain intermediates.
+
+Ciphertexts are bit-identical to the scalar variants by construction —
+the differential harness in :mod:`repro.power.diff` proves it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.aes import NUM_ROUNDS, SBOX, expand_key, gf_mul
+from repro.crypto.rng import XorShiftRNG
+
+SBOX_TABLE = np.array(SBOX, dtype=np.uint8)
+_GF2 = np.array([gf_mul(x, 2) for x in range(256)], dtype=np.uint8)
+_GF3 = np.array([gf_mul(x, 3) for x in range(256)], dtype=np.uint8)
+#: ``out[i] = state[_SHIFT_ROWS[i]]`` reproduces ``aes._shift_rows``.
+_SHIFT_ROWS = np.array([(4 * (col + row) + row) % 16
+                        for col in range(4) for row in range(4)],
+                       dtype=np.intp)
+
+
+def _round_key_matrix(round_keys: list[bytes]) -> np.ndarray:
+    """(11, 16) uint8 view of an expanded key schedule."""
+    return np.frombuffer(b"".join(round_keys),
+                         dtype=np.uint8).reshape(NUM_ROUNDS + 1, 16)
+
+
+def _mix_columns(state: np.ndarray) -> np.ndarray:
+    """MixColumns over an (N, 16) state matrix."""
+    a = state.reshape(-1, 4, 4)
+    t2 = _GF2[a]
+    t3 = _GF3[a]
+    out = np.empty_like(a)
+    out[:, :, 0] = t2[:, :, 0] ^ t3[:, :, 1] ^ a[:, :, 2] ^ a[:, :, 3]
+    out[:, :, 1] = a[:, :, 0] ^ t2[:, :, 1] ^ t3[:, :, 2] ^ a[:, :, 3]
+    out[:, :, 2] = a[:, :, 0] ^ a[:, :, 1] ^ t2[:, :, 2] ^ t3[:, :, 3]
+    out[:, :, 3] = t3[:, :, 0] ^ a[:, :, 1] ^ a[:, :, 2] ^ t2[:, :, 3]
+    return out.reshape(-1, 16)
+
+
+def encrypt_blocks(round_keys: np.ndarray, plaintexts: np.ndarray,
+                   rounds_of_interest: tuple[int, ...] = (),
+                   ) -> tuple[np.ndarray, dict[int, np.ndarray]]:
+    """Encrypt an ``(N, 16)`` uint8 matrix under one key schedule.
+
+    Returns ``(ciphertexts, intermediates)`` where ``intermediates[rnd]``
+    is the post-SubBytes ``(N, 16)`` state of round ``rnd`` for every
+    requested round — the value the scalar ``leak_hook`` observes.
+    """
+    wanted = frozenset(rounds_of_interest)
+    state = plaintexts ^ round_keys[0]
+    intermediates: dict[int, np.ndarray] = {}
+    for rnd in range(1, NUM_ROUNDS):
+        state = SBOX_TABLE[state]
+        if rnd in wanted:
+            intermediates[rnd] = state
+        state = _mix_columns(state[:, _SHIFT_ROWS])
+        state ^= round_keys[rnd]
+    state = SBOX_TABLE[state]
+    if NUM_ROUNDS in wanted:
+        intermediates[NUM_ROUNDS] = state
+    ciphertexts = state[:, _SHIFT_ROWS] ^ round_keys[NUM_ROUNDS]
+    return ciphertexts, intermediates
+
+
+class BatchAES128:
+    """Vectorized twin of :class:`repro.crypto.aes.AES128`."""
+
+    #: RNG stream the cipher consumes per block (none: deterministic).
+    rng: XorShiftRNG | None = None
+
+    def __init__(self, key: bytes | None = None,
+                 round_keys: list[bytes] | None = None) -> None:
+        if round_keys is None:
+            if key is None:
+                raise ValueError("need a key or an expanded schedule")
+            round_keys = expand_key(key)
+        self._round_keys = _round_key_matrix(round_keys)
+
+    def encrypt_blocks(self, plaintexts: np.ndarray,
+                       rounds_of_interest: tuple[int, ...] = (),
+                       ) -> tuple[np.ndarray, dict[int, np.ndarray]]:
+        """(ciphertexts, {round: post-SubBytes state}) for the matrix."""
+        return encrypt_blocks(self._round_keys, plaintexts,
+                              rounds_of_interest)
+
+
+class BatchMaskedAES(BatchAES128):
+    """Vectorized twin of :class:`repro.crypto.aes.MaskedAES`.
+
+    The scalar masked round leaks ``S'(share0) = S(state) ^ m_out``
+    (the masked S-box output share), and its ciphertext equals plain
+    AES.  Per block it draws ``m_in``, ``m_out`` and 16 ``share1`` bytes
+    from its RNG; the batch path pre-draws all ``18 * N`` bytes in that
+    exact order — the RNG leaves the capture in the same state as the
+    scalar loop even though only ``m_out`` reaches an observable.
+    """
+
+    def __init__(self, rng: XorShiftRNG, key: bytes | None = None,
+                 round_keys: list[bytes] | None = None) -> None:
+        super().__init__(key, round_keys)
+        self.rng = rng
+
+    def encrypt_blocks(self, plaintexts: np.ndarray,
+                       rounds_of_interest: tuple[int, ...] = (),
+                       ) -> tuple[np.ndarray, dict[int, np.ndarray]]:
+        n = plaintexts.shape[0]
+        draws = np.array(self.rng.u64_block(18 * n),
+                         dtype=np.uint64).reshape(n, 18)
+        m_out = draws[:, 1].astype(np.uint8)[:, np.newaxis]
+        ciphertexts, intermediates = super().encrypt_blocks(
+            plaintexts, rounds_of_interest)
+        return ciphertexts, {rnd: state ^ m_out
+                             for rnd, state in intermediates.items()}

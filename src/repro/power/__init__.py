@@ -15,13 +15,16 @@ from repro.power.leakage import (
 )
 from repro.power.trace import TraceSet
 from repro.power.instrument import PowerInstrument, capture_aes_traces
+from repro.power.batch import BatchPowerInstrument, batch_cipher_for
 
 __all__ = [
+    "BatchPowerInstrument",
     "HammingDistanceModel",
     "HammingWeightModel",
     "IdentityModel",
     "PowerInstrument",
     "TraceSet",
+    "batch_cipher_for",
     "capture_aes_traces",
     "hamming_weight",
 ]

@@ -1,0 +1,146 @@
+"""Batched trace acquisition: a whole TraceSet in a handful of numpy ops.
+
+:class:`BatchPowerInstrument` is the vectorized twin of the scalar
+:class:`~repro.power.instrument.PowerInstrument` and is held to the
+strictest contract this repo has: **bit-identical output**, not
+approximate equality.  The scalar loop interleaves three RNG streams per
+trace — the shuffle permutation (instrument RNG), the mask bytes (cipher
+RNG) and the leakage noise (model RNG).  Because each stream only ever
+feeds one consumer, the batched path may *pre-draw each stream as one
+block* without changing any stream's internal sequence:
+
+* shuffle permutations are re-derived trace-by-trace with the same
+  Fisher–Yates draws, then applied as one batched permutation gather;
+* the masked cipher pre-draws its ``18 * N`` mask bytes in scalar order
+  (:class:`~repro.crypto.aes_batch.BatchMaskedAES`);
+* the leakage model consumes its noise stream in C order of the
+  ``(trace, round, byte)`` value tensor — exactly the order the scalar
+  hook loop visits (``leak_block`` on the models).
+
+The one configuration that breaks this reordering is *aliased* streams
+(the same RNG object wired into two roles); :meth:`can_capture` detects
+it and the routing layer falls back to the scalar reference.  Equality —
+trace matrix, metadata, RNG end states, recovered keys — is proven by
+:mod:`repro.power.diff` and the hypothesis suite driving it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+import repro.obs as obs
+from repro.crypto.aes import AES128, MaskedAES, NUM_ROUNDS, BLOCK_SIZE
+from repro.crypto.aes_batch import BatchAES128, BatchMaskedAES
+from repro.crypto.rng import XorShiftRNG
+from repro.power.trace import TraceSet
+
+
+def batch_cipher_for(cipher_factory: Callable) -> BatchAES128 | None:
+    """Derive a batch cipher from a scalar cipher factory, if possible.
+
+    The factory is probed once with a ``None`` leak hook.  Only the exact
+    leak-hook-bearing classes with a known batched twin qualify — a
+    subclass (T-table, constant-time) or an armed fault hook routes the
+    capture back to the scalar reference.
+    """
+    try:
+        probe = cipher_factory(None)
+    except Exception:
+        return None
+    if getattr(probe, "fault_hook", None) is not None:
+        return None
+    if type(probe) is AES128:
+        return BatchAES128(round_keys=probe.round_keys)
+    if type(probe) is MaskedAES:
+        return BatchMaskedAES(probe.rng, round_keys=probe.round_keys)
+    return None
+
+
+class BatchPowerInstrument:
+    """Vectorized oscilloscope: one numpy pipeline per capture.
+
+    Geometry and RNG consumption mirror
+    :class:`~repro.power.instrument.PowerInstrument` exactly; see the
+    module docstring for the equality argument.
+    """
+
+    def __init__(self, leakage_model, rounds_of_interest: tuple[int, ...] = (1,),
+                 shuffle: bool = False,
+                 rng: XorShiftRNG | None = None) -> None:
+        self.model = leakage_model
+        self.rounds = tuple(rounds_of_interest)
+        self.shuffle = shuffle
+        self.rng = rng or XorShiftRNG(0x5CA1E)
+        self.samples_per_trace = 16 * len(self.rounds)
+
+    def can_capture(self, batch_cipher: BatchAES128) -> bool:
+        """True when this configuration preserves bit-identity batched."""
+        if not hasattr(self.model, "leak_block"):
+            return False
+        streams = []
+        if self.shuffle:
+            streams.append(self.rng)
+        if getattr(self.model, "noise_std", 0) > 0:
+            model_rng = getattr(self.model, "rng", None)
+            if model_rng is not None:
+                streams.append(model_rng)
+        if batch_cipher.rng is not None:
+            streams.append(batch_cipher.rng)
+        return len({id(stream) for stream in streams}) == len(streams)
+
+    def capture(self, batch_cipher: BatchAES128,
+                plaintexts: list[bytes]) -> TraceSet:
+        """Encrypt every plaintext at once; return the aligned TraceSet."""
+        with obs.span("trace-acquisition", cat="power",
+                      traces=len(plaintexts),
+                      samples_per_trace=self.samples_per_trace,
+                      shuffle=self.shuffle, batch=True):
+            return self._capture(batch_cipher, plaintexts)
+
+    def _capture(self, batch_cipher: BatchAES128,
+                 plaintexts: list[bytes]) -> TraceSet:
+        if any(len(pt) != BLOCK_SIZE for pt in plaintexts):
+            raise ValueError("plaintext block must be 16 bytes")
+        n = len(plaintexts)
+        pts = np.frombuffer(b"".join(plaintexts),
+                            dtype=np.uint8).reshape(n, BLOCK_SIZE) \
+            if n else np.zeros((0, BLOCK_SIZE), dtype=np.uint8)
+
+        # Stream 1 — shuffle permutations, drawn with the scalar loop's
+        # exact Fisher-Yates sequence, applied later as one gather.
+        permutations = None
+        if self.shuffle:
+            permutations = np.empty((n, 16), dtype=np.intp)
+            scratch = list(range(16))
+            for i in range(n):
+                scratch[:] = range(16)
+                self.rng.shuffle(scratch)
+                permutations[i] = scratch
+
+        # Stream 2 — the cipher's own draws (masks) happen inside
+        # encrypt_blocks, as one block in scalar order.
+        round_offset = {rnd: 16 * i for i, rnd in enumerate(self.rounds)}
+        live_rounds = sorted(rnd for rnd in round_offset
+                             if 1 <= rnd <= NUM_ROUNDS)
+        ciphertexts, intermediates = batch_cipher.encrypt_blocks(
+            pts, tuple(live_rounds))
+
+        # Stream 3 — the leakage model consumes its noise in C order of
+        # the (trace, round, byte) tensor: the scalar hook-call order.
+        values = np.stack([intermediates[rnd] for rnd in live_rounds],
+                          axis=1) if live_rounds \
+            else np.zeros((n, 0, 16), dtype=np.uint8)
+        leaked = self.model.leak_block(values)
+
+        samples = np.zeros((n, self.samples_per_trace), dtype=np.float64)
+        rows = np.arange(n)[:, np.newaxis]
+        for slot, rnd in enumerate(live_rounds):
+            offset = round_offset[rnd]
+            block = leaked[:, slot, :]
+            if permutations is not None:
+                samples[rows, offset + permutations] = block
+            else:
+                samples[:, offset:offset + 16] = block
+        return TraceSet.from_arrays(samples, pts, ciphertexts)

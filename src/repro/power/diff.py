@@ -1,0 +1,148 @@
+"""Lockstep differential harness: batched acquisition vs scalar reference.
+
+The contract of :class:`~repro.power.batch.BatchPowerInstrument` is
+**bit-identity**, the same bar the CPU fast path is held to in
+:mod:`repro.cpu.diff`: for any capture configuration, the batched and
+scalar paths must produce
+
+* the same sample matrix, compared *bitwise* (``tobytes()``, not
+  ``allclose`` — a single differing mantissa bit fails);
+* the same plaintext/ciphertext metadata;
+* the same end state on every RNG stream involved (instrument, model
+  noise, cipher masks) — the batched path must *consume* randomness
+  exactly like the scalar loop, not merely produce matching output;
+* the same recovered keys under DPA/CPA (implied by the above, asserted
+  anyway as the end-to-end observable).
+
+:func:`capture_pair` builds the two sides from one immutable
+:class:`SCAConfig` with independent, identically-seeded RNGs;
+:func:`assert_identical` raises :class:`TraceDivergence` naming the
+first mismatching field.  ``tests/test_power_differential.py`` drives
+this with hypothesis across masked/shuffled/noisy configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.aes import AES128, MaskedAES
+from repro.crypto.rng import XorShiftRNG
+from repro.power.batch import BatchPowerInstrument, batch_cipher_for
+from repro.power.instrument import PowerInstrument
+from repro.power.leakage import HammingWeightModel
+from repro.power.trace import TraceSet
+
+
+class TraceDivergence(AssertionError):
+    """The batched and scalar acquisitions disagreed on an observable."""
+
+
+@dataclass(frozen=True)
+class SCAConfig:
+    """One acquisition configuration, replayable on either path."""
+
+    key: bytes
+    num_traces: int = 32
+    masked: bool = False
+    shuffle: bool = False
+    noise_std: float = 1.0
+    rounds_of_interest: tuple[int, ...] = (1,)
+    seed: int = 0xD1FF
+    mask_seed: int = 0x11
+    noise_seed: int = 0x3
+
+    def _streams(self) -> tuple[XorShiftRNG, XorShiftRNG, XorShiftRNG]:
+        return (XorShiftRNG(self.seed), XorShiftRNG(self.noise_seed),
+                XorShiftRNG(self.mask_seed))
+
+    def _factory(self, mask_rng: XorShiftRNG):
+        if self.masked:
+            return lambda leak: MaskedAES(self.key, mask_rng,
+                                          leak_hook=leak)
+        return lambda leak: AES128(self.key, leak_hook=leak)
+
+
+@dataclass(frozen=True)
+class CaptureOutcome:
+    """One path's TraceSet plus the end states of its RNG streams."""
+
+    traces: TraceSet
+    rng_state: int
+    noise_rng_state: int
+    mask_rng_state: int
+
+
+def _run(config: SCAConfig, batched: bool) -> CaptureOutcome:
+    rng, noise_rng, mask_rng = config._streams()
+    model = HammingWeightModel(noise_std=config.noise_std, rng=noise_rng)
+    factory = config._factory(mask_rng)
+    plaintexts = [rng.bytes(16) for _ in range(config.num_traces)]
+    if batched:
+        batch_cipher = batch_cipher_for(factory)
+        if batch_cipher is None:
+            raise TraceDivergence("configuration has no batched twin")
+        instrument = BatchPowerInstrument(
+            model, config.rounds_of_interest, shuffle=config.shuffle,
+            rng=rng)
+        if not instrument.can_capture(batch_cipher):
+            raise TraceDivergence("batched capture rejected the config")
+        traces = instrument.capture(batch_cipher, plaintexts)
+    else:
+        instrument = PowerInstrument(
+            model, config.rounds_of_interest, shuffle=config.shuffle,
+            rng=rng)
+        traces = instrument.capture(factory, plaintexts)
+    return CaptureOutcome(traces, rng._state, noise_rng._state,
+                          mask_rng._state)
+
+
+def scalar_capture(config: SCAConfig) -> CaptureOutcome:
+    """Run the configuration on the retained scalar reference."""
+    return _run(config, batched=False)
+
+
+def batched_capture(config: SCAConfig) -> CaptureOutcome:
+    """Run the configuration on the vectorized instrument."""
+    return _run(config, batched=True)
+
+
+def _compare(field: str, batched, scalar) -> None:
+    if batched != scalar:
+        raise TraceDivergence(
+            f"{field} diverged\n  batched: {batched!r}\n"
+            f"  scalar:  {scalar!r}")
+
+
+def assert_tracesets_identical(batched: TraceSet,
+                               scalar: TraceSet) -> None:
+    """Bitwise TraceSet equality: geometry, samples, metadata."""
+    _compare("len", len(batched), len(scalar))
+    _compare("num_samples", batched.num_samples, scalar.num_samples)
+    _compare("samples (bitwise)",
+             batched.samples.astype("<f8").tobytes(),
+             scalar.samples.astype("<f8").tobytes())
+    _compare("plaintexts", tuple(batched.plaintexts),
+             tuple(scalar.plaintexts))
+    _compare("ciphertexts", tuple(batched.ciphertexts),
+             tuple(scalar.ciphertexts))
+    for index in range(16):
+        _compare(f"plaintext_bytes({index})",
+                 batched.plaintext_bytes(index).tolist(),
+                 scalar.plaintext_bytes(index).tolist())
+        _compare(f"ciphertext_bytes({index})",
+                 batched.ciphertext_bytes(index).tolist(),
+                 scalar.ciphertext_bytes(index).tolist())
+
+
+def capture_pair(config: SCAConfig) -> tuple[CaptureOutcome, CaptureOutcome]:
+    """Run both paths and assert full bit-identity; return both sides."""
+    batched = batched_capture(config)
+    scalar = scalar_capture(config)
+    assert_tracesets_identical(batched.traces, scalar.traces)
+    _compare("instrument RNG end state", batched.rng_state,
+             scalar.rng_state)
+    _compare("noise RNG end state", batched.noise_rng_state,
+             scalar.noise_rng_state)
+    _compare("mask RNG end state", batched.mask_rng_state,
+             scalar.mask_rng_state)
+    return batched, scalar

@@ -5,6 +5,11 @@ Also implements the *hiding* countermeasure in its two classic forms
 amplitude noise (a larger ``noise_std`` on the model).  Shuffling
 misaligns the sample a given byte leaks into, which is what degrades
 DPA — the attacker's samples no longer line up across traces.
+
+:class:`PowerInstrument` is the *scalar reference*: deliberately boring,
+never optimised, and the oracle the vectorized
+:class:`~repro.power.batch.BatchPowerInstrument` is differentially
+verified against (:mod:`repro.power.diff`).
 """
 
 from __future__ import annotations
@@ -72,10 +77,28 @@ class PowerInstrument:
 def capture_aes_traces(cipher_factory: CipherFactory, num_traces: int,
                        leakage_model, rng: XorShiftRNG | None = None,
                        rounds_of_interest: tuple[int, ...] = (1,),
-                       shuffle: bool = False) -> TraceSet:
-    """Convenience acquisition with random plaintexts."""
+                       shuffle: bool = False,
+                       batch: bool = True) -> TraceSet:
+    """Convenience acquisition with random plaintexts.
+
+    With ``batch=True`` (the default) the capture runs through the
+    vectorized :class:`~repro.power.batch.BatchPowerInstrument` whenever
+    the cipher/model pair has a batched twin — the output is
+    *bit-identical* to the scalar path (same RNG streams, same TraceSet
+    matrix and metadata; see :mod:`repro.power.diff`).  Configurations
+    without a batched twin (T-table ciphers, armed fault hooks, custom
+    models, aliased RNG streams) silently use the scalar reference.
+    """
     rng = rng or XorShiftRNG(0xACE)
+    plaintexts = [rng.bytes(16) for _ in range(num_traces)]
+    if batch:
+        from repro.power.batch import BatchPowerInstrument, batch_cipher_for
+        batch_cipher = batch_cipher_for(cipher_factory)
+        if batch_cipher is not None:
+            instrument = BatchPowerInstrument(
+                leakage_model, rounds_of_interest, shuffle=shuffle, rng=rng)
+            if instrument.can_capture(batch_cipher):
+                return instrument.capture(batch_cipher, plaintexts)
     instrument = PowerInstrument(leakage_model, rounds_of_interest,
                                  shuffle=shuffle, rng=rng)
-    plaintexts = [rng.bytes(16) for _ in range(num_traces)]
     return instrument.capture(cipher_factory, plaintexts)

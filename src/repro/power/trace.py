@@ -10,10 +10,14 @@ class TraceSet:
 
     Samples accumulate into a preallocated, doubling ``(capacity, m)``
     float64 matrix, so :attr:`samples` is an O(1) view instead of an O(n)
-    ``vstack``, and per-byte metadata columns are cached until the next
-    :meth:`add` (DPA key recovery reads each column 16 times per key
-    byte).  Backing arrays are numpy so the correlation analyses in
-    :mod:`repro.attacks.dpa` vectorise.
+    ``vstack``.  Metadata lives in parallel ``(capacity, 16)`` uint8
+    matrices, so the batched instrument can hand a whole capture over
+    zero-copy (:meth:`from_arrays`) and per-byte columns are O(1) slices;
+    both the byte columns and the :attr:`plaintexts` tuples are cached
+    until the next :meth:`add` (DPA key recovery reads each column 16
+    times per key byte).  :meth:`subset` returns read-only *views*, so a
+    trace-count sweep is O(1) in memory; appending to a subset falls back
+    to copy-on-grow.
     """
 
     def __init__(self, num_samples: int) -> None:
@@ -22,10 +26,43 @@ class TraceSet:
         self.num_samples = num_samples
         self._buf = np.empty((0, num_samples), dtype=np.float64)
         self._count = 0
-        self._plaintexts: list[bytes] = []
-        self._ciphertexts: list[bytes] = []
+        self._pt_buf: np.ndarray | None = None
+        self._ct_buf: np.ndarray | None = None
         self._pt_cols: dict[int, np.ndarray] = {}
         self._ct_cols: dict[int, np.ndarray] = {}
+        self._pt_tuple: tuple[bytes, ...] | None = None
+        self._ct_tuple: tuple[bytes, ...] | None = None
+
+    @classmethod
+    def from_arrays(cls, samples: np.ndarray, plaintexts: np.ndarray,
+                    ciphertexts: np.ndarray) -> "TraceSet":
+        """Adopt whole-capture matrices without copying.
+
+        ``samples`` is ``(n, m)`` float64; ``plaintexts``/``ciphertexts``
+        are ``(n, width)`` uint8.  The arrays become the set's backing
+        buffers — the batched acquisition path builds its matrices once
+        and never pays a per-trace ``add``.
+        """
+        samples = np.asarray(samples, dtype=np.float64)
+        plaintexts = np.asarray(plaintexts, dtype=np.uint8)
+        ciphertexts = np.asarray(ciphertexts, dtype=np.uint8)
+        if samples.ndim != 2:
+            raise ValueError("samples must be a 2-D matrix")
+        n = samples.shape[0]
+        if plaintexts.shape[0] != n or ciphertexts.shape[0] != n:
+            raise ValueError("metadata row count must match trace count")
+        out = cls(samples.shape[1])
+        out._buf = samples
+        out._count = n
+        out._pt_buf = plaintexts
+        out._ct_buf = ciphertexts
+        return out
+
+    def _grow(self, buf: np.ndarray, width: int,
+              dtype: type) -> np.ndarray:
+        grown = np.empty((max(16, 2 * buf.shape[0]), width), dtype=dtype)
+        grown[:self._count] = buf[:self._count]
+        return grown
 
     def add(self, samples: list[float], plaintext: bytes,
             ciphertext: bytes) -> None:
@@ -33,17 +70,27 @@ class TraceSet:
         if len(samples) != self.num_samples:
             raise ValueError(
                 f"trace has {len(samples)} samples, expected {self.num_samples}")
+        if self._pt_buf is None:
+            self._pt_buf = np.empty((0, len(plaintext)), dtype=np.uint8)
+            self._ct_buf = np.empty((0, len(ciphertext)), dtype=np.uint8)
+        if len(plaintext) != self._pt_buf.shape[1] \
+                or len(ciphertext) != self._ct_buf.shape[1]:
+            raise ValueError("metadata width must match the first trace")
         if self._count == self._buf.shape[0]:
-            grown = np.empty((max(16, 2 * self._buf.shape[0]),
-                              self.num_samples), dtype=np.float64)
-            grown[:self._count] = self._buf[:self._count]
-            self._buf = grown
+            self._buf = self._grow(self._buf, self.num_samples, np.float64)
+        if self._count == self._pt_buf.shape[0]:
+            self._pt_buf = self._grow(self._pt_buf, self._pt_buf.shape[1],
+                                      np.uint8)
+            self._ct_buf = self._grow(self._ct_buf, self._ct_buf.shape[1],
+                                      np.uint8)
         self._buf[self._count] = samples
+        self._pt_buf[self._count] = np.frombuffer(plaintext, dtype=np.uint8)
+        self._ct_buf[self._count] = np.frombuffer(ciphertext, dtype=np.uint8)
         self._count += 1
-        self._plaintexts.append(plaintext)
-        self._ciphertexts.append(ciphertext)
         self._pt_cols.clear()
         self._ct_cols.clear()
+        self._pt_tuple = None
+        self._ct_tuple = None
 
     def __len__(self) -> int:
         return self._count
@@ -54,19 +101,29 @@ class TraceSet:
         return self._buf[:self._count]
 
     @property
-    def plaintexts(self) -> list[bytes]:
-        return list(self._plaintexts)
+    def plaintexts(self) -> tuple[bytes, ...]:
+        """Per-trace plaintexts (cached; rebuilt only after :meth:`add`)."""
+        if self._pt_tuple is None:
+            self._pt_tuple = self._materialise(self._pt_buf)
+        return self._pt_tuple
 
     @property
-    def ciphertexts(self) -> list[bytes]:
-        return list(self._ciphertexts)
+    def ciphertexts(self) -> tuple[bytes, ...]:
+        """Per-trace ciphertexts (cached; rebuilt only after :meth:`add`)."""
+        if self._ct_tuple is None:
+            self._ct_tuple = self._materialise(self._ct_buf)
+        return self._ct_tuple
+
+    def _materialise(self, buf: np.ndarray | None) -> tuple[bytes, ...]:
+        if buf is None or self._count == 0:
+            return ()
+        return tuple(bytes(row) for row in buf[:self._count])
 
     def plaintext_bytes(self, index: int) -> np.ndarray:
         """Column vector of plaintext byte ``index`` across traces."""
         col = self._pt_cols.get(index)
         if col is None:
-            col = np.fromiter((pt[index] for pt in self._plaintexts),
-                              dtype=np.int64, count=self._count)
+            col = self._column(self._pt_buf, index)
             self._pt_cols[index] = col
         return col
 
@@ -74,18 +131,40 @@ class TraceSet:
         """Column vector of ciphertext byte ``index`` across traces."""
         col = self._ct_cols.get(index)
         if col is None:
-            col = np.fromiter((ct[index] for ct in self._ciphertexts),
-                              dtype=np.int64, count=self._count)
+            col = self._column(self._ct_buf, index)
             self._ct_cols[index] = col
         return col
 
+    def _column(self, buf: np.ndarray | None, index: int) -> np.ndarray:
+        if buf is None:
+            return np.empty(0, dtype=np.int64)
+        return buf[:self._count, index].astype(np.int64)
+
     def subset(self, count: int) -> "TraceSet":
-        """First ``count`` traces as a new set (trace-count sweeps)."""
+        """First ``count`` traces as read-only views (trace-count sweeps).
+
+        No sample data is copied, so sweeping a 10k-trace capture costs
+        O(1) memory per step.  The backing rows are append-only in the
+        parent, so the views stay coherent; the subset's own column and
+        tuple caches are sliced from any the parent already built.
+        """
         if count > len(self):
             raise ValueError(f"only {len(self)} traces available")
         out = TraceSet(self.num_samples)
-        out._buf = self._buf[:count].copy()
+        out._buf = self._buf[:count]
+        out._buf.flags.writeable = False
         out._count = count
-        out._plaintexts = self._plaintexts[:count]
-        out._ciphertexts = self._ciphertexts[:count]
+        if self._pt_buf is not None:
+            out._pt_buf = self._pt_buf[:count]
+            out._pt_buf.flags.writeable = False
+            out._ct_buf = self._ct_buf[:count]
+            out._ct_buf.flags.writeable = False
+        out._pt_cols = {i: col[:count]
+                        for i, col in self._pt_cols.items()}
+        out._ct_cols = {i: col[:count]
+                        for i, col in self._ct_cols.items()}
+        if self._pt_tuple is not None:
+            out._pt_tuple = self._pt_tuple[:count]
+        if self._ct_tuple is not None:
+            out._ct_tuple = self._ct_tuple[:count]
         return out

@@ -1,5 +1,6 @@
 """Power-leakage simulation and the fault-injection engine."""
 
+import numpy as np
 import pytest
 
 from repro.crypto.aes import AES128
@@ -72,6 +73,74 @@ class TestTraceSet:
         assert len(sub) == 3
         with pytest.raises(ValueError):
             traces.subset(10)
+
+
+class TestTraceSetCaching:
+    @staticmethod
+    def _populated(n=5, width=4):
+        traces = TraceSet(width)
+        for i in range(n):
+            traces.add([float(i)] * width, bytes([i] * 16),
+                       bytes([i ^ 0xFF] * 16))
+        return traces
+
+    def test_subset_is_zero_copy_view(self):
+        traces = self._populated()
+        sub = traces.subset(3)
+        assert np.shares_memory(sub.samples, traces.samples)
+        assert not sub.samples.flags.writeable
+
+    def test_subset_metadata_coherent_after_parent_growth(self):
+        traces = self._populated(n=3)
+        sub = traces.subset(2)
+        before = (sub.plaintexts, sub.ciphertexts,
+                  sub.samples.tobytes())
+        # Growing the parent past capacity reallocates its buffers but
+        # must not disturb the already-issued view.
+        for i in range(50):
+            traces.add([9.0] * 4, bytes(16), bytes(16))
+        assert (sub.plaintexts, sub.ciphertexts,
+                sub.samples.tobytes()) == before
+        assert len(sub) == 2
+
+    def test_plaintext_byte_columns_cached_across_key_byte_reads(self):
+        # A key-recovery pass reads each of the 16 columns repeatedly;
+        # the column array must be materialized once, not per access.
+        traces = self._populated()
+        first = [traces.plaintext_bytes(b) for b in range(16)]
+        for _ in range(15):
+            for b in range(16):
+                assert traces.plaintext_bytes(b) is first[b]
+        assert traces.ciphertext_bytes(3) is traces.ciphertext_bytes(3)
+
+    def test_metadata_tuples_cached_and_invalidated(self):
+        traces = self._populated()
+        assert traces.plaintexts is traces.plaintexts
+        assert traces.ciphertexts is traces.ciphertexts
+        col = traces.plaintext_bytes(0)
+        traces.add([0.0] * 4, bytes(16), bytes(16))
+        assert traces.plaintext_bytes(0) is not col
+        assert len(traces.plaintexts) == 6
+
+    def test_from_arrays_round_trip(self):
+        samples = np.arange(8, dtype=np.float64).reshape(2, 4)
+        pts = np.arange(32, dtype=np.uint8).reshape(2, 16)
+        cts = pts ^ 0xFF
+        traces = TraceSet.from_arrays(samples, pts, cts)
+        assert len(traces) == 2
+        assert traces.samples.tobytes() == samples.tobytes()
+        assert traces.plaintexts[1] == bytes(pts[1])
+        assert traces.ciphertext_bytes(0)[0] == 0xFF
+        traces.add([8.0] * 4, bytes(16), bytes(16))  # still growable
+        assert len(traces) == 3
+
+    def test_from_arrays_validates_geometry(self):
+        samples = np.zeros((2, 4))
+        pts = np.zeros((3, 16), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            TraceSet.from_arrays(samples, pts, pts)
+        with pytest.raises(ValueError):
+            TraceSet.from_arrays(np.zeros(4), pts[:2], pts[:2])
 
 
 class TestAcquisition:
