@@ -8,6 +8,21 @@ benchmark's mean regressed by more than the threshold (default 25% —
 generous because CI runners are noisy shared machines; the local
 acceptance bar in EXPERIMENTS.md is 5% on a quiet box).
 
+"Newest" is decided by the ``date`` recorded *inside* each baseline
+(file mtime as tiebreak and fallback), not by filename sort: suffixed
+names like ``BENCH_2026-08-05b.json`` only sorted after
+``BENCH_2026-08-05.json`` by the accident that ``'b' > '.'``, and any
+non-date name (``BENCH_zzz.json``) lexicographically outranked every
+dated baseline forever.  A current-run file accidentally written at the
+repo root matching ``BENCH_*.json`` is excluded from the candidate set,
+and gating a file against itself is refused outright — both made the
+gate vacuously green.
+
+A committed mean of zero (or garbage parsed as <= 0) is a gate *error*,
+not a pass: dividing the regression delta by it was previously short-
+circuited to "ok", so a corrupted baseline silently disabled the gate
+for that benchmark.
+
 Usage::
 
     python benchmarks/check_regression.py current.json
@@ -29,12 +44,48 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: Full pytest node names as recorded in the committed baselines.
 _PREFIX = "test_perf_"
 
+#: Gated pairs whose ratio is itself gated: the ensemble quick-matrix
+#: bench must stay at least this many times faster than its scalar twin
+#: *within the same run* (same machine, same noise), protecting the
+#: ensemble engine's speedup claim from silent decay.  The committed
+#: baseline documents the full ratio; this floor is deliberately below
+#: it to absorb CI jitter.
+SPEEDUP_FLOORS: tuple[tuple[str, str, float], ...] = (
+    ("quick_matrix[scalar]", "quick_matrix[ensemble]", 3.0),
+)
 
-def newest_committed_baseline() -> Path:
-    candidates = sorted(REPO_ROOT.glob("BENCH_*.json"))
+
+def _recorded_stamp(path: Path) -> tuple[str, float, str]:
+    """Sort key for baseline recency: (recorded date, mtime, filename).
+
+    The ``date`` field of the ``repro-bench-baseline/1`` schema is an
+    ISO date, so string order is chronological; unreadable or dateless
+    files sort as empty (oldest) and fall back to mtime.  The filename
+    is a *last*-resort tiebreak only — same recorded day, same mtime
+    (fresh git checkouts stamp every file alike) — where a ``b`` suffix
+    legitimately marks the later recording; it must never outrank a
+    genuinely newer recorded date, which was the original bug.
+    """
+    try:
+        date = str(json.loads(path.read_text()).get("date", ""))
+    except (OSError, ValueError):
+        date = ""
+    try:
+        mtime = path.stat().st_mtime
+    except OSError:
+        mtime = 0.0
+    return (date, mtime, path.name)
+
+
+def newest_committed_baseline(root: Path = REPO_ROOT,
+                              exclude: Path | None = None) -> Path:
+    """Newest ``BENCH_*.json`` by recorded timestamp, never ``exclude``."""
+    candidates = [
+        path for path in root.glob("BENCH_*.json")
+        if exclude is None or path.resolve() != exclude.resolve()]
     if not candidates:
         raise SystemExit("no committed BENCH_*.json baseline found")
-    return candidates[-1]
+    return max(candidates, key=_recorded_stamp)
 
 
 def _gated_means(baseline: dict) -> dict[str, float]:
@@ -59,7 +110,11 @@ def main(argv: list[str] | None = None) -> int:
                              "(default 0.25 = 25%%)")
     args = parser.parse_args(argv)
 
-    against = args.against or newest_committed_baseline()
+    against = args.against or newest_committed_baseline(exclude=args.current)
+    if against.resolve() == args.current.resolve():
+        print("gate error: refusing to compare a baseline against itself: "
+              f"{against}", file=sys.stderr)
+        return 1
     committed = _gated_means(json.loads(against.read_text()))
     current = _gated_means(json.loads(args.current.read_text()))
 
@@ -74,12 +129,31 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(f"{name}: missing from current run")
             continue
         old, new = committed[name], current[name]
-        delta = (new - old) / old if old > 0 else 0.0
+        if old <= 0:
+            failures.append(
+                f"{name}: committed mean {old!r} is not positive "
+                "(corrupt baseline?) — refusing to gate against it")
+            continue
+        delta = (new - old) / old
         verdict = "FAIL" if delta > args.threshold else "ok"
         print(f"  {name}: {old * 1e3:.3f} ms -> {new * 1e3:.3f} ms "
               f"({delta:+.1%}) {verdict}")
         if delta > args.threshold:
             failures.append(f"{name}: {delta:+.1%} > +{args.threshold:.0%}")
+    for slow, fast, floor in SPEEDUP_FLOORS:
+        if slow not in current or fast not in current:
+            continue
+        if current[fast] <= 0:
+            failures.append(f"{fast}: non-positive current mean")
+            continue
+        ratio = current[slow] / current[fast]
+        verdict = "FAIL" if ratio < floor else "ok"
+        print(f"  {slow} / {fast}: {ratio:.1f}x "
+              f"(floor {floor:.1f}x) {verdict}")
+        if ratio < floor:
+            failures.append(
+                f"{fast}: only {ratio:.1f}x faster than {slow}, "
+                f"floor is {floor:.1f}x")
     if failures:
         for failure in failures:
             print(f"regression: {failure}", file=sys.stderr)

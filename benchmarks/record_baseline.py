@@ -15,9 +15,13 @@ Usage::
 
 Or simply ``make bench``.  ``--quick`` runs only the regression-gated
 benchmarks (see ``GATED_BENCHMARKS``: core load loop, cache hierarchy
-access, scalar/batched trace acquisition, batched CPA) with light
-rounds — the shape CI's bench-smoke job compares against the newest
-committed baseline via ``benchmarks/check_regression.py``.
+access, scalar/batched trace acquisition, batched CPA, and the
+scalar/ensemble quick-matrix workload lane) with light rounds — the
+shape CI's bench-smoke job compares against the newest committed
+baseline via ``benchmarks/check_regression.py``.  "Newest" means the
+baseline with the latest *recorded* date (the ``date`` field this
+script writes), not the lexicographically greatest filename — see the
+gate's module docstring for the sorting bug that distinction fixes.
 """
 
 from __future__ import annotations
@@ -51,6 +55,8 @@ GATED_BENCHMARKS = (
     "trace_acquisition[scalar]",
     "trace_acquisition[batched]",
     "cpa_key_recovery_batched",
+    "quick_matrix[scalar]",
+    "quick_matrix[ensemble]",
 )
 
 

@@ -198,6 +198,50 @@ def test_observation_overhead_is_bounded():
         f"vs unobserved {unobserved * 1e3:.2f}ms")
 
 
+@pytest.mark.parametrize("mode", ["scalar", "ensemble"])
+def test_perf_quick_matrix(benchmark, mode):
+    """The quick matrix's workload lane at calibration-sweep bench scale:
+    all three platforms' workload cells through the runner, each running
+    a 384-instance / 256-iteration kernel sweep.  The two modes produce
+    bit-identical payloads (fingerprints are asserted below); the wall
+    time gap between them is the struct-of-arrays ensemble engine's win,
+    and ``check_regression.SPEEDUP_FLOORS`` gates the in-run ratio so
+    the speedup cannot silently decay.
+
+    ``benchmark.pedantic`` pins rounds: each measurement is seconds
+    long (noise self-averages within a round), so a handful of rounds
+    bounds CI cost without ceding statistical footing.
+    """
+    import dataclasses
+
+    from repro.attacks.suites import MatrixKnobs
+    from repro.common import PlatformClass
+    from repro.runner import (
+        WORKLOAD_CATEGORY,
+        CellSpec,
+        ExperimentRunner,
+        payload_fingerprint,
+    )
+
+    knobs = dataclasses.replace(MatrixKnobs.quick(),
+                                sweep_instances=384, sweep_iters=256)
+    specs = [CellSpec(seed=0x2019, platform=p.value,
+                      category=WORKLOAD_CATEGORY, knobs=knobs.as_key())
+             for p in (PlatformClass.EMBEDDED, PlatformClass.MOBILE,
+                       PlatformClass.SERVER_DESKTOP)]
+    runner = ExperimentRunner(ensemble=(mode == "ensemble"))
+
+    def run():
+        return runner.run(specs)
+
+    payloads = benchmark.pedantic(run, rounds=2, iterations=1,
+                                  warmup_rounds=1)
+    assert len(payloads) == 3
+    benchmark.extra_info["fingerprints"] = {
+        spec.platform: payload_fingerprint(payloads[spec])
+        for spec in specs}
+
+
 def test_perf_runner_cached_matrix(benchmark, tmp_path):
     """A fully warmed cache turns the quick matrix into pure lookups —
     this tracks the memoisation overhead (15 key hashes + JSON reads)."""

@@ -18,10 +18,9 @@ intermediates) defeats them outright at first order.
 
 from __future__ import annotations
 
-import inspect
-
 import numpy as np
 
+from repro.common import accepts_keyword
 from repro.crypto.aes import SBOX
 from repro.power.trace import TraceSet
 
@@ -89,7 +88,8 @@ def key_recovery_rate(recovered: bytes, true_key: bytes) -> float:
 def traces_to_success(acquire, analyse, true_key: bytes,
                       trace_counts: list[int],
                       threshold: float = 1.0,
-                      batch: bool = True) -> dict[int, float]:
+                      batch: bool = True,
+                      ensemble: bool | None = None) -> dict[int, float]:
     """Recovery rate as a function of trace count (the classic SCA curve).
 
     ``acquire(n)`` returns a TraceSet of ``n`` traces; ``analyse`` is one
@@ -99,13 +99,20 @@ def traces_to_success(acquire, analyse, true_key: bytes,
 
     When ``acquire`` accepts a ``batch`` keyword it is forwarded
     (defaulting to the vectorized, bit-identical acquisition path); an
-    acquire callable without the knob is invoked unchanged.
+    acquire callable without the knob is invoked unchanged.  Acceptance
+    is resolved with :func:`repro.common.accepts_keyword`, which sees
+    through ``functools.partial`` chains, ``__wrapped__`` decorators and
+    ``**kwargs`` forwarders — a bare ``inspect.signature(...).parameters``
+    check silently dropped those wrappers back onto the scalar path.
+
+    ``ensemble`` is the sweep-level spelling of the same knob (matrix
+    evaluation and ``traces_to_success`` share it): at the power layer
+    the vectorized many-instance path *is* the batched acquisition, so a
+    non-``None`` ``ensemble`` overrides ``batch``.
     """
-    try:
-        accepts_batch = "batch" in inspect.signature(acquire).parameters
-    except (TypeError, ValueError):
-        accepts_batch = False
-    if accepts_batch:
+    if ensemble is not None:
+        batch = bool(ensemble)
+    if accepts_keyword(acquire, "batch"):
         full = acquire(max(trace_counts), batch=batch)
     else:
         full = acquire(max(trace_counts))

@@ -44,6 +44,14 @@ class MatrixKnobs:
     ``fr_samples`` is 12 even in quick mode: at 8, Flush+Reload's byte
     vote is marginal and roughly 2% of ``(seed, platform)`` pairs
     measured 0.5 instead of 1.0 — the grid must be seed-invariant.
+
+    ``sweep_instances``/``sweep_iters`` size the workload cell's kernel
+    calibration sweep (:mod:`repro.core.sweep`): N seed-varied instances
+    running an ``iters``-iteration kernel.  Quick keeps them small so
+    tier-1 tests that execute real cells stay fast; the sweep is the
+    part of a cell the ``ensemble=`` knob vectorizes, and its summary is
+    bit-identical either way — the knob sizes the measurement, never
+    changes it.
     """
 
     secret_len: int = 4
@@ -53,6 +61,8 @@ class MatrixKnobs:
     rsa_bits: int = 64
     timing_samples: int = 600
     timing_bits: int = 8
+    sweep_instances: int = 12
+    sweep_iters: int = 48
 
     @classmethod
     def quick(cls) -> "MatrixKnobs":
@@ -61,7 +71,8 @@ class MatrixKnobs:
     @classmethod
     def full(cls) -> "MatrixKnobs":
         return cls(secret_len=8, traces=1000, fr_samples=12, fr_values=8,
-                   rsa_bits=96, timing_samples=1200, timing_bits=16)
+                   rsa_bits=96, timing_samples=1200, timing_bits=16,
+                   sweep_instances=64, sweep_iters=160)
 
     def as_key(self) -> tuple[tuple[str, int], ...]:
         """Canonical, hashable, picklable form (cache-key material)."""

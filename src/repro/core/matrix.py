@@ -86,16 +86,26 @@ class EvaluationMatrix:
     uncached :class:`ExperimentRunner`; pass one configured with
     ``jobs``/``cache`` to parallelise or memoise.  After
     :meth:`evaluate`, the runner's ``stats`` describe the run.
+
+    ``ensemble`` routes each workload cell's kernel calibration sweep
+    through the struct-of-arrays execution engine
+    (:mod:`repro.cpu.ensemble`) instead of the scalar per-instance
+    loop.  Payloads are bit-identical either way (the differential
+    suite proves it), so the knob trades nothing but wall time; it only
+    applies when the matrix builds its own runner — an explicitly
+    passed ``runner`` brings its own ``ensemble`` setting.
     """
 
     def __init__(self, platforms: tuple[PlatformProfile, ...]
                  = STANDARD_PLATFORMS, quick: bool = True,
                  seed: int = 0x2019,
-                 runner: ExperimentRunner | None = None) -> None:
+                 runner: ExperimentRunner | None = None,
+                 ensemble: bool = False) -> None:
         self.platforms = platforms
         self.knobs = MatrixKnobs.quick() if quick else MatrixKnobs.full()
         self.seed = seed
         self.runner = runner
+        self.ensemble = bool(ensemble)
         self.cells: dict[tuple[PlatformClass, AttackCategory], CellResult] = {}
         self.workloads: dict[PlatformClass, WorkloadResult] = {}
 
@@ -131,7 +141,7 @@ class EvaluationMatrix:
         if self.cells and self.workloads and not force:
             return self.cells
 
-        runner = self.runner or ExperimentRunner()
+        runner = self.runner or ExperimentRunner(ensemble=self.ensemble)
         remote = [p for p in self.platforms if self._runnable_in_worker(p)]
         local = [p for p in self.platforms if p not in remote]
 

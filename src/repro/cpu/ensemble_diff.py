@@ -1,0 +1,105 @@
+"""Differential harness: ensemble engine vs the scalar ``Core`` oracle.
+
+Sibling of :mod:`repro.cpu.diff` one level up the stack: where that
+module proves the fast scalar dispatch against the reference
+interpreter, this one proves the struct-of-arrays ensemble engine
+(:mod:`repro.cpu.ensemble`) against the scalar ``Core`` kept verbatim as
+its oracle.  Each ensemble instance is paired with an *identically
+prepared* scalar SoC; the harness runs both sides and reuses
+:func:`repro.cpu.diff.compare_socs`, so the comparison bar is exactly
+the one the fast-vs-reference suite sets: registers, PC, CSRs, traps,
+cycles, instret, energy, per-level cache counters and resident lines,
+bus counters, and the sparse physical-memory image, bit for bit.
+
+Two modes mirror ``tests/test_differential.py``:
+
+* :func:`run_ensemble_vs_scalar` — one batched ensemble run against one
+  scalar ``core.run()`` per pair, comparing end states and trap frames;
+* :func:`lockstep_ensemble` — repeated ``run(max_steps=1)`` + ``sync``
+  against scalar single-stepping, comparing every pair after every
+  retired instruction, so the first diverging step is named.
+
+A trap is a compared observable, not a failure: the ensemble records
+peeled instances' traps in its report, the scalar side raises, and the
+harness requires the same trap frame on both sides at the same step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cpu.diff import Divergence, _trap_key, compare_socs
+from repro.cpu.ensemble import CoreEnsemble, EnsembleReport
+from repro.cpu.exceptions import Trap, TrapInfo
+from repro.cpu.soc import SoC
+
+#: One differential unit: (ensemble-side SoC, scalar-side SoC), prepared
+#: identically (same program, same memory image, same knobs).
+Pair = tuple[SoC, SoC]
+
+
+def _scalar_step(soc: SoC, budget: int) -> TrapInfo | None:
+    """Advance the scalar side by ``budget`` retired instructions."""
+    try:
+        soc.cores[0].run(max_steps=budget)
+    except Trap as trap:
+        return trap.info
+    return None
+
+
+def _compare_traps(i: int, step: int, ensemble_trap: TrapInfo | None,
+                   scalar_trap: TrapInfo | None) -> None:
+    if _trap_key(ensemble_trap) != _trap_key(scalar_trap):
+        raise Divergence(
+            f"step {step}: instance {i} trap outcome diverged\n"
+            f"  ensemble: {_trap_key(ensemble_trap)!r}\n"
+            f"  scalar:   {_trap_key(scalar_trap)!r}")
+
+
+def run_ensemble_vs_scalar(pairs: list[Pair], max_steps: int = 4096,
+                           window: tuple[int, int] | None = None
+                           ) -> EnsembleReport:
+    """Batched differential: one ensemble run vs one scalar run per pair.
+
+    Returns the ensemble report so callers can additionally assert *how*
+    instances executed (peeled or vectorized) — equality of observables
+    must hold either way.
+    """
+    report = CoreEnsemble(
+        [pair[0].cores[0] for pair in pairs], window=window
+    ).run(max_steps=max_steps)
+    for i, (ensemble_soc, scalar_soc) in enumerate(pairs):
+        scalar_trap = _scalar_step(scalar_soc, max_steps)
+        _compare_traps(i, -1, report.traps[i], scalar_trap)
+        compare_socs(ensemble_soc, scalar_soc, step=i)
+    return report
+
+
+def lockstep_ensemble(pairs: list[Pair], max_steps: int = 4096,
+                      window: tuple[int, int] | None = None) -> int:
+    """Step-by-step differential; returns the number of steps compared.
+
+    After every ``run(max_steps=1)`` the ensemble's :meth:`sync` makes
+    its scalar objects authoritative, so whole-SoC comparison is exact
+    at every instruction boundary.  Terminates once every pair is halted
+    or pinned on a (matching) trap — a trapped core re-raises the same
+    frame each step on both sides, which the comparison confirms once
+    and need not iterate further.
+    """
+    ensemble = CoreEnsemble([pair[0].cores[0] for pair in pairs],
+                            window=window)
+    for step in range(max_steps):
+        ensemble.run(max_steps=1)
+        trapped = np.zeros(len(pairs), dtype=bool)
+        for i, (ensemble_soc, scalar_soc) in enumerate(pairs):
+            scalar_core = scalar_soc.cores[0]
+            scalar_trap = None
+            if not scalar_core.halted:
+                scalar_trap = _scalar_step(scalar_soc, 1)
+            _compare_traps(i, step, ensemble.traps[i], scalar_trap)
+            compare_socs(ensemble_soc, scalar_soc, step=step)
+            trapped[i] = scalar_trap is not None
+        if all(pair[1].cores[0].halted or trapped[i]
+               for i, pair in enumerate(pairs)):
+            return step + 1
+    return max_steps

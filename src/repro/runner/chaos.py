@@ -100,14 +100,17 @@ def corrupt_payload(payload: dict) -> dict:
 
 def chaos_execute_spec(spec, attempt: int, config: ChaosConfig,
                        in_worker: bool = True,
-                       collect: bool = False) -> dict:
+                       collect: bool = False,
+                       ensemble: bool = False) -> dict:
     """:func:`execute_spec` with a chance of drawn sabotage.
 
     ``in_worker`` gates the process-lethal modes: a crash or hang is only
     realised inside a disposable pool worker; in the parent process both
     downgrade to :class:`ChaosError` so serial runs stay survivable.
-    ``collect`` is forwarded to :func:`execute_spec` (telemetry rides
-    along even under chaos — observed recovery must stay observable).
+    ``collect`` and ``ensemble`` are forwarded to :func:`execute_spec`
+    (telemetry and the vectorized sweep path ride along even under
+    chaos — observed recovery must stay observable, and the ensemble
+    path's payloads face the same corruption adversary).
     """
     from repro.runner.engine import execute_spec
 
@@ -122,8 +125,12 @@ def chaos_execute_spec(spec, attempt: int, config: ChaosConfig,
         raise ChaosError(
             f"injected failure in {spec.platform}/{spec.category} "
             f"(attempt {attempt})")
-    payload = execute_spec(spec, collect=True) if collect \
-        else execute_spec(spec)
+    flags = {}
+    if collect:
+        flags["collect"] = True
+    if ensemble:
+        flags["ensemble"] = True
+    payload = execute_spec(spec, **flags)
     if mode == "corrupt":
         payload = corrupt_payload(payload)
     return payload

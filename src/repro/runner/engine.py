@@ -135,7 +135,8 @@ def payload_intact(payload: object) -> bool:
         return False
 
 
-def execute_spec(spec: CellSpec, collect: bool = False) -> dict:
+def execute_spec(spec: CellSpec, collect: bool = False,
+                 ensemble: bool = False) -> dict:
     """Compute one cell; importable by reference from worker processes.
 
     ``collect`` turns on in-cell telemetry: a per-cell
@@ -147,6 +148,14 @@ def execute_spec(spec: CellSpec, collect: bool = False) -> dict:
     under volatile keys — the payload fingerprint is unchanged, so
     observed and unobserved runs share cache entries.
 
+    ``ensemble`` routes the workload cell's kernel calibration sweep
+    through the struct-of-arrays :class:`~repro.cpu.ensemble.CoreEnsemble`
+    instead of the scalar per-core loop.  Like ``collect`` it is an
+    *execution strategy*, not a measurement input: the sweep summary —
+    and therefore the payload and its fingerprint — is bit-identical
+    either way (the differential suite proves it), so ensemble and
+    scalar runs legitimately share cache entries and manifests.
+
     Imports are deferred so that importing :mod:`repro.runner` stays
     cheap and free of circular imports with :mod:`repro.core`.
     """
@@ -156,6 +165,7 @@ def execute_spec(spec: CellSpec, collect: bool = False) -> dict:
     from repro.attacks.suites import SUITES, MatrixKnobs
     from repro.common import PlatformClass
     from repro.core.platforms import reference_workload
+    from repro.core.sweep import run_kernel_sweep
     from repro.cpu.soc import soc_factory_for
     from repro.crypto.rng import XorShiftRNG
     from repro.runner.serialize import attack_result_to_dict, workload_to_dict
@@ -174,9 +184,20 @@ def execute_spec(spec: CellSpec, collect: bool = False) -> dict:
     with obs.activate(tracer) if collect else nullcontext():
         with obs.span(f"cell:{coords}", cat="cell", seed=spec.seed):
             if spec.category == WORKLOAD_CATEGORY:
+                knobs = MatrixKnobs.from_key(spec.knobs)
+                sweep = run_kernel_sweep(
+                    platform, derive_cell_seed(spec.seed, spec.platform,
+                                               spec.category),
+                    knobs.sweep_instances, knobs.sweep_iters,
+                    ensemble=ensemble)
+                # The execution strategy is not part of the measurement:
+                # dropping the flag keeps scalar and ensemble payload
+                # fingerprints equal (the determinism check CI runs).
+                sweep.pop("ensemble", None)
                 payload = {
                     "kind": WORKLOAD_CATEGORY,
-                    "workload": workload_to_dict(reference_workload(soc))}
+                    "workload": workload_to_dict(reference_workload(soc)),
+                    "sweep": sweep}
             else:
                 category = AttackCategory(spec.category)
                 arch = NullArchitecture(soc, platform)
@@ -206,12 +227,15 @@ class CellTask:
     ``collect`` asks the worker to gather in-cell telemetry (span
     records, core/cache metric snapshots) into the payload's volatile
     keys; it is only set when the runner's observer wants them.
+    ``ensemble`` picks the vectorized sweep path — bit-identical to
+    scalar, so it changes nothing but speed.
     """
 
     spec: CellSpec
     attempt: int = 0
     chaos: ChaosConfig | None = None
     collect: bool = False
+    ensemble: bool = False
 
 
 def execute_task(task: CellTask) -> tuple[str, object]:
@@ -223,16 +247,20 @@ def execute_task(task: CellTask) -> tuple[str, object]:
     failure (which surfaces as the future's exception instead).
     """
     try:
+        # Strategy flags ride as keywords only when set: the bare
+        # ``execute_spec(spec)`` call keeps the exact historical shape
+        # (tests monkeypatch one-arg stand-ins).
+        flags = {}
+        if task.collect:
+            flags["collect"] = True
+        if task.ensemble:
+            flags["ensemble"] = True
         if task.chaos is not None:
             payload = chaos_execute_spec(task.spec, task.attempt,
                                          task.chaos, in_worker=True,
-                                         collect=task.collect)
-        elif task.collect:
-            payload = execute_spec(task.spec, collect=True)
+                                         **flags)
         else:
-            # Positional-free call: the unobserved path keeps the exact
-            # historical call shape (tests monkeypatch one-arg stand-ins).
-            payload = execute_spec(task.spec)
+            payload = execute_spec(task.spec, **flags)
         return ("ok", payload)
     except BaseException as exc:  # noqa: BLE001 — the tag is the contract
         return ("err", f"{type(exc).__name__}: {exc}")
@@ -307,7 +335,9 @@ class ExperimentRunner:
     a failing cell is re-run, with deterministic-jitter backoff;
     ``chaos`` injects harness faults (tests only, or ``--chaos``);
     ``fail_fast`` restores the historical abort-on-first-error
-    behaviour instead of degrading failed cells to structured outcomes.
+    behaviour instead of degrading failed cells to structured outcomes;
+    ``ensemble`` runs each workload cell's kernel sweep through the
+    struct-of-arrays engine (bit-identical payloads, faster wall time).
 
     Each :meth:`run` replaces :attr:`stats` with that run's
     measurements, including one
@@ -320,13 +350,15 @@ class ExperimentRunner:
                  retry: RetryPolicy | None = None,
                  chaos: ChaosConfig | None = None,
                  fail_fast: bool = False,
-                 observer: RunObserver | None = None) -> None:
+                 observer: RunObserver | None = None,
+                 ensemble: bool = False) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.timeout_s = timeout_s if timeout_s and timeout_s > 0 else None
         self.retry = retry if retry is not None else RetryPolicy()
         self.chaos = chaos
         self.fail_fast = fail_fast
+        self.ensemble = bool(ensemble)
         #: Lifecycle hook surface; the default no-op observer keeps the
         #: fast path at its unobserved cost (one call per cell edge).
         self.observer = observer if observer is not None else NULL_OBSERVER
@@ -464,14 +496,19 @@ class ExperimentRunner:
         """One in-parent-process attempt; raises :class:`_CellFailure`."""
         self.observer.on_cell_start(spec, attempt)
         try:
+            # Keyword flags only when set, preserving the historical
+            # bare ``execute_spec(spec)`` shape for monkeypatched
+            # one-arg stand-ins (see ``execute_task``).
+            flags = {}
+            if self._collect:
+                flags["collect"] = True
+            if self.ensemble:
+                flags["ensemble"] = True
             if self.chaos is not None:
                 payload = chaos_execute_spec(spec, attempt, self.chaos,
-                                             in_worker=False,
-                                             collect=self._collect)
-            elif self._collect:
-                payload = execute_spec(spec, collect=True)
+                                             in_worker=False, **flags)
             else:
-                payload = execute_spec(spec)
+                payload = execute_spec(spec, **flags)
         except Exception as exc:
             if self.fail_fast:
                 raise  # the historical behaviour: the cell's error, verbatim
@@ -618,7 +655,8 @@ class ExperimentRunner:
                         continue
                     task = CellTask(spec=spec, attempt=attempt,
                                     chaos=self.chaos,
-                                    collect=self._collect)
+                                    collect=self._collect,
+                                    ensemble=self.ensemble)
                     try:
                         future = pool.submit(execute_task, task)
                     except (RuntimeError, BrokenProcessPool, OSError,

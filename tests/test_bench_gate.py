@@ -1,0 +1,160 @@
+"""Regression tests for the CI bench gate (``benchmarks/check_regression``).
+
+Three bugs are pinned here, each of which previously made the gate
+vacuously green:
+
+* baseline selection used lexicographic filename order, so
+  ``BENCH_zzz.json`` (or ``BENCH_2026-08-05b.json`` vs the ``.json`` of
+  the same date) outranked genuinely newer baselines — selection must
+  follow the ``date`` recorded *inside* the file, with mtime as
+  tiebreak/fallback;
+* a current-run file at the repo root matching ``BENCH_*.json`` could be
+  chosen as its own comparison target — gating a file against itself is
+  now refused;
+* a committed mean of ``0`` short-circuited ``delta = ... if old > 0
+  else 0.0`` to "ok", silently disabling the gate for any benchmark with
+  a corrupt committed mean — non-positive committed means are now gate
+  errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent
+                       / "benchmarks"))
+
+import check_regression  # noqa: E402
+from check_regression import (  # noqa: E402
+    main,
+    newest_committed_baseline,
+)
+from record_baseline import GATED_BENCHMARKS  # noqa: E402
+
+
+def _baseline(path: Path, date: str, means: dict[str, float],
+              mtime: float | None = None) -> Path:
+    benches = {f"test_perf_{name}": {"mean_s": mean, "stddev_s": 0.0,
+                                     "min_s": mean, "rounds": 3,
+                                     "ops_per_s": 1.0 / mean
+                                     if mean else 0.0}
+               for name, mean in means.items()}
+    path.write_text(json.dumps({
+        "schema": "repro-bench-baseline/1",
+        "date": date,
+        "label": "test",
+        "benchmarks": benches,
+    }))
+    if mtime is not None:
+        os.utime(path, (mtime, mtime))
+    return path
+
+
+#: Healthy means for every gated benchmark (the speedup pair included).
+_HEALTHY = {name: (9.0 if name == "quick_matrix[scalar]" else 0.010)
+            for name in GATED_BENCHMARKS}
+_HEALTHY["quick_matrix[ensemble]"] = 1.5
+
+
+class TestNewestBaselineSelection:
+    def test_recorded_date_beats_lexicographic_filename(self, tmp_path):
+        dated = _baseline(tmp_path / "BENCH_2026-08-05.json",
+                          "2026-08-05", _HEALTHY)
+        _baseline(tmp_path / "BENCH_zzz.json", "2026-01-01", _HEALTHY)
+        assert newest_committed_baseline(tmp_path) == dated
+
+    def test_suffix_tiebreak_uses_mtime_not_suffix(self, tmp_path):
+        # Same recorded date; the *older file* gets the greater filename.
+        newer = _baseline(tmp_path / "BENCH_2026-08-05.json",
+                          "2026-08-05", _HEALTHY, mtime=2_000_000_000)
+        _baseline(tmp_path / "BENCH_2026-08-05b.json",
+                  "2026-08-05", _HEALTHY, mtime=1_000_000_000)
+        assert newest_committed_baseline(tmp_path) == newer
+
+    def test_dateless_file_sorts_oldest(self, tmp_path):
+        dated = _baseline(tmp_path / "BENCH_2026-01-01.json",
+                          "2026-01-01", _HEALTHY)
+        (tmp_path / "BENCH_garbage.json").write_text("not json at all")
+        assert newest_committed_baseline(tmp_path) == dated
+
+    def test_current_run_file_is_excluded(self, tmp_path):
+        committed = _baseline(tmp_path / "BENCH_2026-08-01.json",
+                              "2026-08-01", _HEALTHY)
+        current = _baseline(tmp_path / "BENCH_2026-08-08.json",
+                            "2026-08-08", _HEALTHY)
+        assert newest_committed_baseline(
+            tmp_path, exclude=current) == committed
+
+    def test_no_candidates_is_fatal(self, tmp_path):
+        with pytest.raises(SystemExit):
+            newest_committed_baseline(tmp_path)
+
+
+class TestGateVerdicts:
+    def test_refuses_to_gate_a_file_against_itself(self, tmp_path, capsys):
+        current = _baseline(tmp_path / "BENCH_current.json",
+                            "2026-08-08", _HEALTHY)
+        assert main([str(current), "--against", str(current)]) == 1
+        assert "against itself" in capsys.readouterr().err
+
+    def test_nonpositive_committed_mean_is_gate_error(self, tmp_path,
+                                                      capsys):
+        corrupt = dict(_HEALTHY)
+        corrupt["core_load_loop"] = 0.0
+        against = _baseline(tmp_path / "BENCH_old.json", "2026-08-01",
+                            corrupt)
+        current = _baseline(tmp_path / "current.json", "2026-08-08",
+                            _HEALTHY)
+        assert main([str(current), "--against", str(against)]) == 1
+        err = capsys.readouterr().err
+        assert "not positive" in err
+        assert "core_load_loop" in err
+
+    def test_clean_run_passes(self, tmp_path):
+        against = _baseline(tmp_path / "BENCH_old.json", "2026-08-01",
+                            _HEALTHY)
+        current = _baseline(tmp_path / "current.json", "2026-08-08",
+                            _HEALTHY)
+        assert main([str(current), "--against", str(against)]) == 0
+
+    def test_regression_fails(self, tmp_path, capsys):
+        against = _baseline(tmp_path / "BENCH_old.json", "2026-08-01",
+                            _HEALTHY)
+        slow = dict(_HEALTHY)
+        slow["cache_hierarchy_access"] = _HEALTHY[
+            "cache_hierarchy_access"] * 2
+        current = _baseline(tmp_path / "current.json", "2026-08-08", slow)
+        assert main([str(current), "--against", str(against)]) == 1
+        assert "cache_hierarchy_access" in capsys.readouterr().err
+
+    def test_speedup_floor_gates_ensemble_ratio(self, tmp_path, capsys):
+        against = _baseline(tmp_path / "BENCH_old.json", "2026-08-01",
+                            _HEALTHY)
+        decayed = dict(_HEALTHY)
+        decayed["quick_matrix[ensemble]"] = 4.0  # 2.25x < 3.0x floor
+        current = _baseline(tmp_path / "current.json", "2026-08-08",
+                            decayed)
+        assert main([str(current), "--against", str(against)]) == 1
+        assert "floor" in capsys.readouterr().err
+
+    def test_speedup_floor_tolerates_missing_pair(self, tmp_path):
+        """A quick run without the pair (e.g. -k filter) must not crash
+        or fail the floor check."""
+        partial = {name: mean for name, mean in _HEALTHY.items()
+                   if not name.startswith("quick_matrix")}
+        against = _baseline(tmp_path / "BENCH_old.json", "2026-08-01",
+                            partial)
+        current = _baseline(tmp_path / "current.json", "2026-08-08",
+                            partial)
+        assert main([str(current), "--against", str(against)]) == 0
+
+    def test_floors_reference_gated_names(self):
+        for slow, fast, floor in check_regression.SPEEDUP_FLOORS:
+            assert slow in GATED_BENCHMARKS
+            assert fast in GATED_BENCHMARKS
+            assert floor > 1.0

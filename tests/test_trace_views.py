@@ -1,0 +1,110 @@
+"""TraceSet subset views: read-only sharing and copy-on-grow edges.
+
+``TraceSet.subset`` hands back O(1) read-only views of the parent's
+growth buffers, and appending to a subset must fall back to
+copy-on-grow — a private, writable buffer — without perturbing the
+parent, its caches, or any sibling views.  These tests pin the edge
+the docstring promises but nothing previously exercised: growing a
+view *past the parent's capacity* while cached byte columns and
+plaintext tuples are populated on both sides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.power.trace import TraceSet
+
+
+def _exact_capacity_set(n: int, m: int = 4) -> TraceSet:
+    """A TraceSet whose buffers hold exactly ``n`` rows (no slack), so
+    any append to it or a view of it must reallocate."""
+    samples = np.arange(n * m, dtype=np.float64).reshape(n, m)
+    pts = np.arange(n * 16, dtype=np.uint64).astype(np.uint8).reshape(n, 16)
+    cts = (pts + 1).astype(np.uint8)
+    return TraceSet.from_arrays(samples, pts, cts)
+
+
+def test_subset_views_are_read_only():
+    parent = _exact_capacity_set(3)
+    sub = parent.subset(2)
+    assert not sub.samples.flags.writeable
+    assert not sub._pt_buf.flags.writeable
+    assert not sub._ct_buf.flags.writeable
+    with pytest.raises(ValueError):
+        sub.samples[0, 0] = 99.0
+    # The view's read-only flag must not leak back into the parent.
+    assert parent._buf.flags.writeable
+    parent._buf[0, 0] = parent._buf[0, 0]
+
+
+def test_subset_shares_parent_column_caches():
+    parent = _exact_capacity_set(4)
+    parent_col = parent.plaintext_bytes(3)
+    sub = parent.subset(2)
+    sub_col = sub.plaintext_bytes(3)
+    assert np.array_equal(sub_col, parent_col[:2])
+    # Sliced from the parent's cached column, not recomputed.
+    assert sub_col.base is parent_col or sub_col.base is parent_col.base
+
+
+def test_grow_view_past_parent_capacity_with_caches_populated():
+    parent = _exact_capacity_set(3)
+    # Populate caches on BOTH sides before the grow.
+    parent_col = parent.plaintext_bytes(0)
+    parent_tuple = parent.plaintexts
+    sub = parent.subset(2)
+    sub.plaintext_bytes(0)
+    sub.ciphertext_bytes(5)
+    assert sub.plaintexts == parent_tuple[:2]
+
+    # Two appends push the view past the parent's exact capacity (3).
+    sub.add([9.0, 9.0, 9.0, 9.0], bytes(range(16)), bytes(range(16)))
+    sub.add([8.0, 8.0, 8.0, 8.0], bytes(16), bytes(16))
+    assert len(sub) == 4
+
+    # The grown subset owns writable buffers and coherent caches.
+    assert sub.samples.flags.writeable
+    assert sub.samples.shape == (4, 4)
+    assert np.array_equal(sub.plaintext_bytes(0),
+                          np.array([0, 16, 0, 0], dtype=np.int64))
+    assert sub.plaintexts[2] == bytes(range(16))
+    assert sub.plaintexts[:2] == parent_tuple[:2]
+
+    # The parent saw nothing: same count, bytes, caches, writability.
+    assert len(parent) == 3
+    assert np.array_equal(parent.plaintext_bytes(0), parent_col)
+    assert parent.plaintexts == parent_tuple
+    assert parent.samples[0, 0] == 0.0
+    assert parent._buf.flags.writeable
+
+
+def test_grow_does_not_alias_parent_rows():
+    parent = _exact_capacity_set(3)
+    sub = parent.subset(3)
+    sub.add([7.0, 7.0, 7.0, 7.0], bytes(16), bytes(16))
+    sub._buf[0, 0] = -1.0  # grown copy: mutating it must not reach parent
+    assert parent.samples[0, 0] == 0.0
+
+
+def test_nested_subsets_stay_coherent():
+    parent = _exact_capacity_set(4)
+    parent.plaintext_bytes(1)
+    mid = parent.subset(3)
+    mid.plaintext_bytes(1)
+    leaf = mid.subset(2)
+    assert not leaf.samples.flags.writeable
+    assert np.array_equal(leaf.plaintext_bytes(1),
+                          parent.plaintext_bytes(1)[:2])
+    leaf.add([5.0] * 4, bytes(16), bytes(16))
+    assert len(leaf) == 3
+    assert len(mid) == 3 and len(parent) == 4
+    assert np.array_equal(mid.plaintext_bytes(1),
+                          parent.plaintext_bytes(1)[:3])
+
+
+def test_subset_beyond_length_rejected():
+    parent = _exact_capacity_set(2)
+    with pytest.raises(ValueError):
+        parent.subset(3)
