@@ -44,15 +44,27 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: Full pytest node names as recorded in the committed baselines.
 _PREFIX = "test_perf_"
 
-#: Gated pairs whose ratio is itself gated: the ensemble quick-matrix
-#: bench must stay at least this many times faster than its scalar twin
-#: *within the same run* (same machine, same noise), protecting the
-#: ensemble engine's speedup claim from silent decay.  The committed
-#: baseline documents the full ratio; this floor is deliberately below
-#: it to absorb CI jitter.
+#: Gated pairs whose ratio is itself gated: each vectorized bench must
+#: stay at least this many times faster than its scalar twin *within
+#: the same run* (same machine, same noise), protecting the vectorized
+#: engines' speedup claims from silent decay.  The committed baseline
+#: documents the full ratios; the floors are deliberately below them to
+#: absorb CI jitter.  ``quick_matrix`` is the full 15-cell grid — its
+#: scalar lane includes cells no kernel touches, so its ratio floor is
+#: the lowest; the per-attack benches isolate their kernels and carry
+#: correspondingly higher floors.
 SPEEDUP_FLOORS: tuple[tuple[str, str, float], ...] = (
-    ("quick_matrix[scalar]", "quick_matrix[ensemble]", 3.0),
+    ("cache_sca[scalar]", "cache_sca[batched]", 3.0),
+    ("kocher_timing[scalar]", "kocher_timing[batched]", 1.5),
+    ("quick_matrix[scalar]", "quick_matrix[ensemble]", 1.4),
 )
+
+#: Matrix-scale benchmarks run second-long rounds, so a quick baseline
+#: affords only a handful of them and the *mean* inherits whatever CI
+#: neighbours were doing during the slowest round.  These are gated on
+#: ``min_s`` — the least-disturbed round — instead; ``mean_s`` is still
+#: recorded in every baseline for human comparison.
+MIN_GATED = frozenset({"quick_matrix[scalar]", "quick_matrix[ensemble]"})
 
 
 def _recorded_stamp(path: Path) -> tuple[str, float, str]:
@@ -89,12 +101,28 @@ def newest_committed_baseline(root: Path = REPO_ROOT,
 
 
 def _gated_means(baseline: dict) -> dict[str, float]:
+    """The gated statistic per benchmark: ``min_s`` for matrix-scale
+    entries (see ``MIN_GATED``), ``mean_s`` otherwise.  Baselines from
+    before ``min_s`` was recorded fall back to the mean."""
     means: dict[str, float] = {}
     for name, stats in baseline.get("benchmarks", {}).items():
         short = name[len(_PREFIX):] if name.startswith(_PREFIX) else name
-        if short in GATED_BENCHMARKS:
+        if short not in GATED_BENCHMARKS:
+            continue
+        if short in MIN_GATED and "min_s" in stats:
+            means[short] = float(stats["min_s"])
+        else:
             means[short] = float(stats["mean_s"])
     return means
+
+
+def _provenance(baseline: dict) -> str:
+    """Human-readable recording provenance for the gate banner."""
+    revision = baseline.get("git_revision", "unknown")
+    dirty = baseline.get("git_dirty")
+    if dirty:
+        return f"{revision}+dirty"
+    return str(revision)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -115,11 +143,14 @@ def main(argv: list[str] | None = None) -> int:
         print("gate error: refusing to compare a baseline against itself: "
               f"{against}", file=sys.stderr)
         return 1
-    committed = _gated_means(json.loads(against.read_text()))
-    current = _gated_means(json.loads(args.current.read_text()))
+    committed_raw = json.loads(against.read_text())
+    current_raw = json.loads(args.current.read_text())
+    committed = _gated_means(committed_raw)
+    current = _gated_means(current_raw)
 
     failures: list[str] = []
-    print(f"gate: {args.current} vs {against} "
+    print(f"gate: {args.current} [{_provenance(current_raw)}] vs "
+          f"{against} [{_provenance(committed_raw)}] "
           f"(threshold +{args.threshold:.0%})")
     for name in GATED_BENCHMARKS:
         if name not in committed:

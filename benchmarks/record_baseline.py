@@ -39,6 +39,15 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def _git_revision() -> str:
+    """The short revision of HEAD *at recording time*.
+
+    Note the chicken-and-egg this implies for committed baselines: a
+    baseline recorded before its own commit names the parent revision.
+    ``git_dirty`` disambiguates — a clean recording measured exactly
+    the named revision; a dirty one measured the named revision plus
+    uncommitted changes (almost always the optimisation about to be
+    committed alongside the baseline).
+    """
     try:
         out = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
@@ -48,6 +57,17 @@ def _git_revision() -> str:
         return "unknown"
 
 
+def _git_dirty() -> bool:
+    """Whether the working tree differs from the recorded revision."""
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True)
+        return bool(out.stdout.strip())
+    except (OSError, subprocess.CalledProcessError):
+        return False
+
+
 #: The benchmarks CI gates on; ``--quick`` measures exactly these.
 GATED_BENCHMARKS = (
     "core_load_loop",
@@ -55,9 +75,18 @@ GATED_BENCHMARKS = (
     "trace_acquisition[scalar]",
     "trace_acquisition[batched]",
     "cpa_key_recovery_batched",
+    "cache_sca[scalar]",
+    "cache_sca[batched]",
+    "kocher_timing[scalar]",
+    "kocher_timing[batched]",
     "quick_matrix[scalar]",
     "quick_matrix[ensemble]",
 )
+
+#: Fewest rounds a gated benchmark may record in ``--quick`` mode; a
+#: one-round measurement has no noise floor at all and must not become
+#: the number CI gates future PRs against.
+QUICK_MIN_ROUNDS = 2
 
 
 def _quick_keyword() -> str:
@@ -117,11 +146,28 @@ def distil(raw: dict, label: str | None = None) -> dict:
         "date": _dt.date.today().isoformat(),
         "label": label or "baseline",
         "git_revision": _git_revision(),
+        "git_dirty": _git_dirty(),
         "repro_version": repro.__version__,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "benchmarks": dict(sorted(benches.items())),
     }
+
+
+def assert_quick_rounds(baseline: dict) -> None:
+    """Refuse to write a quick baseline whose gated benchmarks ran too
+    few rounds — a single-round stat is pure noise and CI would gate
+    every future PR against it."""
+    thin = [
+        (name, stats["rounds"])
+        for name, stats in baseline["benchmarks"].items()
+        if stats["rounds"] < QUICK_MIN_ROUNDS]
+    if thin:
+        detail = ", ".join(f"{name} ({rounds} rounds)"
+                           for name, rounds in thin)
+        raise SystemExit(
+            f"quick baseline under-measured: {detail}; every gated "
+            f"benchmark needs >= {QUICK_MIN_ROUNDS} rounds")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -142,6 +188,8 @@ def main(argv: list[str] | None = None) -> int:
         args.label = "quick"
     baseline = distil(run_benchmarks(args.keyword, quick=args.quick),
                       label=args.label)
+    if args.quick:
+        assert_quick_rounds(baseline)
     out = args.output or REPO_ROOT / f"BENCH_{baseline['date']}.json"
     out.write_text(json.dumps(baseline, indent=2, sort_keys=False) + "\n")
     print(f"wrote {out}")

@@ -114,6 +114,56 @@ def test_perf_trace_acquisition(benchmark, mode):
     assert len(traces) == 200
 
 
+@pytest.mark.parametrize("mode", ["scalar", "batched"])
+def test_perf_cache_sca(benchmark, mode):
+    """Evict+Time against an enclave-protected AES victim on the server
+    SoC — the heaviest cache-probe loop in the attack suite (every
+    sample is a full enclave encryption behind per-line evictions).
+    The two modes are bit-identical (tests/test_attack_differential.py
+    proves it); the gap is the batched attack kernels' win, and
+    ``check_regression.SPEEDUP_FLOORS`` gates the in-run ratio at
+    3.0x (measured comfortably above it)."""
+    from repro.arch.null import NullArchitecture
+    from repro.attacks.base import AttackerProcess
+    from repro.attacks.cache_sca import EvictTimeAttack, _CacheAttackConfig
+
+    def run():
+        soc = make_server_soc()
+        arch = NullArchitecture(soc)
+        arch.install()
+        rng = XorShiftRNG(0x5CA)
+        victim = arch.deploy_aes_victim(rng.bytes(16), core_id=0)
+        attacker = AttackerProcess(arch, core_id=1)
+        config = _CacheAttackConfig(samples_per_value=6,
+                                    plaintext_values=8,
+                                    target_bytes=(0,))
+        return EvictTimeAttack(victim, attacker, rng, config,
+                               batch=(mode == "batched")).run()
+
+    result = benchmark(run)
+    assert result.details["recovered"].keys() == {0}
+
+
+@pytest.mark.parametrize("mode", ["scalar", "batched"])
+def test_perf_kocher_timing(benchmark, mode):
+    """Kocher timing key recovery at quick-knob scale (600 samples,
+    8 bits against 64-bit RSA) — the physical suite's timing lane.
+    Bit-identical across modes; the floor-gated ratio protects the
+    batched big-int pipeline's speedup from silent decay."""
+    from repro.attacks.timing import KocherTimingAttack
+    from repro.crypto.rsa import RSA, generate_rsa_key
+
+    key = generate_rsa_key(64, XorShiftRNG(0xCE7))
+
+    def run():
+        return KocherTimingAttack(
+            RSA(key), samples=600, max_bits=8, rng=XorShiftRNG(0x70C4),
+            batch=(mode == "batched")).run()
+
+    result = benchmark(run)
+    assert result.success
+
+
 def test_perf_cpa_key_recovery_batched(benchmark):
     """End-to-end CPA: batched 300-trace acquisition plus full 16-byte
     key recovery — the whole attacker pipeline as the matrix runs it."""
@@ -200,21 +250,23 @@ def test_observation_overhead_is_bounded():
 
 @pytest.mark.parametrize("mode", ["scalar", "ensemble"])
 def test_perf_quick_matrix(benchmark, mode):
-    """The quick matrix's workload lane at calibration-sweep bench scale:
-    all three platforms' workload cells through the runner, each running
-    a 384-instance / 256-iteration kernel sweep.  The two modes produce
-    bit-identical payloads (fingerprints are asserted below); the wall
-    time gap between them is the struct-of-arrays ensemble engine's win,
-    and ``check_regression.SPEEDUP_FLOORS`` gates the in-run ratio so
-    the speedup cannot silently decay.
+    """The full 15-cell quick matrix through the runner: every
+    (platform, category) attack cell plus the three workload cells.
+    ``ensemble`` turns on *both* vectorized engines — the
+    struct-of-arrays kernel-sweep ensemble and the batched attack
+    kernels — which is how a performance-conscious caller runs the
+    grid.  The two modes produce bit-identical payloads (fingerprints
+    are asserted below); the wall-time gap is the combined vectorization
+    win, and ``check_regression.SPEEDUP_FLOORS`` gates the in-run ratio
+    so the speedup cannot silently decay.
 
-    ``benchmark.pedantic`` pins rounds: each measurement is seconds
-    long (noise self-averages within a round), so a handful of rounds
-    bounds CI cost without ceding statistical footing.
+    ``benchmark.pedantic`` pins rounds: each measurement is a second-
+    scale full matrix (noise self-averages within a round), so a handful
+    of rounds bounds CI cost without ceding statistical footing.  The
+    regression gate compares this bench on ``min_s`` for the same
+    reason — see ``check_regression.MIN_GATED``.
     """
-    import dataclasses
-
-    from repro.attacks.suites import MatrixKnobs
+    from repro.attacks.suites import SUITES, MatrixKnobs
     from repro.common import PlatformClass
     from repro.runner import (
         WORKLOAD_CATEGORY,
@@ -223,22 +275,25 @@ def test_perf_quick_matrix(benchmark, mode):
         payload_fingerprint,
     )
 
-    knobs = dataclasses.replace(MatrixKnobs.quick(),
-                                sweep_instances=384, sweep_iters=256)
-    specs = [CellSpec(seed=0x2019, platform=p.value,
-                      category=WORKLOAD_CATEGORY, knobs=knobs.as_key())
+    knobs = MatrixKnobs.quick()
+    categories = [c.value for c in SUITES] + [WORKLOAD_CATEGORY]
+    specs = [CellSpec(seed=0x2019, platform=p.value, category=category,
+                      knobs=knobs.as_key())
              for p in (PlatformClass.EMBEDDED, PlatformClass.MOBILE,
-                       PlatformClass.SERVER_DESKTOP)]
-    runner = ExperimentRunner(ensemble=(mode == "ensemble"))
+                       PlatformClass.SERVER_DESKTOP)
+             for category in categories]
+    vectorized = mode == "ensemble"
+    runner = ExperimentRunner(ensemble=vectorized, batch=vectorized)
 
     def run():
         return runner.run(specs)
 
     payloads = benchmark.pedantic(run, rounds=2, iterations=1,
                                   warmup_rounds=1)
-    assert len(payloads) == 3
+    assert len(payloads) == 15
     benchmark.extra_info["fingerprints"] = {
-        spec.platform: payload_fingerprint(payloads[spec])
+        f"{spec.platform}:{spec.category}": payload_fingerprint(
+            payloads[spec])
         for spec in specs}
 
 

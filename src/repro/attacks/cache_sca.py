@@ -95,11 +95,13 @@ class PrimeProbeAttack:
 
     def __init__(self, victim: AESVictim, attacker: AttackerProcess,
                  rng: XorShiftRNG | None = None,
-                 config: _CacheAttackConfig | None = None) -> None:
+                 config: _CacheAttackConfig | None = None,
+                 batch: bool = False) -> None:
         self.victim = victim
         self.attacker = attacker
         self.rng = rng or XorShiftRNG(0x9927)
         self.config = config or _CacheAttackConfig()
+        self.batch = bool(batch)
         llc = attacker.soc.hierarchy.l2
         self._ways = llc.ways
         # Enough pages that every LLC set is coverable with `ways` lines
@@ -125,12 +127,21 @@ class PrimeProbeAttack:
         ]
 
     def run(self) -> AttackResult:
+        if self.batch:
+            from repro.attacks.batch import try_run_batched
+            result = try_run_batched(self)
+            if result is not None:
+                return result
+        return self._run_scalar()
+
+    def _run_scalar(self) -> AttackResult:
         cfg = self.config
+        span = obs.span  # hoisted: shared-nullcontext lookup, once
         recovered: dict[int, int] = {}
         coverage = 0.0
         for target_byte in cfg.target_bytes:
-            with obs.span("prime+probe:byte", cat="attack",
-                          byte=target_byte):
+            with span("prime+probe:byte", cat="attack",
+                      byte=target_byte):
                 table = BYTE_TO_TABLE[target_byte]
                 eviction = self._eviction_sets(table)
                 covered = sum(1 for addrs in eviction
@@ -178,17 +189,27 @@ class FlushReloadAttack:
 
     def __init__(self, victim, attacker: AttackerProcess,
                  rng: XorShiftRNG | None = None,
-                 config: _CacheAttackConfig | None = None) -> None:
+                 config: _CacheAttackConfig | None = None,
+                 batch: bool = False) -> None:
         self.victim = victim
         self.attacker = attacker
         self.rng = rng or XorShiftRNG(0xF77E)
         self.config = config or _CacheAttackConfig()
+        self.batch = bool(batch)
 
     def _line_paddr(self, table: int, line: int) -> int:
         return self.victim.table_paddr + table * AES_TABLE_STRIDE \
             + line * LINE_SIZE
 
     def run(self) -> AttackResult:
+        if self.batch:
+            from repro.attacks.batch import try_run_batched
+            result = try_run_batched(self)
+            if result is not None:
+                return result
+        return self._run_scalar()
+
+    def _run_scalar(self) -> AttackResult:
         cfg = self.config
         # Precondition: the table lines must be attacker-loadable (shared
         # pages).  Against enclave memory the very first access is denied.
@@ -201,9 +222,10 @@ class FlushReloadAttack:
                 details={"blocked": "victim memory not attacker-addressable"})
 
         recovered: dict[int, int] = {}
+        span = obs.span  # hoisted: shared-nullcontext lookup, once
         for target_byte in cfg.target_bytes:
-            with obs.span("flush+reload:byte", cat="attack",
-                          byte=target_byte):
+            with span("flush+reload:byte", cat="attack",
+                      byte=target_byte):
                 table = BYTE_TO_TABLE[target_byte]
                 lines = [self._line_paddr(table, line)
                          for line in range(LINES_PER_TABLE)]
@@ -237,11 +259,13 @@ class EvictTimeAttack:
 
     def __init__(self, victim: AESVictim, attacker: AttackerProcess,
                  rng: XorShiftRNG | None = None,
-                 config: _CacheAttackConfig | None = None) -> None:
+                 config: _CacheAttackConfig | None = None,
+                 batch: bool = False) -> None:
         self.victim = victim
         self.attacker = attacker
         self.rng = rng or XorShiftRNG(0xE71C)
         self.config = config or _CacheAttackConfig()
+        self.batch = bool(batch)
         llc = attacker.soc.hierarchy.l2
         self._ways = llc.ways
         pages_needed = max(
@@ -255,6 +279,14 @@ class EvictTimeAttack:
         return core.cycles - before
 
     def run(self) -> AttackResult:
+        if self.batch:
+            from repro.attacks.batch import try_run_batched
+            result = try_run_batched(self)
+            if result is not None:
+                return result
+        return self._run_scalar()
+
+    def _run_scalar(self) -> AttackResult:
         cfg = self.config
         llc = self.attacker.soc.hierarchy.l2
         recovered: dict[int, int] = {}

@@ -105,7 +105,13 @@ def local_suite(arch: NullArchitecture, rng: XorShiftRNG,
 
 
 def microarch_suite(arch: NullArchitecture, rng: XorShiftRNG,
-                    knobs: MatrixKnobs) -> list[AttackResult]:
+                    knobs: MatrixKnobs,
+                    batch: bool = False) -> list[AttackResult]:
+    """``batch`` routes the Flush+Reload cell through the batched attack
+    kernels (:mod:`repro.attacks.batch`) — an execution strategy, not a
+    measurement input: results, RNG streams and SoC end state are
+    bit-identical to the scalar path, with automatic scalar fallback
+    for configurations the kernels don't cover."""
     soc = arch.soc
     secret = bytes(0x41 + rng.next_below(26)
                    for _ in range(knobs.secret_len))
@@ -123,12 +129,13 @@ def microarch_suite(arch: NullArchitecture, rng: XorShiftRNG,
     with obs.span("attack:flush-reload", cat="attack",
                   samples=knobs.fr_samples, values=knobs.fr_values):
         results.append(FlushReloadAttack(service, attacker, rng,
-                                         config).run())
+                                         config, batch=batch).run())
     return results
 
 
 def physical_suite(arch: NullArchitecture, rng: XorShiftRNG,
-                   knobs: MatrixKnobs) -> list[AttackResult]:
+                   knobs: MatrixKnobs,
+                   batch: bool = False) -> list[AttackResult]:
     # Power: CPA on an unprotected AES running on the device.  Acquisition
     # is batched (bit-identical to the scalar reference; repro.power.diff
     # proves it), so the cell's payload digest is unchanged.
@@ -156,7 +163,7 @@ def physical_suite(arch: NullArchitecture, rng: XorShiftRNG,
         timing = KocherTimingAttack(
             RSA(rsa_key), samples=knobs.timing_samples,
             max_bits=knobs.timing_bits,
-            rng=XorShiftRNG(rng.next_u64())).run()
+            rng=XorShiftRNG(rng.next_u64()), batch=batch).run()
     return [cpa_result, bellcore, timing]
 
 

@@ -36,14 +36,24 @@ class KocherTimingAttack:
 
     def __init__(self, victim: RSA, samples: int = 1000,
                  max_bits: int = 16, noise_std: float = 0.0,
-                 rng: XorShiftRNG | None = None) -> None:
+                 rng: XorShiftRNG | None = None,
+                 batch: bool = False) -> None:
         self.victim = victim
         self.samples = samples
         self.max_bits = max_bits
         self.noise_std = noise_std
         self.rng = rng or XorShiftRNG(0x70C4)
+        self.batch = bool(batch)
 
     def run(self) -> AttackResult:
+        if self.batch:
+            from repro.attacks.batch import try_run_batched
+            result = try_run_batched(self)
+            if result is not None:
+                return result
+        return self._run_scalar()
+
+    def _run_scalar(self) -> AttackResult:
         n = self.victim.key.n
         d = self.victim.key.d  # ground truth, used ONLY for grading
         bits_total = d.bit_length()

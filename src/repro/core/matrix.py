@@ -26,7 +26,7 @@ from repro.attacks.suites import (
     PRIOR_ATTRS,
     SUITES,
 )
-from repro.common import PlatformClass
+from repro.common import PlatformClass, accepts_keyword
 from repro.core.platforms import (
     PlatformProfile,
     STANDARD_PLATFORMS,
@@ -90,22 +90,26 @@ class EvaluationMatrix:
     ``ensemble`` routes each workload cell's kernel calibration sweep
     through the struct-of-arrays execution engine
     (:mod:`repro.cpu.ensemble`) instead of the scalar per-instance
-    loop.  Payloads are bit-identical either way (the differential
-    suite proves it), so the knob trades nothing but wall time; it only
-    applies when the matrix builds its own runner — an explicitly
-    passed ``runner`` brings its own ``ensemble`` setting.
+    loop; ``batch`` routes the attack cells' hot attacks through the
+    batched attack kernels (:mod:`repro.attacks.batch`).  Payloads are
+    bit-identical either way (the differential suites prove it), so
+    the knobs trade nothing but wall time; they only apply when the
+    matrix builds its own runner — an explicitly passed ``runner``
+    brings its own ``ensemble``/``batch`` settings.
     """
 
     def __init__(self, platforms: tuple[PlatformProfile, ...]
                  = STANDARD_PLATFORMS, quick: bool = True,
                  seed: int = 0x2019,
                  runner: ExperimentRunner | None = None,
-                 ensemble: bool = False) -> None:
+                 ensemble: bool = False,
+                 batch: bool = False) -> None:
         self.platforms = platforms
         self.knobs = MatrixKnobs.quick() if quick else MatrixKnobs.full()
         self.seed = seed
         self.runner = runner
         self.ensemble = bool(ensemble)
+        self.batch = bool(batch)
         self.cells: dict[tuple[PlatformClass, AttackCategory], CellResult] = {}
         self.workloads: dict[PlatformClass, WorkloadResult] = {}
 
@@ -141,7 +145,8 @@ class EvaluationMatrix:
         if self.cells and self.workloads and not force:
             return self.cells
 
-        runner = self.runner or ExperimentRunner(ensemble=self.ensemble)
+        runner = self.runner or ExperimentRunner(ensemble=self.ensemble,
+                                                 batch=self.batch)
         remote = [p for p in self.platforms if self._runnable_in_worker(p)]
         local = [p for p in self.platforms if p not in remote]
 
@@ -182,8 +187,12 @@ class EvaluationMatrix:
         for category, suite in SUITES.items():
             arch = NullArchitecture(profile.make_soc(), profile.platform)
             rng = XorShiftRNG(self.cell_seed(profile.platform, category))
+            if self.batch and accepts_keyword(suite, "batch"):
+                results = suite(arch, rng, self.knobs, batch=True)
+            else:
+                results = suite(arch, rng, self.knobs)
             self.cells[(profile.platform, category)] = CellResult(
-                profile.platform, category, suite(arch, rng, self.knobs),
+                profile.platform, category, results,
                 self._prior(profile, category))
         self.workloads[profile.platform] = \
             reference_workload(profile.make_soc())

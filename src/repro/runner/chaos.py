@@ -101,16 +101,18 @@ def corrupt_payload(payload: dict) -> dict:
 def chaos_execute_spec(spec, attempt: int, config: ChaosConfig,
                        in_worker: bool = True,
                        collect: bool = False,
-                       ensemble: bool = False) -> dict:
+                       ensemble: bool = False,
+                       batch: bool = False) -> dict:
     """:func:`execute_spec` with a chance of drawn sabotage.
 
     ``in_worker`` gates the process-lethal modes: a crash or hang is only
     realised inside a disposable pool worker; in the parent process both
     downgrade to :class:`ChaosError` so serial runs stay survivable.
-    ``collect`` and ``ensemble`` are forwarded to :func:`execute_spec`
-    (telemetry and the vectorized sweep path ride along even under
-    chaos — observed recovery must stay observable, and the ensemble
-    path's payloads face the same corruption adversary).
+    ``collect``, ``ensemble`` and ``batch`` are forwarded to
+    :func:`execute_spec` (telemetry and the vectorized sweep/attack
+    paths ride along even under chaos — observed recovery must stay
+    observable, and the vectorized paths' payloads face the same
+    corruption adversary).
     """
     from repro.runner.engine import execute_spec
 
@@ -130,6 +132,8 @@ def chaos_execute_spec(spec, attempt: int, config: ChaosConfig,
         flags["collect"] = True
     if ensemble:
         flags["ensemble"] = True
+    if batch:
+        flags["batch"] = True
     payload = execute_spec(spec, **flags)
     if mode == "corrupt":
         payload = corrupt_payload(payload)

@@ -136,7 +136,7 @@ def payload_intact(payload: object) -> bool:
 
 
 def execute_spec(spec: CellSpec, collect: bool = False,
-                 ensemble: bool = False) -> dict:
+                 ensemble: bool = False, batch: bool = False) -> dict:
     """Compute one cell; importable by reference from worker processes.
 
     ``collect`` turns on in-cell telemetry: a per-cell
@@ -156,6 +156,14 @@ def execute_spec(spec: CellSpec, collect: bool = False,
     either way (the differential suite proves it), so ensemble and
     scalar runs legitimately share cache entries and manifests.
 
+    ``batch`` is the attack-cell counterpart: suites that take it route
+    their hot attacks (cache SCA probing, Kocher timing) through the
+    batched kernels of :mod:`repro.attacks.batch`, which are
+    bit-identical to the scalar attacks (recovered keys, scores, RNG
+    end states, SoC state) with automatic scalar fallback — payload
+    fingerprints are unchanged, so ``batch`` runs share cache entries
+    with scalar runs too.
+
     Imports are deferred so that importing :mod:`repro.runner` stays
     cheap and free of circular imports with :mod:`repro.core`.
     """
@@ -163,7 +171,7 @@ def execute_spec(spec: CellSpec, collect: bool = False,
     from repro.arch.null import NullArchitecture
     from repro.attacks.base import AttackCategory
     from repro.attacks.suites import SUITES, MatrixKnobs
-    from repro.common import PlatformClass
+    from repro.common import PlatformClass, accepts_keyword
     from repro.core.platforms import reference_workload
     from repro.core.sweep import run_kernel_sweep
     from repro.cpu.soc import soc_factory_for
@@ -204,7 +212,14 @@ def execute_spec(spec: CellSpec, collect: bool = False,
                 rng = XorShiftRNG(derive_cell_seed(spec.seed, spec.platform,
                                                    spec.category))
                 knobs = MatrixKnobs.from_key(spec.knobs)
-                results = SUITES[category](arch, rng, knobs)
+                suite = SUITES[category]
+                if batch and accepts_keyword(suite, "batch"):
+                    # Keyword only when set: suites without the knob
+                    # (and monkeypatched three-arg stand-ins) keep the
+                    # exact historical call shape.
+                    results = suite(arch, rng, knobs, batch=True)
+                else:
+                    results = suite(arch, rng, knobs)
                 payload = {
                     "kind": "attacks",
                     "attacks": [attack_result_to_dict(r) for r in results]}
@@ -227,8 +242,9 @@ class CellTask:
     ``collect`` asks the worker to gather in-cell telemetry (span
     records, core/cache metric snapshots) into the payload's volatile
     keys; it is only set when the runner's observer wants them.
-    ``ensemble`` picks the vectorized sweep path — bit-identical to
-    scalar, so it changes nothing but speed.
+    ``ensemble`` picks the vectorized sweep path and ``batch`` the
+    batched attack kernels — both bit-identical to scalar, so they
+    change nothing but speed.
     """
 
     spec: CellSpec
@@ -236,6 +252,7 @@ class CellTask:
     chaos: ChaosConfig | None = None
     collect: bool = False
     ensemble: bool = False
+    batch: bool = False
 
 
 def execute_task(task: CellTask) -> tuple[str, object]:
@@ -255,6 +272,8 @@ def execute_task(task: CellTask) -> tuple[str, object]:
             flags["collect"] = True
         if task.ensemble:
             flags["ensemble"] = True
+        if task.batch:
+            flags["batch"] = True
         if task.chaos is not None:
             payload = chaos_execute_spec(task.spec, task.attempt,
                                          task.chaos, in_worker=True,
@@ -337,7 +356,9 @@ class ExperimentRunner:
     ``fail_fast`` restores the historical abort-on-first-error
     behaviour instead of degrading failed cells to structured outcomes;
     ``ensemble`` runs each workload cell's kernel sweep through the
-    struct-of-arrays engine (bit-identical payloads, faster wall time).
+    struct-of-arrays engine and ``batch`` the attack cells through the
+    batched attack kernels (both bit-identical payloads, faster wall
+    time).
 
     Each :meth:`run` replaces :attr:`stats` with that run's
     measurements, including one
@@ -351,7 +372,8 @@ class ExperimentRunner:
                  chaos: ChaosConfig | None = None,
                  fail_fast: bool = False,
                  observer: RunObserver | None = None,
-                 ensemble: bool = False) -> None:
+                 ensemble: bool = False,
+                 batch: bool = False) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.timeout_s = timeout_s if timeout_s and timeout_s > 0 else None
@@ -359,6 +381,7 @@ class ExperimentRunner:
         self.chaos = chaos
         self.fail_fast = fail_fast
         self.ensemble = bool(ensemble)
+        self.batch = bool(batch)
         #: Lifecycle hook surface; the default no-op observer keeps the
         #: fast path at its unobserved cost (one call per cell edge).
         self.observer = observer if observer is not None else NULL_OBSERVER
@@ -504,6 +527,8 @@ class ExperimentRunner:
                 flags["collect"] = True
             if self.ensemble:
                 flags["ensemble"] = True
+            if self.batch:
+                flags["batch"] = True
             if self.chaos is not None:
                 payload = chaos_execute_spec(spec, attempt, self.chaos,
                                              in_worker=False, **flags)
@@ -656,7 +681,8 @@ class ExperimentRunner:
                     task = CellTask(spec=spec, attempt=attempt,
                                     chaos=self.chaos,
                                     collect=self._collect,
-                                    ensemble=self.ensemble)
+                                    ensemble=self.ensemble,
+                                    batch=self.batch)
                     try:
                         future = pool.submit(execute_task, task)
                     except (RuntimeError, BrokenProcessPool, OSError,

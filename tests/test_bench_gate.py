@@ -38,9 +38,13 @@ from record_baseline import GATED_BENCHMARKS  # noqa: E402
 
 
 def _baseline(path: Path, date: str, means: dict[str, float],
-              mtime: float | None = None) -> Path:
+              mtime: float | None = None,
+              mins: dict[str, float] | None = None,
+              **extra) -> Path:
+    mins = mins or {}
     benches = {f"test_perf_{name}": {"mean_s": mean, "stddev_s": 0.0,
-                                     "min_s": mean, "rounds": 3,
+                                     "min_s": mins.get(name, mean),
+                                     "rounds": 3,
                                      "ops_per_s": 1.0 / mean
                                      if mean else 0.0}
                for name, mean in means.items()}
@@ -49,15 +53,21 @@ def _baseline(path: Path, date: str, means: dict[str, float],
         "date": date,
         "label": "test",
         "benchmarks": benches,
+        **extra,
     }))
     if mtime is not None:
         os.utime(path, (mtime, mtime))
     return path
 
 
-#: Healthy means for every gated benchmark (the speedup pair included).
-_HEALTHY = {name: (9.0 if name == "quick_matrix[scalar]" else 0.010)
-            for name in GATED_BENCHMARKS}
+#: Healthy means for every gated benchmark: each floor-gated pair's
+#: ratio sits comfortably above its floor.
+_HEALTHY = dict.fromkeys(GATED_BENCHMARKS, 0.010)
+_HEALTHY["cache_sca[scalar]"] = 1.0
+_HEALTHY["cache_sca[batched]"] = 0.15
+_HEALTHY["kocher_timing[scalar]"] = 0.045
+_HEALTHY["kocher_timing[batched]"] = 0.018
+_HEALTHY["quick_matrix[scalar]"] = 9.0
 _HEALTHY["quick_matrix[ensemble]"] = 1.5
 
 
@@ -136,11 +146,22 @@ class TestGateVerdicts:
         against = _baseline(tmp_path / "BENCH_old.json", "2026-08-01",
                             _HEALTHY)
         decayed = dict(_HEALTHY)
-        decayed["quick_matrix[ensemble]"] = 4.0  # 2.25x < 3.0x floor
+        decayed["quick_matrix[ensemble]"] = 7.0  # 1.29x < 1.4x floor
         current = _baseline(tmp_path / "current.json", "2026-08-08",
                             decayed)
         assert main([str(current), "--against", str(against)]) == 1
         assert "floor" in capsys.readouterr().err
+
+    def test_speedup_floor_gates_batched_attack_ratio(self, tmp_path,
+                                                      capsys):
+        against = _baseline(tmp_path / "BENCH_old.json", "2026-08-01",
+                            _HEALTHY)
+        decayed = dict(_HEALTHY)
+        decayed["cache_sca[batched]"] = 0.5  # 2.0x < 3.0x floor
+        current = _baseline(tmp_path / "current.json", "2026-08-08",
+                            decayed)
+        assert main([str(current), "--against", str(against)]) == 1
+        assert "cache_sca[batched]" in capsys.readouterr().err
 
     def test_speedup_floor_tolerates_missing_pair(self, tmp_path):
         """A quick run without the pair (e.g. -k filter) must not crash
@@ -158,3 +179,73 @@ class TestGateVerdicts:
             assert slow in GATED_BENCHMARKS
             assert fast in GATED_BENCHMARKS
             assert floor > 1.0
+
+    def test_min_gated_names_are_gated(self):
+        assert check_regression.MIN_GATED <= set(GATED_BENCHMARKS)
+
+
+class TestMinGating:
+    """Matrix-scale benches are gated on ``min_s``: their rounds are
+    seconds long and few, so one noisy CI neighbour can double the mean
+    of an unchanged build — the least-disturbed round is the signal."""
+
+    def test_noisy_mean_with_flat_min_passes(self, tmp_path):
+        against = _baseline(tmp_path / "BENCH_old.json", "2026-08-01",
+                            _HEALTHY)
+        noisy = dict(_HEALTHY)
+        noisy["quick_matrix[ensemble]"] = _HEALTHY[
+            "quick_matrix[ensemble]"] * 2  # mean doubled...
+        current = _baseline(
+            tmp_path / "current.json", "2026-08-08", noisy,
+            mins={"quick_matrix[ensemble]":
+                  _HEALTHY["quick_matrix[ensemble]"]})  # ...min flat
+        assert main([str(current), "--against", str(against)]) == 0
+
+    def test_regressed_min_fails(self, tmp_path, capsys):
+        against = _baseline(tmp_path / "BENCH_old.json", "2026-08-01",
+                            _HEALTHY)
+        slow = dict(_HEALTHY)
+        slow["quick_matrix[ensemble]"] = _HEALTHY[
+            "quick_matrix[ensemble]"] * 2  # min regressed with the mean
+        current = _baseline(tmp_path / "current.json", "2026-08-08", slow)
+        assert main([str(current), "--against", str(against)]) == 1
+        assert "quick_matrix[ensemble]" in capsys.readouterr().err
+
+    def test_mean_gated_bench_still_gates_on_mean(self, tmp_path, capsys):
+        against = _baseline(tmp_path / "BENCH_old.json", "2026-08-01",
+                            _HEALTHY)
+        slow = dict(_HEALTHY)
+        slow["core_load_loop"] = _HEALTHY["core_load_loop"] * 2
+        current = _baseline(
+            tmp_path / "current.json", "2026-08-08", slow,
+            mins={"core_load_loop": _HEALTHY["core_load_loop"]})
+        assert main([str(current), "--against", str(against)]) == 1
+        assert "core_load_loop" in capsys.readouterr().err
+
+
+class TestProvenance:
+    def test_gate_banner_names_revisions_and_dirtiness(self, tmp_path,
+                                                       capsys):
+        against = _baseline(tmp_path / "BENCH_old.json", "2026-08-01",
+                            _HEALTHY, git_revision="abc1234",
+                            git_dirty=False)
+        current = _baseline(tmp_path / "current.json", "2026-08-08",
+                            _HEALTHY, git_revision="def5678",
+                            git_dirty=True)
+        assert main([str(current), "--against", str(against)]) == 0
+        banner = capsys.readouterr().out.splitlines()[0]
+        assert "abc1234" in banner
+        assert "def5678+dirty" in banner
+
+    def test_quick_rounds_assertion_rejects_thin_baselines(self):
+        import record_baseline
+        baseline = {"benchmarks": {
+            "test_perf_core_load_loop": {"rounds": 1}}}
+        with pytest.raises(SystemExit, match="under-measured"):
+            record_baseline.assert_quick_rounds(baseline)
+
+    def test_quick_rounds_assertion_accepts_measured_baselines(self):
+        import record_baseline
+        baseline = {"benchmarks": {
+            "test_perf_core_load_loop": {"rounds": 3}}}
+        record_baseline.assert_quick_rounds(baseline)
