@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench diff matrix chaos lint determinism ci
+.PHONY: test bench diff matrix chaos serve-smoke lint determinism ci
 
 ## Tier-1 test suite (fast; micro-benchmarks excluded via the bench marker).
 test:
@@ -20,9 +20,17 @@ matrix:
 	$(PYTHON) -m repro figure1
 
 ## Chaos suite: inject crash/hang/raise/corrupt faults into the runner's
-## own workers and prove the recovery guarantees end to end.
+## own workers (process level) and SIGKILL whole fleet members / plant
+## lease wreckage (host level), proving recovery end to end.
 chaos:
-	$(PYTHON) -m pytest -q --run-chaos -m chaos tests/test_chaos.py
+	$(PYTHON) -m pytest -q --run-chaos -m chaos \
+		tests/test_chaos.py tests/test_service_chaos.py
+
+## Evaluation-as-a-service smoke: a 2-worker fleet drains the quick
+## matrix under host-kill chaos; gates on completion and on every
+## payload fingerprint matching a fault-free direct run.
+serve-smoke:
+	$(PYTHON) tools/serve_smoke.py
 
 ## Lint gate: ruff when installed (pyproject [tool.ruff]), else the
 ## stdlib-only fallback implementing the same high-signal rule subset.

@@ -59,12 +59,23 @@ SPEEDUP_FLOORS: tuple[tuple[str, str, float], ...] = (
     ("quick_matrix[scalar]", "quick_matrix[ensemble]", 1.4),
 )
 
+#: In-run ratios gated from *above*: the second bench must cost at most
+#: ``ceiling`` times the first within the same run.  This is how the
+#: evaluation service's overhead is pinned — driving the quick matrix
+#: through queue + leases + crash-safe cache publishes may never cost
+#: more than 15% over a direct ``ExperimentRunner`` of the same grid.
+OVERHEAD_CEILINGS: tuple[tuple[str, str, float], ...] = (
+    ("service_overhead[direct]", "service_overhead[service]", 1.15),
+)
+
 #: Matrix-scale benchmarks run second-long rounds, so a quick baseline
 #: affords only a handful of them and the *mean* inherits whatever CI
 #: neighbours were doing during the slowest round.  These are gated on
 #: ``min_s`` — the least-disturbed round — instead; ``mean_s`` is still
 #: recorded in every baseline for human comparison.
-MIN_GATED = frozenset({"quick_matrix[scalar]", "quick_matrix[ensemble]"})
+MIN_GATED = frozenset({"quick_matrix[scalar]", "quick_matrix[ensemble]",
+                       "service_overhead[direct]",
+                       "service_overhead[service]"})
 
 
 def _recorded_stamp(path: Path) -> tuple[str, float, str]:
@@ -185,6 +196,20 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"{fast}: only {ratio:.1f}x faster than {slow}, "
                 f"floor is {floor:.1f}x")
+    for base, costly, ceiling in OVERHEAD_CEILINGS:
+        if base not in current or costly not in current:
+            continue
+        if current[base] <= 0:
+            failures.append(f"{base}: non-positive current mean")
+            continue
+        ratio = current[costly] / current[base]
+        verdict = "FAIL" if ratio > ceiling else "ok"
+        print(f"  {costly} / {base}: {ratio:.2f}x "
+              f"(ceiling {ceiling:.2f}x) {verdict}")
+        if ratio > ceiling:
+            failures.append(
+                f"{costly}: {ratio:.2f}x the cost of {base}, "
+                f"ceiling is {ceiling:.2f}x")
     if failures:
         for failure in failures:
             print(f"regression: {failure}", file=sys.stderr)

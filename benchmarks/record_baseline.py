@@ -81,6 +81,8 @@ GATED_BENCHMARKS = (
     "kocher_timing[batched]",
     "quick_matrix[scalar]",
     "quick_matrix[ensemble]",
+    "service_overhead[direct]",
+    "service_overhead[service]",
 )
 
 #: Fewest rounds a gated benchmark may record in ``--quick`` mode; a

@@ -317,3 +317,55 @@ def test_perf_runner_cached_matrix(benchmark, tmp_path):
     assert runner.stats.cache_hits == 15
     benchmark.extra_info["cache_hits"] = runner.stats.cache_hits
     benchmark.extra_info["hit_rate"] = runner.stats.hit_rate
+
+
+@pytest.mark.parametrize("mode", ["direct", "service"])
+def test_perf_service_overhead(benchmark, mode):
+    """The quick matrix executed directly vs through the evaluation
+    service (one in-process worker, cold cache each round) — the price
+    of the directory protocol itself: job scan, per-cell ``O_EXCL``
+    lease acquire/release, heartbeat bookkeeping, crash-safe cache
+    publish, intactness re-checks.  Both lanes produce identical
+    payloads; ``check_regression.OVERHEAD_CEILINGS`` gates the in-run
+    ratio at 1.15x so the service can never quietly cost more than 15%
+    over a direct run.  Matrix-scale rounds, so gated on ``min_s``
+    (see ``check_regression.MIN_GATED``)."""
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.runner import ExperimentRunner, ResultCache, RetryPolicy
+    from repro.service import JobQueue, JobSpec, ServiceWorker
+
+    job = JobSpec.matrix(quick=True)
+    specs = job.cells()
+    scratch: list[Path] = []
+
+    def setup():
+        root = Path(tempfile.mkdtemp(prefix="repro-bench-service-"))
+        scratch.append(root)
+        return (root,), {}
+
+    if mode == "direct":
+        def run(root):
+            return len(ExperimentRunner().run(specs))
+    else:
+        def run(root):
+            queue = JobQueue(root / "queue")
+            queue.submit(job)
+            worker = ServiceWorker(
+                queue, cache=ResultCache(root / "cells"),
+                ttl_s=30.0, poll_s=0.01,
+                retry=RetryPolicy(max_retries=2, base_delay_s=0.01,
+                                  max_delay_s=0.1))
+            stats = worker.run_until_drained()
+            assert stats.cells_failed == 0
+            return stats.cells_computed
+
+    try:
+        produced = benchmark.pedantic(run, setup=setup, rounds=2,
+                                      iterations=1, warmup_rounds=1)
+        assert produced == len(specs)
+    finally:
+        for root in scratch:
+            shutil.rmtree(root, ignore_errors=True)

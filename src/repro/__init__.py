@@ -18,7 +18,7 @@ Quick start::
     print(ForeshadowAttack(sgx, victim.handle).run())
 """
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "arch",
@@ -36,4 +36,5 @@ __all__ = [
     "obs",
     "power",
     "runner",
+    "service",
 ]

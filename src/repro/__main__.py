@@ -12,6 +12,23 @@ Usage::
     python -m repro advisor            # Section-6 recommendations demo
     python -m repro all                # everything above
 
+Evaluation as a service (the crash-safe multi-host job layer,
+:mod:`repro.service`)::
+
+    python -m repro submit --queue DIR             # enqueue the quick matrix
+    python -m repro serve --queue DIR --workers 2  # run a worker fleet
+    python -m repro worker --queue DIR             # one worker, drain & exit
+    python -m repro status --queue DIR             # job progress snapshot
+
+``submit`` publishes an atomic, content-addressed job file;
+``serve``/``worker`` processes claim cells via leased single-flight on
+the shared result cache and survive SIGKILL of any member (leases
+expire and survivors take over); ``--chaos RATE`` under ``serve`` turns
+on the *host-kill* chaos controller, which SIGKILLs and respawns fleet
+members to prove it.  ``submit --from-manifest PATH`` cold-resumes the
+campaign a RunManifest describes — cells the shared cache already
+holds are skipped, not recomputed.
+
 Observability (``--trace``, ``--metrics``, ``--manifest``) makes a
 figure1 run emit machine-readable evidence: a Chrome ``trace_event``
 file of every runner/cell/attack phase, a Prometheus (or JSON) metrics
@@ -138,6 +155,101 @@ def _advisor(args) -> None:
             print(f"  {advice}")
 
 
+def _queue_root(args):
+    import os
+    from pathlib import Path
+    if args.queue:
+        return Path(args.queue)
+    env = os.environ.get("REPRO_QUEUE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "queue"
+
+
+def _service_parts(args):
+    from repro.runner import ResultCache
+    from repro.service import Coordinator, JobQueue
+    queue = JobQueue(_queue_root(args))
+    cache_root = args.cache_dir or (queue.root / "cells")
+    cache = ResultCache(cache_root)
+    return queue, cache_root, cache, Coordinator(queue, cache)
+
+
+def _submit(args) -> None:
+    from repro.service import JobSpec
+    queue, _, cache, coordinator = _service_parts(args)
+    if args.from_manifest:
+        from repro.obs.manifest import RunManifest
+        job = JobSpec.from_manifest(RunManifest.read(args.from_manifest))
+        print(f"resuming campaign from {args.from_manifest}")
+    else:
+        job = JobSpec.matrix(quick=not args.full)
+    job_id = queue.submit(job)
+    status = coordinator.status(job)
+    print(f"submitted {job_id}: {len(job.cells())} cells "
+          f"({status.done} already cached) -> {queue.root}")
+
+
+def _status(args) -> None:
+    _, _, _, coordinator = _service_parts(args)
+    statuses = coordinator.statuses()
+    if not statuses:
+        print("no jobs in queue")
+        return
+    for status in statuses:
+        print(status.summary())
+    if args.metrics:
+        print(f"wrote {coordinator.write_metrics(args.metrics)}")
+
+
+def _worker(args) -> None:
+    from repro.service import run_worker_process
+    queue, cache_root, _, _ = _service_parts(args)
+    stats = run_worker_process(
+        str(queue.root), str(cache_root),
+        ttl_s=args.lease_ttl, poll_s=args.poll, forever=args.forever,
+        timeout_s=args.timeout if args.timeout > 0 else None)
+    print(stats.summary())
+
+
+def _serve(args) -> None:
+    from repro.service import HostChaosConfig, WorkerFleet
+    queue, cache_root, _, coordinator = _service_parts(args)
+    chaos = (HostChaosConfig(kill_rate=args.chaos, kill_interval_s=2.0)
+             if args.chaos > 0 else None)
+    fleet = WorkerFleet(queue.root, cache_root, size=args.workers,
+                        ttl_s=args.lease_ttl, poll_s=args.poll,
+                        chaos=chaos)
+    job_ids = queue.job_ids()
+    if not job_ids:
+        print("no jobs in queue; submit one first")
+        return
+
+    def on_poll(status):
+        fleet.poll()
+        if args.progress:
+            coordinator.append_progress(args.progress, status)
+
+    with fleet:
+        for job_id in job_ids:
+            job = queue.load(job_id)
+            if job is None:
+                continue
+            status = coordinator.wait(job, timeout_s=args.wait_timeout,
+                                      poll_s=args.poll, on_poll=on_poll)
+            print(status.summary())
+            if args.manifest:
+                path = coordinator.manifest(
+                    job, command="repro serve").write(args.manifest)
+                print(f"wrote {path}")
+        fleet.drain(timeout_s=30.0)
+    if fleet.kills:
+        print(f"chaos: {fleet.kills} worker(s) SIGKILLed, "
+              f"{fleet.respawns} respawned")
+    if args.metrics:
+        print(f"wrote {coordinator.write_metrics(args.metrics)}")
+
+
 _COMMANDS = {
     "figure1": _figure1,
     "architectures": _architectures,
@@ -146,15 +258,25 @@ _COMMANDS = {
     "advisor": _advisor,
 }
 
+#: Service verbs: excluded from ``all`` (``serve`` blocks on a fleet).
+_SERVICE_COMMANDS = {
+    "submit": _submit,
+    "serve": _serve,
+    "worker": _worker,
+    "status": _status,
+}
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate artefacts of 'In Hardware We Trust' "
                     "(DAC 2019) from simulation.")
-    parser.add_argument("command", choices=[*_COMMANDS, "all"],
+    parser.add_argument("command",
+                        choices=[*_COMMANDS, *_SERVICE_COMMANDS, "all"],
                         nargs="?", default="figure1",
-                        help="which artefact to regenerate "
+                        help="which artefact to regenerate, or a "
+                             "service verb (submit/serve/worker/status) "
                              "(default: figure1)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for independent cells "
@@ -204,13 +326,45 @@ def main(argv: list[str] | None = None) -> int:
                              "(version, knobs, seeds, outcomes, payload "
                              "fingerprints, metric snapshot) "
                              "(figure1 runs only)")
+    parser.add_argument("--queue", metavar="DIR", default=None,
+                        help="service queue directory (default: "
+                             "$REPRO_QUEUE_DIR or ~/.cache/repro/queue)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="shared result-cache directory for service "
+                             "verbs (default: <queue>/cells)")
+    parser.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="fleet size for 'serve' (default: 2)")
+    parser.add_argument("--lease-ttl", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="lease TTL: how long after a host stops "
+                             "heartbeating its cells are reclaimed "
+                             "(default: 30)")
+    parser.add_argument("--poll", type=float, default=0.2,
+                        metavar="SECONDS",
+                        help="worker/coordinator poll interval "
+                             "(default: 0.2)")
+    parser.add_argument("--wait-timeout", type=float, default=600.0,
+                        metavar="SECONDS",
+                        help="'serve': max wall time to wait per job "
+                             "before reporting it incomplete "
+                             "(default: 600)")
+    parser.add_argument("--forever", action="store_true",
+                        help="'worker': keep polling for new jobs "
+                             "instead of exiting once drained")
+    parser.add_argument("--from-manifest", metavar="PATH", default=None,
+                        help="'submit': reconstruct and resubmit the "
+                             "campaign a RunManifest describes "
+                             "(cold resume; cached cells are skipped)")
+    parser.add_argument("--progress", metavar="PATH", default=None,
+                        help="'serve': append JSONL progress records "
+                             "per poll to PATH")
     args = parser.parse_args(argv)
     if args.command == "all":
         for name, command in _COMMANDS.items():
             print(f"\n{'=' * 20} {name} {'=' * 20}")
             command(args)
     else:
-        _COMMANDS[args.command](args)
+        {**_COMMANDS, **_SERVICE_COMMANDS}[args.command](args)
     return 0
 
 

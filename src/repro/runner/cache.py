@@ -23,12 +23,36 @@ from __future__ import annotations
 
 import json
 import os
+import re
+import socket
+import time
 from itertools import count
 from pathlib import Path
 from typing import Callable
 
 #: Per-process counter making concurrent same-key writers collision-free.
 _TMP_COUNTER = count()
+
+#: Per-process random nonce: with the cache root on a *shared*
+#: filesystem, hostname+pid alone is not unique — two hosts can run the
+#: same pid, and pid reuse after a crash could collide with a dead
+#: writer's orphan.  The nonce survives ``fork`` (the child's pid
+#: changes, which restores uniqueness) and makes writer tags
+#: collision-free across hosts and across time.
+_WRITER_NONCE = os.urandom(4).hex()
+
+#: Seconds a *foreign* writer's temp file must sit untouched before
+#: :meth:`ResultCache.sweep` treats it as a dead host's orphan.  Live
+#: writers replace their temp file within milliseconds, so anything
+#: older by minutes is wreckage; anything younger could be a concurrent
+#: host's in-flight write and must be left alone.
+DEFAULT_TMP_GRACE_S = 120.0
+
+
+def writer_tag() -> str:
+    """This process's globally distinguishable cache-writer identity."""
+    host = re.sub(r"[^A-Za-z0-9-]", "-", socket.gethostname()) or "host"
+    return f"{host}-{os.getpid()}-{_WRITER_NONCE}"
 
 
 def default_cache_root() -> Path:
@@ -101,16 +125,20 @@ class ResultCache:
         final ``os.replace`` is atomic) under a unique non-``.json``
         name, and is fsynced before the rename: a SIGKILL at any point
         leaves either the old entry, the new entry, or an orphaned temp
-        file — never a torn ``*.json``.  An unwritable cache (root
-        shadowed by a file, permissions, disk full) degrades to no
-        memoisation — it must never abort the measurement run that
-        produced the payload.
+        file — never a torn ``*.json``.  The temp name embeds
+        :func:`writer_tag` (hostname + pid + per-process nonce), so on
+        a cache directory *shared between hosts* two writers racing on
+        one key can never collide on the temp file either — last
+        ``os.replace`` wins and both renames install an intact entry.
+        An unwritable cache (root shadowed by a file, permissions, disk
+        full) degrades to no memoisation — it must never abort the
+        measurement run that produced the payload.
         """
         tmp: Path | None = None
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             path = self.path_for(key)
-            tmp = self.root / (f"{key}.{os.getpid()}."
+            tmp = self.root / (f"{key}.{writer_tag()}."
                                f"{next(_TMP_COUNTER)}.tmp")
             fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
             try:
@@ -127,19 +155,33 @@ class ResultCache:
                 except OSError:
                     pass
 
-    def sweep(self) -> int:
-        """Remove orphaned ``*.tmp`` files left by killed writers.
+    def sweep(self, grace_s: float = DEFAULT_TMP_GRACE_S) -> int:
+        """Remove orphaned ``*.tmp`` files left by *dead* writers.
 
-        Only this process's *own* stale files are certainly dead; other
-        pids' temp files could belong to a live concurrent run, so only
-        files that have stopped changing (any existing ``*.tmp`` here,
-        since writers replace within milliseconds) are collected.  Safe
-        to call any time; returns how many were removed.
+        This process's own temp files (matched by :func:`writer_tag` in
+        the name) are always wreckage — the writer either replaced or
+        unlinked them inline — and are reaped immediately.  A *foreign*
+        temp file could belong to a live writer on another host
+        mid-``put``, so it is only reaped once its mtime is older than
+        ``grace_s`` (writers replace within milliseconds; a dead host's
+        orphan only ever ages).  ``grace_s=0`` restores the take-
+        everything behaviour for single-host cleanup like
+        :meth:`clear`.  Safe to call any time; returns how many were
+        removed.
         """
         removed = 0
         if not self.root.is_dir():
             return removed
+        own_marker = f".{writer_tag()}."
+        now = time.time()
         for path in self.root.glob("*.tmp"):
+            if own_marker not in path.name and grace_s > 0:
+                try:
+                    age = now - path.stat().st_mtime
+                except OSError:
+                    continue
+                if age < grace_s:
+                    continue
             try:
                 path.unlink()
                 removed += 1
@@ -153,7 +195,7 @@ class ResultCache:
         removed = 0
         if not self.root.is_dir():
             return removed
-        self.sweep()
+        self.sweep(grace_s=0.0)
         for path in self.root.glob("*.json"):
             try:
                 path.unlink()

@@ -1,0 +1,169 @@
+"""Worker fleets: real subprocess workers, optionally under chaos.
+
+A :class:`WorkerFleet` spawns N genuine ``python -m repro worker``
+processes against one queue directory — the same processes a multi-host
+deployment would run per machine, so killing one *is* the host-failure
+experiment, not a simulation of it.  The fleet's chaos controller
+(driven by :class:`~repro.service.chaos.HostChaosConfig`) SIGKILLs
+members on deterministic draws and respawns them, which is how the
+serve-smoke gate and the host-chaos suite exercise lease expiry and
+takeover with nothing mocked.
+
+The fleet object itself holds no protocol state — losing the parent
+process orphans nothing, because workers drain against the directory,
+not against their spawner.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.service.chaos import HostChaosConfig, kill_process
+from repro.service.lease import DEFAULT_TTL_S
+
+
+class WorkerFleet:
+    """Spawn, kill, respawn and drain ``python -m repro worker``s."""
+
+    def __init__(self, queue_root: str | Path,
+                 cache_root: str | Path | None = None,
+                 size: int = 2,
+                 ttl_s: float = DEFAULT_TTL_S,
+                 poll_s: float = 0.1,
+                 chaos: HostChaosConfig | None = None,
+                 python: str | None = None,
+                 extra_env: dict[str, str] | None = None) -> None:
+        self.queue_root = Path(queue_root)
+        self.cache_root = Path(cache_root) if cache_root else None
+        self.size = max(1, int(size))
+        self.ttl_s = float(ttl_s)
+        self.poll_s = float(poll_s)
+        self.chaos = chaos
+        self.python = python or sys.executable
+        self.extra_env = dict(extra_env or {})
+        self.procs: list[subprocess.Popen | None] = [None] * self.size
+        self.kills = 0
+        self.respawns = 0
+        self._chaos_tick = 0
+        self._next_chaos_at = 0.0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _command(self) -> list[str]:
+        cmd = [self.python, "-m", "repro", "worker",
+               "--queue", str(self.queue_root),
+               "--lease-ttl", str(self.ttl_s),
+               "--poll", str(self.poll_s)]
+        if self.cache_root is not None:
+            cmd += ["--cache-dir", str(self.cache_root)]
+        return cmd
+
+    def _spawn(self, slot: int) -> subprocess.Popen:
+        env = {**os.environ, **self.extra_env}
+        src = Path(__file__).resolve().parents[2]
+        env["PYTHONPATH"] = (f"{src}{os.pathsep}{env['PYTHONPATH']}"
+                             if env.get("PYTHONPATH") else str(src))
+        proc = subprocess.Popen(self._command(), env=env,
+                                stdout=subprocess.DEVNULL,
+                                stderr=subprocess.DEVNULL)
+        self.procs[slot] = proc
+        return proc
+
+    def start(self) -> None:
+        for slot in range(self.size):
+            if self.procs[slot] is None:
+                self._spawn(slot)
+        if self.chaos is not None:
+            self._next_chaos_at = (time.monotonic()
+                                   + self.chaos.kill_interval_s)
+
+    def alive(self) -> int:
+        return sum(1 for proc in self.procs
+                   if proc is not None and proc.poll() is None)
+
+    # -- supervision (call from the coordinator's poll loop) ---------------
+
+    def poll(self) -> None:
+        """One supervision tick: run chaos draws, respawn the dead.
+
+        Respawning *after* the chaos draw means a killed worker stays
+        dead for at least one tick — its lease must genuinely expire
+        and be reclaimed by a survivor, not by its own instant
+        replacement racing the TTL.
+        """
+        self._chaos_poll()
+        for slot, proc in enumerate(self.procs):
+            if proc is not None and proc.poll() is not None:
+                self._spawn(slot)
+                self.respawns += 1
+
+    def _chaos_poll(self) -> None:
+        if self.chaos is None or self.chaos.kill_rate <= 0:
+            return
+        now = time.monotonic()
+        if now < self._next_chaos_at:
+            return
+        self._next_chaos_at = now + self.chaos.kill_interval_s
+        victim = self.chaos.draw_kill(self._chaos_tick, self.size)
+        self._chaos_tick += 1
+        if victim is None:
+            return
+        proc = self.procs[victim]
+        if proc is not None and proc.poll() is None:
+            if kill_process(proc.pid):
+                self.kills += 1
+
+    def kill_one(self, slot: int = 0) -> bool:
+        """Deterministic host loss for tests: SIGKILL a named member."""
+        proc = self.procs[slot]
+        if proc is None or proc.poll() is not None:
+            return False
+        ok = kill_process(proc.pid)
+        if ok:
+            self.kills += 1
+            proc.wait(timeout=10.0)
+        return ok
+
+    # -- teardown ----------------------------------------------------------
+
+    def drain(self, timeout_s: float = 30.0) -> bool:
+        """SIGTERM everyone (graceful drain) and wait; True if all left."""
+        for proc in self.procs:
+            if proc is not None and proc.poll() is None:
+                try:
+                    proc.terminate()
+                except OSError:
+                    pass
+        deadline = time.monotonic() + timeout_s
+        for proc in self.procs:
+            if proc is None:
+                continue
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                return False
+        return True
+
+    def stop(self) -> None:
+        """Hard stop: kill anything still running (tests' finally path)."""
+        for proc in self.procs:
+            if proc is not None and proc.poll() is None:
+                kill_process(proc.pid)
+        for proc in self.procs:
+            if proc is not None:
+                try:
+                    proc.wait(timeout=10.0)
+                except subprocess.TimeoutExpired:
+                    pass
+
+    def __enter__(self) -> "WorkerFleet":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

@@ -1,0 +1,146 @@
+"""Job specifications: what a client submits to the evaluation service.
+
+A :class:`JobSpec` is the declarative form of one evaluation campaign —
+a (platform × category) sub-grid of the Figure-1 matrix at a chosen
+seed and knob sizing — that expands deterministically into the same
+:class:`~repro.runner.engine.CellSpec` objects the
+:class:`~repro.runner.engine.ExperimentRunner` executes directly.  The
+job's identity is the SHA-256 of its canonical JSON, so submission is
+naturally idempotent (re-submitting the same campaign re-points at the
+same job) and two clients asking for overlapping grids share cells
+through the content-addressed result cache rather than recomputing.
+
+``ensemble``/``batch`` ride along as *execution strategy hints*, not
+measurement inputs: they are excluded from the job id exactly as they
+are excluded from cell cache keys, because payloads are bit-identical
+either way (the differential suites prove it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+
+from repro.runner.engine import WORKLOAD_CATEGORY, CellSpec
+
+#: Current job-file schema; readers reject anything else.
+JOB_SCHEMA = "repro-service-job/1"
+
+
+def _default_platforms() -> tuple[str, ...]:
+    from repro.common import PlatformClass
+    return tuple(p.value for p in PlatformClass)
+
+
+def _default_categories() -> tuple[str, ...]:
+    from repro.attacks.base import AttackCategory
+    return tuple(c.value for c in AttackCategory) + (WORKLOAD_CATEGORY,)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One evaluation campaign, declaratively.
+
+    ``knobs`` is the canonical tuple form from
+    ``MatrixKnobs.as_key()``; ``platforms``/``categories`` name the
+    sub-grid (category ``"workload"`` selects the reference-workload
+    cell).  ``ensemble``/``batch`` choose the vectorized execution
+    lanes and deliberately do not participate in :attr:`job_id`.
+    """
+
+    seed: int = 0x2019
+    knobs: tuple[tuple[str, int], ...] = ()
+    platforms: tuple[str, ...] = field(default_factory=_default_platforms)
+    categories: tuple[str, ...] = field(default_factory=_default_categories)
+    ensemble: bool = False
+    batch: bool = False
+
+    @property
+    def job_id(self) -> str:
+        """Content address of the campaign (strategy flags excluded)."""
+        material = json.dumps({
+            "schema": JOB_SCHEMA,
+            "seed": self.seed,
+            "knobs": [list(pair) for pair in self.knobs],
+            "platforms": list(self.platforms),
+            "categories": list(self.categories),
+        }, sort_keys=True)
+        return "job-" + hashlib.sha256(
+            material.encode("utf-8")).hexdigest()[:16]
+
+    def cells(self) -> list[CellSpec]:
+        """The job's grid, in deterministic platform-major order."""
+        return [CellSpec(seed=self.seed, platform=platform,
+                         category=category, knobs=self.knobs)
+                for platform in self.platforms
+                for category in self.categories]
+
+    # -- (de)serialisation -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": JOB_SCHEMA,
+            "job_id": self.job_id,
+            "seed": self.seed,
+            "knobs": [list(pair) for pair in self.knobs],
+            "platforms": list(self.platforms),
+            "categories": list(self.categories),
+            "ensemble": self.ensemble,
+            "batch": self.batch,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        if data.get("schema") != JOB_SCHEMA:
+            raise ValueError(
+                f"not a {JOB_SCHEMA} document: {data.get('schema')!r}")
+        return cls(
+            seed=int(data["seed"]),
+            knobs=tuple((str(k), int(v)) for k, v in data.get("knobs", [])),
+            platforms=tuple(data["platforms"]),
+            categories=tuple(data["categories"]),
+            ensemble=bool(data.get("ensemble", False)),
+            batch=bool(data.get("batch", False)))
+
+    # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def matrix(cls, quick: bool = True, seed: int = 0x2019,
+               ensemble: bool = False, batch: bool = False) -> "JobSpec":
+        """The full Figure-1 evaluation grid as one job."""
+        from repro.attacks.suites import MatrixKnobs
+        knobs = MatrixKnobs.quick() if quick else MatrixKnobs.full()
+        return cls(seed=seed, knobs=knobs.as_key(),
+                   ensemble=ensemble, batch=batch)
+
+    @classmethod
+    def from_manifest(cls, manifest) -> "JobSpec":
+        """Reconstruct the campaign a RunManifest describes.
+
+        This is the cold-resume path: a manifest plus the shared result
+        cache is enough to re-submit the job — cells whose payloads
+        already sit in the cache are skipped by every worker, so only
+        genuinely missing cells recompute.
+        """
+        coords = sorted(manifest.outcomes)
+        platforms: list[str] = []
+        categories: list[str] = []
+        for cell in coords:
+            platform, _, category = cell.partition("/")
+            if platform not in platforms:
+                platforms.append(platform)
+            if category not in categories:
+                categories.append(category)
+        knobs = tuple(sorted((str(k), int(v))
+                             for k, v in manifest.knobs.items()))
+        return cls(seed=int(manifest.seed or 0), knobs=knobs,
+                   platforms=tuple(platforms),
+                   categories=tuple(categories))
+
+    def scoped(self, platforms=None, categories=None) -> "JobSpec":
+        """A copy restricted to a sub-grid (test-sized jobs)."""
+        return replace(
+            self,
+            platforms=tuple(platforms) if platforms else self.platforms,
+            categories=tuple(categories) if categories else self.categories)

@@ -1,0 +1,169 @@
+"""The directory-backed job queue: atomic files as the whole protocol.
+
+A queue is a directory tree any number of hosts can mount::
+
+    <root>/jobs/<job_id>.json      submitted campaigns (atomic writes)
+    <root>/leases/<key>.lease      single-flight work leases per cache key
+    <root>/failed/<key>.json       terminal per-cell failure records
+
+plus the shared content-addressed
+:class:`~repro.runner.cache.ResultCache` (conventionally
+``<root>/cells``, but any shared directory works) that holds every
+completed cell's payload.  There is deliberately no server: submission
+is one crash-safe file publish, claiming is one ``O_EXCL`` create, and
+completion is the cache entry itself — so the queue's durability is the
+filesystem's, and "the coordinator died" is not a failure mode the
+protocol can even express.
+
+Torn job files — a submitting host that died mid-write *around* the
+atomic publish (only possible for files written by other tooling), or
+chaos tearing one on purpose — are quarantined aside as ``*.torn``
+rather than trusted or allowed to wedge the listing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from itertools import count
+from pathlib import Path
+
+from repro.runner.cache import ResultCache
+from repro.service.jobs import JobSpec
+from repro.service.lease import LEASE_SUFFIX, lease_state, read_lease
+
+#: Per-process counter for unique submission temp names.
+_SUBMIT_COUNTER = count()
+
+
+class JobQueue:
+    """One queue directory; all operations are crash-safe file ops."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.leases_dir = self.root / "leases"
+        self.failed_dir = self.root / "failed"
+        #: Job files quarantined because they would not parse.
+        self.torn_jobs_quarantined = 0
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, job: JobSpec) -> str:
+        """Publish a job atomically; idempotent by content address."""
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        path = self.job_path(job.job_id)
+        tmp = self.jobs_dir / (f"{job.job_id}.{os.getpid()}."
+                               f"{next(_SUBMIT_COUNTER)}.tmp")
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        try:
+            os.write(fd, json.dumps(job.to_dict(),
+                                    sort_keys=True).encode("utf-8"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, path)
+        return job.job_id
+
+    def job_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.json"
+
+    # -- listing / loading -------------------------------------------------
+
+    def job_ids(self) -> list[str]:
+        """Submitted job ids, sorted; torn files are quarantined, not
+        returned."""
+        if not self.jobs_dir.is_dir():
+            return []
+        ids = []
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            if self.load(path.stem) is not None:
+                ids.append(path.stem)
+        return ids
+
+    def load(self, job_id: str) -> JobSpec | None:
+        """The job, or ``None`` when absent or quarantined as torn."""
+        path = self.job_path(job_id)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            return JobSpec.from_dict(json.loads(text))
+        except (ValueError, TypeError, KeyError):
+            self._quarantine_job(path)
+            return None
+
+    def _quarantine_job(self, path: Path) -> None:
+        """Move a torn job file aside so it stops poisoning listings.
+
+        The rename is naturally single-winner (like lease reaping), so
+        concurrent readers quarantine it exactly once.
+        """
+        try:
+            os.rename(path, path.with_suffix(".torn"))
+            self.torn_jobs_quarantined += 1
+        except OSError:
+            pass
+
+    # -- per-cell state ----------------------------------------------------
+
+    def lease_path(self, key: str) -> Path:
+        return self.leases_dir / f"{key}{LEASE_SUFFIX}"
+
+    def lease_state(self, key: str) -> str:
+        return lease_state(self.lease_path(key))
+
+    def lease_owner(self, key: str) -> str | None:
+        info = read_lease(self.lease_path(key))
+        return info.owner if info else None
+
+    def held_leases(self) -> dict[str, str]:
+        """``{cache key: owner}`` for every *fresh* lease on disk."""
+        if not self.leases_dir.is_dir():
+            return {}
+        held = {}
+        for path in self.leases_dir.glob(f"*{LEASE_SUFFIX}"):
+            if lease_state(path) == "held":
+                info = read_lease(path)
+                if info is not None:
+                    held[path.name[:-len(LEASE_SUFFIX)]] = info.owner
+        return held
+
+    # -- terminal failures -------------------------------------------------
+
+    def failed_path(self, key: str) -> Path:
+        return self.failed_dir / f"{key}.json"
+
+    def mark_failed(self, key: str, record: dict) -> None:
+        """Persist a terminal per-cell failure record, atomically."""
+        self.failed_dir.mkdir(parents=True, exist_ok=True)
+        tmp = self.failed_dir / (f"{key}.{os.getpid()}."
+                                 f"{next(_SUBMIT_COUNTER)}.tmp")
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        try:
+            os.write(fd, json.dumps(record, sort_keys=True).encode("utf-8"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, self.failed_path(key))
+
+    def failure(self, key: str) -> dict | None:
+        try:
+            return json.loads(
+                self.failed_path(key).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+
+    def clear_failure(self, key: str) -> None:
+        """Forget a terminal failure so the cell becomes claimable again."""
+        try:
+            self.failed_path(key).unlink()
+        except OSError:
+            pass
+
+    # -- conventions -------------------------------------------------------
+
+    def default_cache(self) -> ResultCache:
+        """The conventional shared cell cache living inside the queue."""
+        return ResultCache(self.root / "cells")

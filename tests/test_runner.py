@@ -13,6 +13,7 @@ import json
 import os
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -354,17 +355,63 @@ class TestResultCache:
 class TestCacheCrashSafety:
     def test_torn_tmp_file_is_invisible_and_swept(self, tmp_path):
         """A SIGKILLed writer leaves a ``*.tmp`` file, never a torn
-        ``*.json``: reads ignore it, and sweep() collects it."""
+        ``*.json``: reads ignore it, and sweep() collects it once it
+        is demonstrably orphaned."""
         cache = ResultCache(tmp_path)
         cache.put("abc", {"x": 1})
-        torn = tmp_path / "abc.9999.0.tmp"
+        torn = tmp_path / "abc.deadhost-9999-feed0000.0.tmp"
         torn.write_text('{"x": 1, "trunca', encoding="utf-8")
         assert cache.get("abc") == {"x": 1}   # tmp never consulted
         assert len(cache) == 1                # tmp not counted
+        # Fresh *foreign* temp files are protected by the grace window:
+        # another host could be mid-put this very moment.
+        assert cache.sweep() == 0
+        assert torn.exists()
+        # Aged past the grace window it is a dead host's orphan.
+        old = time.time() - 3600.0
+        os.utime(torn, (old, old))
         assert cache.sweep() == 1
         assert not torn.exists()
         assert cache.stale_tmp_removed == 1
         assert cache.get("abc") == {"x": 1}   # real entry untouched
+
+    def test_own_tmp_files_swept_without_grace(self, tmp_path):
+        """This process's own writer tag marks its temp files as
+        certainly dead — the inline ``put`` already replaced or
+        unlinked them, so anything left is reaped immediately."""
+        from repro.runner.cache import writer_tag
+        cache = ResultCache(tmp_path)
+        own = tmp_path / f"abc.{writer_tag()}.999.tmp"
+        own.write_text("{", encoding="utf-8")
+        assert cache.sweep() == 1
+        assert not own.exists()
+
+    def test_two_writers_racing_on_one_key_never_tear(self, tmp_path):
+        """Two caches with distinct writer identities (two hosts on a
+        shared directory) hammering the same key concurrently must end
+        with an intact entry from one of them and no temp debris."""
+        import threading
+
+        a, b = ResultCache(tmp_path), ResultCache(tmp_path)
+        payload_a = {"writer": "a", "rounds": list(range(32))}
+        payload_b = {"writer": "b", "rounds": list(range(32))}
+        start = threading.Barrier(2)
+
+        def hammer(cache, payload):
+            start.wait()
+            for _ in range(50):
+                cache.put("contested", payload)
+
+        threads = [threading.Thread(target=hammer, args=(a, payload_a)),
+                   threading.Thread(target=hammer, args=(b, payload_b))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        final = a.get("contested")
+        assert final in (payload_a, payload_b)
+        assert a.corrupt_discarded == 0
+        assert list(tmp_path.glob("*.tmp")) == []
 
     def test_validator_hook_quarantines_parseable_but_untrusted(
             self, tmp_path):
