@@ -1,11 +1,13 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench diff matrix chaos serve-smoke lint determinism ci
+.PHONY: test bench diff matrix scan chaos serve-smoke lint determinism ci
 
 ## Tier-1 test suite (fast; micro-benchmarks excluded via the bench marker).
+## PYTEST_ARGS lets CI bolt on reporting flags (--junitxml, --durations)
+## without forking the invocation.
 test:
-	$(PYTHON) -m pytest -x -q
+	$(PYTHON) -m pytest -x -q $(PYTEST_ARGS)
 
 ## Run the simulator micro-benchmarks and record BENCH_<date>.json.
 bench:
@@ -18,6 +20,13 @@ diff:
 ## Quick evaluation matrix (Figure 1) from the CLI.
 matrix:
 	$(PYTHON) -m repro figure1
+
+## Speculation scan: sweep the gadget corpus across the quick config grid
+## with the multi-path explorer; non-zero exit on any expectation
+## violation; leaves scan-report.{json,txt} for the CI artifact.
+scan:
+	$(PYTHON) -m repro scan --no-cache --check \
+		--report-json scan-report.json --report-txt scan-report.txt
 
 ## Chaos suite: inject crash/hang/raise/corrupt faults into the runner's
 ## own workers (process level) and SIGKILL whole fleet members / plant

@@ -18,7 +18,7 @@ Quick start::
     print(ForeshadowAttack(sgx, victim.handle).run())
 """
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "arch",
@@ -37,4 +37,5 @@ __all__ = [
     "power",
     "runner",
     "service",
+    "spec",
 ]

@@ -140,6 +140,30 @@ def _transient(args) -> None:
     print(render_table(headers, rows))
 
 
+def _scan(args) -> int:
+    from repro.spec import run_scan
+    runner = _make_runner(args)
+    report = run_scan(quick=not args.full, runner=runner)
+    print(report.render())
+    print(f"\n{runner.stats.summary()}")
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(f"wrote {args.report_json}")
+    if args.report_txt:
+        with open(args.report_txt, "w", encoding="utf-8") as fh:
+            fh.write(report.render() + "\n")
+        print(f"wrote {args.report_txt}")
+    violations = report.violations()
+    if violations:
+        print("\nEXPECTATION VIOLATIONS:")
+        for violation in violations:
+            print(f"  {violation}")
+        if args.check:
+            return 1
+    return 0
+
+
 def _advisor(args) -> None:
     from repro.attacks.base import AttackCategory
     from repro.common import PlatformClass
@@ -266,6 +290,12 @@ _SERVICE_COMMANDS = {
     "status": _status,
 }
 
+#: Analysis verbs: excluded from ``all`` (``scan --check`` is a CI gate
+#: with its own exit-code semantics).
+_ANALYSIS_COMMANDS = {
+    "scan": _scan,
+}
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
@@ -273,10 +303,12 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate artefacts of 'In Hardware We Trust' "
                     "(DAC 2019) from simulation.")
     parser.add_argument("command",
-                        choices=[*_COMMANDS, *_SERVICE_COMMANDS, "all"],
+                        choices=[*_COMMANDS, *_SERVICE_COMMANDS,
+                                 *_ANALYSIS_COMMANDS, "all"],
                         nargs="?", default="figure1",
-                        help="which artefact to regenerate, or a "
-                             "service verb (submit/serve/worker/status) "
+                        help="which artefact to regenerate, a service "
+                             "verb (submit/serve/worker/status), or "
+                             "'scan' (the Spectre gadget-corpus sweep) "
                              "(default: figure1)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for independent cells "
@@ -358,13 +390,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--progress", metavar="PATH", default=None,
                         help="'serve': append JSONL progress records "
                              "per poll to PATH")
+    parser.add_argument("--check", action="store_true",
+                        help="'scan': exit nonzero on any expectation "
+                             "violation (safe gadget leaking or "
+                             "vulnerable gadget reported clean) — the "
+                             "CI gate")
+    parser.add_argument("--report-json", metavar="PATH", default=None,
+                        help="'scan': write the canonical JSON leak "
+                             "report to PATH")
+    parser.add_argument("--report-txt", metavar="PATH", default=None,
+                        help="'scan': write the rendered leak-report "
+                             "table to PATH")
     args = parser.parse_args(argv)
     if args.command == "all":
         for name, command in _COMMANDS.items():
             print(f"\n{'=' * 20} {name} {'=' * 20}")
             command(args)
     else:
-        {**_COMMANDS, **_SERVICE_COMMANDS}[args.command](args)
+        command = {**_COMMANDS, **_SERVICE_COMMANDS,
+                   **_ANALYSIS_COMMANDS}[args.command]
+        return int(command(args) or 0)
     return 0
 
 

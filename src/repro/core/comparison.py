@@ -36,20 +36,18 @@ from repro.attacks.cache_sca import (
     PrimeProbeAttack,
     _CacheAttackConfig,
 )
-from repro.attacks.foreshadow import ForeshadowAttack
-from repro.attacks.meltdown import MeltdownAttack
 from repro.attacks.software import DMAAttack
-from repro.attacks.spectre import SpectreBTBAttack, SpectreV1Attack
-from repro.common import PlatformClass
-from repro.cpu.predictor import PredictorConfig
+from repro.attacks.transient_oracle import (
+    ORACLE_ATTACKS,
+    TRANSIENT_DESIGN_POINTS,
+    design_soc_variant,
+    scripted_transient_scores,
+)
 from repro.cpu.soc import (
-    SoC,
-    SoCConfig,
     make_embedded_soc,
     make_mobile_soc,
     make_server_soc,
 )
-from repro.cpu.speculative import SpeculativeConfig
 from repro.crypto.rng import XorShiftRNG
 from repro.runner import derive_seed, parallel_map
 
@@ -231,11 +229,11 @@ def render_cache_defence_table(rows: list[CacheDefenceRow]) -> str:
 
 # -- TAB-S42 -----------------------------------------------------------------------
 
-def _soc_variant(name: str, **spec_kwargs) -> SoC:
-    return SoC(SoCConfig(
-        name=name, platform=PlatformClass.SERVER_DESKTOP, num_cores=2,
-        speculative=spec_kwargs.pop("speculative", True),
-        spec=SpeculativeConfig(**spec_kwargs)))
+# The design points and scripted-attack runs live in
+# repro.attacks.transient_oracle so the Spectre scanner can sweep the
+# same grid and the differential suite can compare against the same
+# measurements; _soc_variant stays as the historical alias.
+_soc_variant = design_soc_variant
 
 
 def transient_applicability_table(secret: bytes = b"TRNS",
@@ -248,39 +246,12 @@ def transient_applicability_table(secret: bytes = b"TRNS",
     on the commodity speculative design, each mitigation kills exactly its
     attack, and the in-order (embedded) design is immune across the board.
     """
-    designs = [
-        ("speculative (commodity)", {}),
-        ("in-order (embedded-class)", {"speculative": False}),
-        ("fault at issue (Meltdown fix)", {"fault_at_retirement": False}),
-        ("no L1TF forwarding (Foreshadow fix)", {"l1tf_forwarding": False}),
-        ("BTB tagged per context (v2 fix)",
-         {"predictor": PredictorConfig(btb_tag_with_asid=True)}),
-        ("no transient window", {"transient_window": 0}),
-    ]
-    headers = ["design point", "spectre-v1", "spectre-v2", "meltdown",
-               "foreshadow"]
+    headers = ["design point", *ORACLE_ATTACKS]
     rows: list[list[str]] = []
-    for label, kwargs in designs:
-        scores: list[str] = [label]
+    for label, _ in TRANSIENT_DESIGN_POINTS:
         # Independent digest-derived stream per (design point, attack):
         # adding a design point or attack cannot shift any other cell.
-        soc = _soc_variant(label, **kwargs)
-        rng = XorShiftRNG(derive_seed(seed, label, "spectre-v1"))
-        scores.append(f"{SpectreV1Attack(soc, secret, rng=rng).run().score:.2f}")
-        soc = _soc_variant(label, **kwargs)
-        rng = XorShiftRNG(derive_seed(seed, label, "spectre-v2"))
-        scores.append(
-            f"{SpectreBTBAttack(soc, secret, rng=rng).run().score:.2f}")
-        soc = _soc_variant(label, **kwargs)
-        scores.append(f"{MeltdownAttack(soc, secret).run().score:.2f}")
-        soc = _soc_variant(label, **kwargs)
-        if soc.config.speculative:
-            sgx = SGX(soc)
-            victim = sgx.deploy_aes_victim(
-                bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"))
-            fs = ForeshadowAttack(sgx, victim.handle).run()
-            scores.append(f"{fs.score:.2f}")
-        else:
-            scores.append("0.00")
-        rows.append(scores)
+        scores = scripted_transient_scores(label, secret=secret, seed=seed)
+        rows.append([label, *(f"{scores[attack]:.2f}"
+                              for attack in ORACLE_ATTACKS)])
     return headers, rows

@@ -57,6 +57,13 @@ class SpeculativeCore(Core):
         self.predictor = BranchPredictor(self.spec.predictor)
         self.transient_runs = 0
         self.transient_instrs = 0
+        #: Optional :class:`repro.spec.explorer.SpeculationExplorer`.  When
+        #: attached, every branch, return and late-faulting load reports its
+        #: fork site to the explorer instead of running the predictor-driven
+        #: single-path excursion — the explorer walks *both* paths itself.
+        #: ``None`` (the default) keeps behaviour bit-identical to the
+        #: retained reference oracle.
+        self.explorer = None
         #: Word-granular plaintext view of recently CPU-touched data; the
         #: model of "what the L1 data array holds".  Consulted only when the
         #: tag check (hierarchy L1 presence) also passes.
@@ -85,10 +92,20 @@ class SpeculativeCore(Core):
     def _execute_branch(self, instr: Instruction, taken: bool,
                         target: int | None = None) -> None:
         branch_pc = self.pc
-        predicted = self.predictor.predict_taken(branch_pc)
         if target is None:
             target = self._resolve_target(instr)
         fallthrough = branch_pc + INSTR_SIZE
+        if self.explorer is not None:
+            # Multi-path analysis: the explorer forks down the non-taken
+            # direction itself (both directions are covered because the
+            # architectural walk continues down the taken one).  The
+            # predictor is bypassed so the exploration is independent of
+            # training history — every branch is a potential mispredict.
+            self.explorer.on_branch(self, instr, branch_pc, taken,
+                                    target, fallthrough)
+            self.pc = target if taken else fallthrough
+            return
+        predicted = self.predictor.predict_taken(branch_pc)
         self.predictor.update_direction(branch_pc, taken)
         self.predictor.record_outcome(predicted == taken)
         if predicted != taken:
@@ -99,6 +116,12 @@ class SpeculativeCore(Core):
 
     def _execute_ret(self, target: int) -> None:
         ret_pc = self.pc
+        if self.explorer is not None:
+            # The explorer models indirect-predictor injection (Spectre v2)
+            # from attacker-designated targets; RSB/BTB state is bypassed.
+            self.explorer.on_ret(self, ret_pc, target)
+            self.pc = target
+            return
         predicted = self.predictor.predict_return(ret_pc, self._asid)
         if predicted is not None:
             self.predictor.record_outcome(predicted == target)
@@ -137,6 +160,9 @@ class SpeculativeCore(Core):
         try:
             value = self.read_mem(addr)
         except PageFault as fault:
+            if self.explorer is not None:
+                self.explorer.on_late_fault(self, instr, fault, next_pc)
+                raise
             forwarded = self._forwarded_value(fault)
             if forwarded is not None:
                 self._run_transient(next_pc, preload={instr.rd: forwarded})

@@ -75,6 +75,14 @@ class Program:
         """Return the instruction at absolute address ``addr``, if any."""
         return self._by_addr.get(addr)
 
+    def decoded_entry(self, addr: int) -> tuple[int, Instruction, int | None] | None:
+        """The predecoded ``(opcode, instr, static_target)`` at ``addr``.
+
+        Public accessor for analysis tools (the speculation explorer walks
+        programs through this table rather than re-decoding per step).
+        """
+        return self._decoded.get(addr)
+
     def address_of(self, label: str) -> int:
         """Absolute address of ``label``.
 

@@ -35,6 +35,7 @@ from repro.runner.chaos import ChaosConfig, FAULT_MODES, chaos_execute_spec
 from repro.runner.engine import (
     DEFAULT_TIMEOUT_S,
     INTEGRITY_KEY,
+    SCAN_CATEGORY,
     WORKLOAD_CATEGORY,
     CellSpec,
     CellTask,
@@ -64,6 +65,7 @@ __all__ = [
     "ResultCache",
     "RetryPolicy",
     "RunnerStats",
+    "SCAN_CATEGORY",
     "WORKLOAD_CATEGORY",
     "cache_key_for",
     "chaos_execute_spec",

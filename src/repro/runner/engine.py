@@ -56,6 +56,10 @@ from repro.runner.stats import CellOutcome, RunnerStats
 #: Pseudo-category for the per-platform reference-workload measurement.
 WORKLOAD_CATEGORY = "workload"
 
+#: Pseudo-category for Spectre-scanner cells (repro.spec): ``platform``
+#: carries a scan-config name instead of a PlatformClass value.
+SCAN_CATEGORY = "spec-scan"
+
 #: Default per-cell wall-clock budget before a worker counts as hung.
 DEFAULT_TIMEOUT_S = 120.0
 
@@ -167,6 +171,18 @@ def execute_spec(spec: CellSpec, collect: bool = False,
     Imports are deferred so that importing :mod:`repro.runner` stays
     cheap and free of circular imports with :mod:`repro.core`.
     """
+    if spec.category == SCAN_CATEGORY:
+        # Spectre-scanner cells: spec.platform names a scan config, not a
+        # PlatformClass, so they branch off before platform resolution.
+        # The sweep is pure analysis (no RNG), so the payload inherits the
+        # full integrity/caching machinery with no extra seeding.
+        from repro.spec.scanner import execute_scan_cell
+        start = time.perf_counter()
+        payload = execute_scan_cell(spec)
+        payload["cell_wall_time_s"] = time.perf_counter() - start
+        payload[INTEGRITY_KEY] = payload_fingerprint(payload)
+        return payload
+
     import repro.obs as obs
     from repro.arch.null import NullArchitecture
     from repro.attacks.base import AttackCategory

@@ -1,0 +1,68 @@
+"""Multi-path speculation analysis: explorer, taint, gadgets, scanner.
+
+This package turns the simulator's transient-execution column from
+*reproduced* (fixed scripted attacks) into *derived* (program analysis):
+
+* :mod:`repro.spec.taint` — word-granular secret marks over registers
+  and physical memory;
+* :mod:`repro.spec.explorer` — a Pitchfork-style forking executor that
+  explores both directions of every branch, injected indirect targets,
+  and late-fault forwarding windows on a real
+  :class:`~repro.cpu.speculative.SpeculativeCore`, flagging
+  taint-dependent wrong-path effects as :class:`LeakEvent`s;
+* :mod:`repro.spec.gadgets` — the scanner corpus: vulnerable gadgets,
+  hardened variants, and negative controls for Spectre v1/v2, Meltdown,
+  and L1TF;
+* :mod:`repro.spec.scanner` — the gadget x architecture/knob sweep,
+  dispatched through the supervised experiment runner (``repro scan``);
+* :mod:`repro.spec.report` — the deterministic leak-report artifact.
+"""
+
+from repro.spec.explorer import CHANNELS, LeakEvent, SpeculationExplorer
+from repro.spec.gadgets import (
+    CORPUS_REV,
+    GADGETS,
+    GADGETS_BY_NAME,
+    Gadget,
+    GadgetInstance,
+)
+from repro.spec.report import LeakReport, ScanRow
+from repro.spec.scanner import (
+    DEFAULT_SCAN_SEED,
+    SCAN_CATEGORY,
+    ScanConfig,
+    execute_scan_cell,
+    full_config_names,
+    quick_config_names,
+    run_scan,
+    scan_config_for,
+    scan_gadget,
+    scan_grid,
+    scan_specs,
+)
+from repro.spec.taint import TaintState
+
+__all__ = [
+    "CHANNELS",
+    "CORPUS_REV",
+    "DEFAULT_SCAN_SEED",
+    "GADGETS",
+    "GADGETS_BY_NAME",
+    "Gadget",
+    "GadgetInstance",
+    "LeakEvent",
+    "LeakReport",
+    "SCAN_CATEGORY",
+    "ScanConfig",
+    "ScanRow",
+    "SpeculationExplorer",
+    "TaintState",
+    "execute_scan_cell",
+    "full_config_names",
+    "quick_config_names",
+    "run_scan",
+    "scan_config_for",
+    "scan_gadget",
+    "scan_grid",
+    "scan_specs",
+]

@@ -1,0 +1,457 @@
+"""Multi-path speculative executor with taint tracking (Pitchfork-style).
+
+The :class:`~repro.cpu.speculative.SpeculativeCore` replays *one*
+mispredicted path per branch, chosen by its trained predictor.  The
+explorer is the analysis-strength version of the same hardware model: it
+steps a program architecturally on a real core and, at **every** branch,
+return, and late-faulting load, forks a bounded transient excursion down
+the non-architectural path — so wrong-path behaviour is covered
+exhaustively rather than only where training happened to mispredict.
+
+Along both the architectural walk and every transient path it propagates
+word-granular taint (:mod:`repro.spec.taint`) from attacker-designated
+secret registers/memory through ALU ops, loads, and address formation.
+A :class:`LeakEvent` is recorded whenever a microarchitecturally visible
+effect — a cache-filling load, a flush, a store, or a branch/indirect
+target — depends on tainted data.  Spectre v1/v2, Meltdown, and L1TF
+transmission all surface as special cases of that single rule.
+
+Design constraints:
+
+* **No pollution.**  Transient probe loads translate and read through the
+  real MMU/bus (so permission checks and forwarding knobs act exactly as
+  in :meth:`SpeculativeCore._transient_load`) but do *not* touch the
+  cache hierarchy or the L1 data view — analysing a program must not
+  perturb the microarchitectural state it is analysing.
+* **Determinism.**  The fork queue is a FIFO ``deque`` with a fixed push
+  order (taken direction first), leaks deduplicate through an
+  insertion-ordered dict, and no container iteration depends on hash
+  order — reports are byte-identical across ``PYTHONHASHSEED``.
+* **Boundedness.**  Each path inherits the core's ``transient_window``
+  budget; global caps on forked states and total transient instructions
+  guarantee termination on cyclic wrong paths.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import MemoryFault, PageFault
+from repro.isa.instructions import INSTR_SIZE, Instruction, InstrKind, WORD_MASK
+from repro.isa.program import Program
+from repro.spec.taint import TaintState
+
+#: Transient leak channels, in documentation order.
+CHANNELS = ("branch-target", "cache-fill", "flush", "store")
+
+#: Fork-site origins: how the wrong path was entered.
+ORIGINS = ("arch", "branch", "btb-inject", "late-fault", "ret")
+
+_ALU_KINDS = frozenset({
+    InstrKind.ADD, InstrKind.SUB, InstrKind.AND, InstrKind.OR,
+    InstrKind.XOR, InstrKind.SHL, InstrKind.SHR, InstrKind.MUL,
+})
+
+#: Instructions that end a transient excursion (serialising or trapping).
+_EXCURSION_ENDERS = frozenset({
+    InstrKind.FENCE, InstrKind.ECALL, InstrKind.HALT, InstrKind.CSRW,
+})
+
+
+@dataclass(frozen=True)
+class LeakEvent:
+    """One taint-dependent microarchitectural effect.
+
+    ``transient`` is True for wrong-path events (the transient-execution
+    channels); False marks *architectural* secret-dependent effects
+    (classic cache-timing/branch leaks), recorded for diagnostics but not
+    counted as speculation leaks by the scanner.
+    """
+
+    channel: str  # one of CHANNELS
+    origin: str  # one of ORIGINS
+    fork_pc: int  # address of the branch/ret/faulting load that forked
+    pc: int  # address of the leaking instruction
+    depth: int  # transient instructions executed before the leak
+    transient: bool
+    address: int | None = None  # the tainted address, when applicable
+
+    def describe(self) -> str:
+        kind = "transient" if self.transient else "architectural"
+        return (f"{kind} {self.channel} at {self.pc:#x} "
+                f"(forked at {self.fork_pc:#x} via {self.origin}, "
+                f"depth {self.depth})")
+
+
+class SpeculationExplorer:
+    """Forking speculative executor over one core of a SoC.
+
+    Usage::
+
+        explorer = SpeculationExplorer(soc)
+        explorer.taint.taint_range(secret_paddr, 8)
+        explorer.run(program, entry="victim", regs={1: attacker_index})
+        assert not explorer.leaked
+
+    The explorer attaches itself to the core for the duration of
+    :meth:`run` (via the ``explorer`` attribute consulted by
+    :class:`~repro.cpu.speculative.SpeculativeCore`); a plain in-order
+    :class:`~repro.cpu.core.Core` has no fork sites, so in-order hosts
+    report no transient leaks by construction.
+    """
+
+    def __init__(self, soc, core_id: int = 0, max_states: int = 64,
+                 max_transient_instrs: int = 4096) -> None:
+        self.soc = soc
+        self.core = soc.cores[core_id]
+        self.max_states = max_states
+        self.max_transient_instrs = max_transient_instrs
+        self.taint = TaintState()
+        #: Spectre v2 model: indirect-predictor entries the attacker has
+        #: planted.  Each return site additionally forks to these targets
+        #: (unless the BTB is context-tagged).
+        self.injection_targets: list[int] = []
+        self.leaks: list[LeakEvent] = []
+        self.truncated = False
+        self._seen: dict[tuple, None] = {}
+        self._transient_instrs = 0
+        self._program: Program | None = None
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def leaked(self) -> bool:
+        """Any taint-dependent effect on a transient path?"""
+        return any(event.transient for event in self.leaks)
+
+    def transient_leaks(self) -> list[LeakEvent]:
+        return [event for event in self.leaks if event.transient]
+
+    def channels(self) -> tuple[str, ...]:
+        return tuple(sorted({e.channel for e in self.leaks if e.transient}))
+
+    def origins(self) -> tuple[str, ...]:
+        return tuple(sorted({e.origin for e in self.leaks if e.transient}))
+
+    # -- the architectural walk --------------------------------------------
+
+    def run(self, program: Program, entry: str | None = None,
+            regs: dict[int, int] | None = None,
+            max_steps: int = 100_000) -> None:
+        """Execute ``program`` architecturally, exploring every fork site.
+
+        ``regs`` preloads architectural registers (attacker-controlled
+        inputs).  The core's privilege, MMU context, and ``fault_resume``
+        are taken as already configured by the caller (gadget setup).
+        """
+        core = self.core
+        core.load_program(program, entry)
+        for idx, value in (regs or {}).items():
+            core.set_reg(idx, value)
+        self._program = program
+        hooked = hasattr(core, "explorer")
+        if hooked:
+            core.explorer = self
+        try:
+            steps = 0
+            while steps < max_steps and not core.halted:
+                pc_before = core.pc
+                entry_t = program.decoded_entry(pc_before)
+                pre_regs = list(core.regs) if entry_t is not None else None
+                traps_before = len(core.trap_log)
+                core.step()
+                steps += 1
+                # Apply architectural taint transfer only for retired
+                # instructions: a trapped step wrote no destination.
+                if entry_t is not None and \
+                        len(core.trap_log) == traps_before:
+                    self._arch_transfer(entry_t[1], pre_regs, pc_before)
+        finally:
+            if hooked:
+                core.explorer = None
+
+    def _arch_transfer(self, instr: Instruction, pre_regs: list[int],
+                       pc: int) -> None:
+        """Propagate taint across one retired architectural instruction."""
+        taint = self.taint
+        t = taint.regs
+        k = instr.kind
+        if k in _ALU_KINDS:
+            taint.set_reg(instr.rd, t[instr.rs1] or t[instr.rs2])
+        elif k is InstrKind.ADDI:
+            taint.set_reg(instr.rd, t[instr.rs1])
+        elif k is InstrKind.LI:
+            taint.set_reg(instr.rd, False)
+        elif k in (InstrKind.CSRR, InstrKind.RDCYCLE):
+            taint.set_reg(instr.rd, False)
+        elif k is InstrKind.LOAD:
+            va = (pre_regs[instr.rs1] + instr.imm) & WORD_MASK \
+                if instr.rs1 else instr.imm & WORD_MASK
+            paddr = self._arch_paddr(va, "read")
+            if t[instr.rs1]:
+                self._record("cache-fill", "arch", pc, pc, 0,
+                             transient=False, address=va)
+            taint.set_reg(instr.rd, taint.mem_tainted(paddr))
+        elif k is InstrKind.STORE:
+            va = (pre_regs[instr.rs1] + instr.imm) & WORD_MASK \
+                if instr.rs1 else instr.imm & WORD_MASK
+            paddr = self._arch_paddr(va, "write")
+            if t[instr.rs1]:
+                self._record("store", "arch", pc, pc, 0,
+                             transient=False, address=va)
+            if paddr is not None:
+                taint.set_mem(paddr, t[instr.rs2])
+        elif k is InstrKind.FLUSH:
+            if t[instr.rs1]:
+                va = (pre_regs[instr.rs1] + instr.imm) & WORD_MASK
+                self._record("flush", "arch", pc, pc, 0,
+                             transient=False, address=va)
+        elif instr.is_branch:
+            if t[instr.rs1] or t[instr.rs2]:
+                self._record("branch-target", "arch", pc, pc, 0,
+                             transient=False)
+        elif k is InstrKind.JAL:
+            taint.set_reg(15, False)
+        elif k is InstrKind.RET:
+            if t[15]:
+                self._record("branch-target", "arch", pc, pc, 0,
+                             transient=False)
+
+    def _arch_paddr(self, va: int, access: str) -> int | None:
+        """Physical address of a retired access (None if it faulted)."""
+        core = self.core
+        try:
+            tr = core.mmu.translate(va, access, core.privilege,
+                                    secure=core.world.is_secure)
+        except MemoryFault:
+            return None
+        return tr.paddr
+
+    # -- fork-site hooks (called by SpeculativeCore) -----------------------
+
+    def on_branch(self, core, instr: Instruction, branch_pc: int,
+                  taken: bool, target: int, fallthrough: int) -> None:
+        """Fork down the non-architectural direction of a branch."""
+        if core.spec.transient_window <= 0:
+            return
+        wrong_path = fallthrough if taken else target
+        if wrong_path is None:
+            return
+        self._explore(core, wrong_path, "branch", branch_pc)
+
+    def on_ret(self, core, ret_pc: int, target: int) -> None:
+        """Fork to attacker-planted indirect-predictor targets (v2)."""
+        if core.spec.transient_window <= 0:
+            return
+        if core.spec.predictor.btb_tag_with_asid:
+            # Context-tagged BTB: cross-context injections never match.
+            return
+        for injected in self.injection_targets:
+            if injected != target:
+                self._explore(core, injected, "btb-inject", ret_pc)
+
+    def on_late_fault(self, core, instr: Instruction, fault: PageFault,
+                      next_pc: int) -> None:
+        """Fork past a faulting load with its transiently forwarded value.
+
+        Meltdown (``fault_at_retirement``) and L1TF (``l1tf_forwarding``)
+        differ only in where the forwarded data comes from; both are
+        resolved by the core's own :meth:`_forwarded_value`, so the knob
+        semantics here are exactly the attack model's.
+        """
+        if core.spec.transient_window <= 0:
+            return
+        forwarded = core._forwarded_value(fault)
+        if forwarded is None:
+            return
+        paddr = getattr(fault, "paddr", None)
+        tainted = self.taint.mem_tainted(paddr)
+        if tainted and fault.reason in ("not-present", "reserved"):
+            # L1TF forwards L1 *data*, not memory: the secret only travels
+            # if its line is actually resident (flushing L1 on exit — the
+            # real Foreshadow mitigation — kills the taint here).
+            tainted = core.hierarchy.present_in_l1(core.config.core_id,
+                                                   paddr)
+        self._explore(core, next_pc, "late-fault", core.pc,
+                      preload={instr.rd: (forwarded, tainted)})
+
+    # -- the forking transient walk ----------------------------------------
+
+    def _explore(self, core, start_pc: int, origin: str, fork_pc: int,
+                 preload: dict[int, tuple[int, bool]] | None = None) -> None:
+        """Walk every wrong path reachable from ``start_pc`` in-window."""
+        program = core.program
+        if program is None:
+            return
+        regs = list(core.regs)
+        taints = self.taint.copy_regs()
+        for rd, (value, tainted) in (preload or {}).items():
+            if rd != 0:
+                regs[rd] = value & WORD_MASK
+                taints[rd] = tainted
+        window = core.spec.transient_window
+        # FIFO over (pc, regs, taints, budget, depth): breadth-first in
+        # fork order, fully deterministic (no hash-ordered iteration).
+        queue: deque = deque()
+        queue.append((start_pc, regs, taints, window, 0))
+        states = 1
+        while queue:
+            pc, regs, taints, budget, depth = queue.popleft()
+            while budget > 0:
+                if self._transient_instrs >= self.max_transient_instrs:
+                    self.truncated = True
+                    return
+                entry = program.decoded_entry(pc)
+                if entry is None:
+                    break  # off-program fetch: the excursion dies
+                _, instr, static_target = entry
+                self._transient_instrs += 1
+                budget -= 1
+                depth += 1
+                k = instr.kind
+                next_pc = pc + INSTR_SIZE
+                if k in _EXCURSION_ENDERS:
+                    break
+                if k is InstrKind.NOP:
+                    pc = next_pc
+                    continue
+                if k is InstrKind.LI:
+                    self._put(regs, taints, instr.rd, instr.imm, False)
+                elif k is InstrKind.ADDI:
+                    self._put(regs, taints, instr.rd,
+                              self._get(regs, instr.rs1) + instr.imm,
+                              taints[instr.rs1])
+                elif k in _ALU_KINDS:
+                    value = core._alu(k, self._get(regs, instr.rs1),
+                                      self._get(regs, instr.rs2))
+                    self._put(regs, taints, instr.rd, value,
+                              taints[instr.rs1] or taints[instr.rs2])
+                elif k is InstrKind.LOAD:
+                    va = (self._get(regs, instr.rs1) + instr.imm) & WORD_MASK
+                    if taints[instr.rs1]:
+                        # Secret-dependent cache fill: the Spectre/Meltdown
+                        # transmission channel.
+                        self._record("cache-fill", origin, fork_pc, pc,
+                                     depth, transient=True, address=va)
+                    value, tainted = self._transient_probe(core, va)
+                    if value is None:
+                        break  # denied with no forwarding: excursion ends
+                    self._put(regs, taints, instr.rd, value, tainted)
+                elif k is InstrKind.STORE:
+                    # Buffered and squashed — but a store-buffer entry at a
+                    # secret-dependent address is itself observable
+                    # (store-to-load forwarding, 4K aliasing).
+                    if taints[instr.rs1]:
+                        va = (self._get(regs, instr.rs1) + instr.imm) \
+                            & WORD_MASK
+                        self._record("store", origin, fork_pc, pc, depth,
+                                     transient=True, address=va)
+                elif k is InstrKind.FLUSH:
+                    if taints[instr.rs1]:
+                        va = (self._get(regs, instr.rs1) + instr.imm) \
+                            & WORD_MASK
+                        self._record("flush", origin, fork_pc, pc, depth,
+                                     transient=True, address=va)
+                elif k in (InstrKind.CSRR, InstrKind.RDCYCLE):
+                    self._put(regs, taints, instr.rd, core.cycles, False)
+                elif instr.is_branch:
+                    if taints[instr.rs1] or taints[instr.rs2]:
+                        self._record("branch-target", origin, fork_pc, pc,
+                                     depth, transient=True)
+                    if static_target is None:
+                        break  # unresolvable label: nothing to walk
+                    a = self._get(regs, instr.rs1)
+                    b = self._get(regs, instr.rs2)
+                    if k is InstrKind.BEQ:
+                        taken = a == b
+                    elif k is InstrKind.BNE:
+                        taken = a != b
+                    elif k is InstrKind.BLT:
+                        taken = a < b
+                    else:
+                        taken = a >= b
+                    follow = static_target if taken else next_pc
+                    forked = next_pc if taken else static_target
+                    # Nested fork: the *other* direction of an in-window
+                    # branch is also a transient path.
+                    if budget > 0 and states < self.max_states:
+                        states += 1
+                        queue.append((forked, list(regs), list(taints),
+                                      budget, depth))
+                    elif states >= self.max_states:
+                        self.truncated = True
+                    pc = follow
+                    continue
+                elif k is InstrKind.JMP:
+                    if static_target is None:
+                        break
+                    pc = static_target
+                    continue
+                elif k is InstrKind.JAL:
+                    if static_target is None:
+                        break
+                    self._put(regs, taints, 15, next_pc, False)
+                    pc = static_target
+                    continue
+                elif k is InstrKind.RET:
+                    if taints[15]:
+                        self._record("branch-target", origin, fork_pc, pc,
+                                     depth, transient=True)
+                    pc = self._get(regs, 15)
+                    continue
+                pc = next_pc
+
+    @staticmethod
+    def _get(regs: list[int], idx: int) -> int:
+        return 0 if idx == 0 else regs[idx]
+
+    @staticmethod
+    def _put(regs: list[int], taints: list[bool], idx: int, value: int,
+             tainted: bool) -> None:
+        if idx != 0:
+            regs[idx] = value & WORD_MASK
+            taints[idx] = tainted
+
+    def _transient_probe(self, core, va: int) -> tuple[int | None, bool]:
+        """A wrong-path load's (value, taint), without cache pollution.
+
+        Mirrors :meth:`SpeculativeCore._transient_load` — including nested
+        terminal-fault forwarding — but never touches the hierarchy or the
+        L1 data view: the analysis must not perturb measured state.
+        """
+        try:
+            tr = core.mmu.translate(va, "read", core.privilege,
+                                    secure=core.world.is_secure)
+        except PageFault as fault:
+            forwarded = core._forwarded_value(fault)
+            if forwarded is None:
+                return None, False
+            paddr = getattr(fault, "paddr", None)
+            tainted = self.taint.mem_tainted(paddr)
+            if tainted and fault.reason in ("not-present", "reserved"):
+                tainted = core.hierarchy.present_in_l1(
+                    core.config.core_id, paddr)
+            return forwarded, tainted
+        except MemoryFault:
+            return None, False
+        try:
+            value = core.bus.read_word(core.master, tr.paddr,
+                                       secure=core.world.is_secure,
+                                       pc=core.pc)
+        except MemoryFault:
+            return None, False
+        return value, self.taint.mem_tainted(tr.paddr)
+
+    # -- leak recording ----------------------------------------------------
+
+    def _record(self, channel: str, origin: str, fork_pc: int, pc: int,
+                depth: int, transient: bool, address: int | None = None
+                ) -> None:
+        key = (channel, origin, fork_pc, pc, transient)
+        if key in self._seen:
+            return
+        self._seen[key] = None
+        self.leaks.append(LeakEvent(channel=channel, origin=origin,
+                                    fork_pc=fork_pc, pc=pc, depth=depth,
+                                    transient=transient, address=address))

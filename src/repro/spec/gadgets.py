@@ -1,0 +1,396 @@
+"""The Spectre-scanner gadget corpus.
+
+Thirteen small programs spanning the transient-execution design space the
+paper surveys: the classic bounds-check bypass and its fenced / masked /
+index-clamped safe variants, an indirect-predictor injection pair
+(Spectre v2), Meltdown-style late-fault forwarding with and without KPTI,
+L1TF stale-PTE forwarding with and without an L1 flush, a flush-based
+transmission channel, and negative controls that hold or touch no secret.
+
+Each :class:`Gadget` knows which microarchitectural *preconditions* its
+leak needs (``requires``); the scanner compares the explorer's verdict on
+every (gadget, config) pair against the expectation derived from those
+preconditions, so a safe variant that leaks — or a vulnerable gadget a
+permissive config fails to flag — is an expectation violation.
+
+Builders place code and data at fixed offsets above 4 MiB into DRAM,
+clear of the SGX enclave page cache (bottom 4 MiB of DRAM) and below the
+TrustZone secure-world window, so the same corpus runs unmodified on
+every architecture host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common import PrivilegeLevel
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.memory.paging import PAGE_SIZE, PageFlags
+
+#: Offsets from ``soc.dram_base``; the 4 MiB floor skips the SGX EPC.
+CODE_OFF = 0x400000
+ARRAY_OFF = 0x410000
+SECRET_OFF = 0x420000
+PROBE_OFF = 0x430000
+PUBLIC_OFF = 0x440000
+
+#: In-bounds byte length of the victim array (power of two, for masking).
+ARRAY_LEN = 64
+
+#: The secret byte value planted at the secret word (any nonzero value).
+SECRET_BYTE = 0x2A
+
+#: Bump when the corpus changes shape: participates in the scan cache key.
+CORPUS_REV = 1
+
+
+@dataclass
+class GadgetInstance:
+    """One gadget, concretised onto a specific SoC."""
+
+    program: Program
+    entry: str | None
+    regs: dict[int, int] = field(default_factory=dict)
+    #: Physical word addresses holding secret data (taint sources).
+    taint_words: tuple[int, ...] = ()
+    #: Spectre-v2 model: predictor targets the attacker has planted.
+    injection_targets: tuple[int, ...] = ()
+    max_steps: int = 4096
+
+
+@dataclass(frozen=True)
+class Gadget:
+    """A corpus entry: a builder plus its leak preconditions."""
+
+    name: str
+    family: str  # spectre-v1 | spectre-v2 | meltdown | l1tf | control
+    vulnerable: bool
+    #: Preconditions beyond speculation itself, drawn from
+    #: {"btb-untagged", "fault-at-retirement", "l1tf-forward"}.
+    requires: frozenset[str]
+    description: str
+    build: Callable  # (soc) -> GadgetInstance
+    #: Smallest transient window that reaches the transmission point
+    #: (exact instruction count of the wrong-path prefix up to and
+    #: including the transmitting access — the tightness test holds the
+    #: corpus to it).
+    min_window: int = 8
+
+
+def _layout(soc) -> dict[str, int]:
+    base = soc.dram_base
+    return {
+        "code": base + CODE_OFF,
+        "array": base + ARRAY_OFF,
+        "secret": base + SECRET_OFF,
+        "probe": base + PROBE_OFF,
+        "public": base + PUBLIC_OFF,
+    }
+
+
+def _plant_data(soc, layout: dict[str, int]) -> None:
+    soc.memory.write_word(layout["secret"], SECRET_BYTE)
+    soc.memory.write_word(layout["public"], 0x11)
+    for i in range(0, ARRAY_LEN, 8):
+        soc.memory.write_word(layout["array"] + i, 0x01)
+
+
+# -- Spectre v1 family -------------------------------------------------------
+
+_V1_BODY = """
+victim:
+    li   r2, {array_len}
+    bge  r1, r2, done
+{hardening}    li   r3, {array}
+    add  r3, r3, r1
+    load r4, 0(r3)
+    li   r6, 6
+    shl  r4, r4, r6
+    li   r5, {probe}
+    add  r5, r5, r4
+    load r6, 0(r5)
+done:
+    halt
+"""
+
+
+def _build_v1(soc, hardening: str = "", oob_target: str = "secret"
+              ) -> GadgetInstance:
+    lay = _layout(soc)
+    _plant_data(soc, lay)
+    text = _V1_BODY.format(array_len=ARRAY_LEN, array=lay["array"],
+                           probe=lay["probe"], hardening=hardening)
+    program = assemble(text, base=lay["code"], name="v1")
+    # Out-of-bounds index that lands array_base + idx on the target word.
+    oob_index = lay[oob_target] - lay["array"]
+    return GadgetInstance(program, "victim", regs={1: oob_index},
+                          taint_words=(lay["secret"],))
+
+
+def _v1_bounds_bypass(soc) -> GadgetInstance:
+    return _build_v1(soc)
+
+
+def _v1_fence(soc) -> GadgetInstance:
+    return _build_v1(soc, hardening="    fence\n")
+
+
+def _v1_masked(soc) -> GadgetInstance:
+    hardening = (f"    li   r7, {ARRAY_LEN - 1}\n"
+                 "    and  r1, r1, r7\n")
+    return _build_v1(soc, hardening=hardening)
+
+
+def _v1_clamped(soc) -> GadgetInstance:
+    # Branchless clamp: (idx - len) has its top bit set iff idx < len
+    # (unsigned borrow), so shifting down 63 and negating yields an
+    # all-ones mask in bounds and zero out of bounds.
+    hardening = ("    sub  r7, r1, r2\n"
+                 "    li   r8, 63\n"
+                 "    shr  r7, r7, r8\n"
+                 "    sub  r7, r0, r7\n"
+                 "    and  r1, r1, r7\n")
+    return _build_v1(soc, hardening=hardening)
+
+
+def _v1_no_secret(soc) -> GadgetInstance:
+    # Negative control: the out-of-bounds wrong-path load reaches only
+    # public data, so nothing taint-dependent ever transmits.
+    return _build_v1(soc, oob_target="public")
+
+
+def _v1_arch_only(soc) -> GadgetInstance:
+    # The secret is architecturally in a register, but the wrong path
+    # performs only ALU work on it — taint without transmission.
+    lay = _layout(soc)
+    _plant_data(soc, lay)
+    text = """
+victim:
+    li   r3, {secret}
+    load r4, 0(r3)
+    li   r1, 1
+    li   r2, 2
+    blt  r1, r2, done
+    add  r5, r4, r4
+    xor  r5, r5, r4
+done:
+    halt
+""".format(secret=lay["secret"])
+    program = assemble(text, base=lay["code"], name="v1-arch-only")
+    return GadgetInstance(program, "victim",
+                          taint_words=(lay["secret"],))
+
+
+def _v1_flush_channel(soc) -> GadgetInstance:
+    # Transmission via clflush at a secret-dependent address instead of a
+    # cache fill (Flush+Flush-style wrong-path channel).
+    lay = _layout(soc)
+    _plant_data(soc, lay)
+    text = """
+victim:
+    li   r2, {array_len}
+    bge  r1, r2, done
+    li   r3, {array}
+    add  r3, r3, r1
+    load r4, 0(r3)
+    li   r6, 6
+    shl  r4, r4, r6
+    li   r5, {probe}
+    add  r5, r5, r4
+    flush 0(r5)
+done:
+    halt
+""".format(array_len=ARRAY_LEN, array=lay["array"], probe=lay["probe"])
+    program = assemble(text, base=lay["code"], name="v1-flush")
+    oob_index = lay["secret"] - lay["array"]
+    return GadgetInstance(program, "victim", regs={1: oob_index},
+                          taint_words=(lay["secret"],))
+
+
+# -- Spectre v2 family -------------------------------------------------------
+
+_V2_BODY = """
+victim:
+    li   r15, {legit}
+    ret
+legit:
+    halt
+gadget:
+    li   r3, {gadget_base}
+    add  r3, r3, r7
+    load r4, 0(r3)
+    li   r6, 6
+    shl  r4, r4, r6
+    li   r5, {probe}
+    add  r5, r5, r4
+    load r6, 0(r5)
+    halt
+"""
+
+
+def _build_v2(soc, gadget_target: str) -> GadgetInstance:
+    lay = _layout(soc)
+    _plant_data(soc, lay)
+    # Two-pass assembly: the first pass resolves label addresses, the
+    # second bakes the legitimate return target into the li immediate.
+    draft = assemble(_V2_BODY.format(legit=0, gadget_base=lay[gadget_target],
+                                     probe=lay["probe"]),
+                     base=lay["code"], name="v2")
+    text = _V2_BODY.format(legit=draft.address_of("legit"),
+                           gadget_base=lay[gadget_target],
+                           probe=lay["probe"])
+    program = assemble(text, base=lay["code"], name="v2")
+    return GadgetInstance(
+        program, "victim", regs={7: 0},
+        taint_words=(lay["secret"],),
+        injection_targets=(program.address_of("gadget"),))
+
+
+def _v2_btb_inject(soc) -> GadgetInstance:
+    # The attacker plants the disclosure gadget's address in the indirect
+    # predictor; the victim's return transiently executes it against the
+    # secret region.
+    return _build_v2(soc, gadget_target="secret")
+
+
+def _v2_no_secret_gadget(soc) -> GadgetInstance:
+    # Negative control: the injected target only ever reads public data.
+    return _build_v2(soc, gadget_target="public")
+
+
+# -- Meltdown / L1TF family --------------------------------------------------
+
+_LATE_FAULT_BODY = """
+attacker:
+    load r2, 0(r1)
+    li   r3, 255
+    and  r2, r2, r3
+    li   r4, 6
+    shl  r2, r2, r4
+    li   r3, {probe}
+    add  r3, r3, r2
+    load r5, 0(r3)
+resume:
+    halt
+"""
+
+
+def _user_page_table(soc, lay: dict[str, int], asid: int):
+    pt = soc.make_page_table(asid=asid)
+    user = PageFlags.PRESENT | PageFlags.USER | PageFlags.WRITABLE
+    pt.map_range(lay["code"], lay["code"], 2 * PAGE_SIZE,
+                 user | PageFlags.EXECUTE)
+    pt.map_range(lay["probe"], lay["probe"], 4 * PAGE_SIZE, user)
+    return pt
+
+
+def _build_meltdown(soc, kpti: bool) -> GadgetInstance:
+    lay = _layout(soc)
+    _plant_data(soc, lay)
+    kernel_va = lay["secret"]
+    program = assemble(_LATE_FAULT_BODY.format(probe=lay["probe"]),
+                       base=lay["code"], name="meltdown")
+    core = soc.cores[0]
+    pt = _user_page_table(soc, lay, asid=3)
+    if not kpti:
+        # Kernel data mapped but supervisor-only: the Meltdown
+        # precondition.  Under KPTI the page is simply absent, so the
+        # walk aborts with no physical address to forward from.
+        pt.map(kernel_va, kernel_va,
+               PageFlags.PRESENT | PageFlags.WRITABLE)
+    core.mmu.set_context(pt.root, asid=3)
+    core.privilege = PrivilegeLevel.USER
+    core.fault_resume = program.address_of("resume")
+    return GadgetInstance(program, "attacker", regs={1: kernel_va},
+                          taint_words=(kernel_va,))
+
+
+def _meltdown_late_fault(soc) -> GadgetInstance:
+    return _build_meltdown(soc, kpti=False)
+
+
+def _meltdown_kpti(soc) -> GadgetInstance:
+    return _build_meltdown(soc, kpti=True)
+
+
+def _build_l1tf(soc, flush_l1: bool) -> GadgetInstance:
+    lay = _layout(soc)
+    _plant_data(soc, lay)
+    secret_va = lay["secret"]
+    program = assemble(_LATE_FAULT_BODY.format(probe=lay["probe"]),
+                       base=lay["code"], name="l1tf")
+    core = soc.cores[0]
+    pt = _user_page_table(soc, lay, asid=4)
+    pt.map(secret_va, secret_va, PageFlags.PRESENT | PageFlags.WRITABLE)
+    core.mmu.set_context(pt.root, asid=4)
+    # Victim warm-up: privileged access pulls the secret into L1.
+    core.read_mem(secret_va)
+    if flush_l1:
+        # The Foreshadow countermeasure: flush L1 before handing the CPU
+        # to untrusted code, so the stale PTE matches no resident line.
+        soc.hierarchy.flush_line(secret_va)
+    # The OS (or the enclave swap path) clears the present bit; the PTE
+    # still points at the frame — the L1TF precondition.
+    pt.update_flags(secret_va, clear_flags=PageFlags.PRESENT)
+    core.mmu.flush_tlb()
+    core.privilege = PrivilegeLevel.USER
+    core.fault_resume = program.address_of("resume")
+    return GadgetInstance(program, "attacker", regs={1: secret_va},
+                          taint_words=(secret_va,))
+
+
+def _l1tf_stale_pte(soc) -> GadgetInstance:
+    return _build_l1tf(soc, flush_l1=False)
+
+
+def _l1tf_flushed(soc) -> GadgetInstance:
+    return _build_l1tf(soc, flush_l1=True)
+
+
+#: The corpus, in presentation order (reports preserve this order).
+GADGETS: tuple[Gadget, ...] = (
+    Gadget("v1-bounds-bypass", "spectre-v1", True, frozenset(),
+           "classic bounds-check bypass: wrong-path OOB load, "
+           "secret-indexed probe fill", _v1_bounds_bypass),
+    Gadget("v1-fence", "spectre-v1", False, frozenset(),
+           "bounds check with a fence: the excursion serialises before "
+           "the OOB load", _v1_fence),
+    Gadget("v1-masked", "spectre-v1", False, frozenset(),
+           "index masked to the array size on both paths", _v1_masked),
+    Gadget("v1-clamped", "spectre-v1", False, frozenset(),
+           "branchless arithmetic clamp of the index", _v1_clamped),
+    Gadget("v1-no-secret", "control", False, frozenset(),
+           "negative control: the OOB wrong-path load only reaches "
+           "public data", _v1_no_secret),
+    Gadget("v1-arch-only", "control", False, frozenset(),
+           "negative control: secret in a register, wrong path does "
+           "ALU work only — taint without transmission", _v1_arch_only),
+    Gadget("v1-flush-channel", "spectre-v1", True, frozenset(),
+           "transmission via wrong-path clflush at a secret-dependent "
+           "address", _v1_flush_channel),
+    Gadget("v2-btb-inject", "spectre-v2", True, frozenset({"btb-untagged"}),
+           "indirect-predictor injection steers a return into a "
+           "disclosure gadget over the secret region", _v2_btb_inject),
+    Gadget("v2-no-secret-gadget", "control", False,
+           frozenset({"btb-untagged"}),
+           "negative control: the injected gadget only reads public "
+           "data", _v2_no_secret_gadget),
+    Gadget("meltdown-late-fault", "meltdown", True,
+           frozenset({"fault-at-retirement"}),
+           "user load of a supervisor-only page forwards before the "
+           "fault retires", _meltdown_late_fault, min_window=7),
+    Gadget("meltdown-kpti", "meltdown", False,
+           frozenset({"fault-at-retirement"}),
+           "KPTI: the kernel page is unmapped, the walk aborts with no "
+           "physical address to forward", _meltdown_kpti),
+    Gadget("l1tf-stale-pte", "l1tf", True, frozenset({"l1tf-forward"}),
+           "present bit cleared but data resident in L1: the stale PTE "
+           "forwards the line", _l1tf_stale_pte, min_window=7),
+    Gadget("l1tf-flushed", "l1tf", False, frozenset({"l1tf-forward"}),
+           "L1 flushed before the untrusted code runs: the stale PTE "
+           "matches nothing", _l1tf_flushed),
+)
+
+GADGETS_BY_NAME: dict[str, Gadget] = {g.name: g for g in GADGETS}

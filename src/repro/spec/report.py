@@ -1,0 +1,165 @@
+"""Deterministic leak-report table for the Spectre scanner.
+
+A report is a canonically ordered list of (config, gadget) rows, each
+carrying the explorer's verdict, the expectation derived from the
+gadget's preconditions, and the observed transmission channels.  The
+JSON form is byte-identical across runs, processes, and
+``PYTHONHASHSEED`` values: rows sort on explicit keys, every collection
+serialises from sorted tuples, and ``json.dumps(sort_keys=True)``
+canonicalises the rest.  That byte-identity is what lets the runner
+cache scan cells and what the determinism regression tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+#: Schema tag for the JSON artifact; bump on incompatible shape changes.
+SCHEMA = "repro-spec-scan/v1"
+
+
+@dataclass(frozen=True)
+class ScanRow:
+    """One (config, gadget) verdict."""
+
+    config: str
+    gadget: str
+    family: str
+    leaked: bool  # explorer found a taint-dependent transient effect
+    expected: bool  # preconditions say the leak should manifest
+    channels: tuple[str, ...]  # sorted transient channels observed
+    origins: tuple[str, ...]  # sorted fork-site origins observed
+    events: int  # distinct transient leak events
+    window: int  # effective transient window of the config
+    truncated: bool = False  # exploration hit a state/instruction cap
+
+    @property
+    def verdict(self) -> str:
+        return "LEAK" if self.leaked else "clean"
+
+    @property
+    def ok(self) -> bool:
+        return self.leaked == self.expected
+
+    def as_dict(self) -> dict:
+        return {
+            "config": self.config,
+            "gadget": self.gadget,
+            "family": self.family,
+            "leaked": self.leaked,
+            "expected": self.expected,
+            "channels": list(self.channels),
+            "origins": list(self.origins),
+            "events": self.events,
+            "window": self.window,
+            "truncated": self.truncated,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScanRow":
+        return cls(config=data["config"], gadget=data["gadget"],
+                   family=data["family"], leaked=data["leaked"],
+                   expected=data["expected"],
+                   channels=tuple(data["channels"]),
+                   origins=tuple(data["origins"]),
+                   events=data["events"], window=data["window"],
+                   truncated=data.get("truncated", False))
+
+
+class LeakReport:
+    """The gadget x config verdict table, canonically ordered."""
+
+    def __init__(self, rows: list[ScanRow], seed: int,
+                 corpus_rev: int) -> None:
+        self.rows = sorted(rows, key=lambda r: (r.config, r.gadget))
+        self.seed = seed
+        self.corpus_rev = corpus_rev
+
+    # -- verdict aggregation ----------------------------------------------
+
+    def violations(self) -> list[str]:
+        """Human-readable expectation mismatches (empty = gate passes)."""
+        out = []
+        for row in self.rows:
+            if row.ok:
+                continue
+            if row.leaked:
+                out.append(
+                    f"{row.config} / {row.gadget}: leaked "
+                    f"({', '.join(row.channels)}) but the gadget/config "
+                    f"pair should be safe")
+            else:
+                out.append(
+                    f"{row.config} / {row.gadget}: reported clean but "
+                    f"this known-vulnerable gadget should leak here")
+        return out
+
+    def leaks(self) -> list[ScanRow]:
+        return [row for row in self.rows if row.leaked]
+
+    def summary(self) -> dict:
+        leaked = sum(1 for r in self.rows if r.leaked)
+        return {
+            "rows": len(self.rows),
+            "leaked": leaked,
+            "clean": len(self.rows) - leaked,
+            "violations": len(self.violations()),
+        }
+
+    # -- serialisation ----------------------------------------------------
+
+    def to_json(self) -> str:
+        """Canonical JSON artifact (byte-identical for identical scans)."""
+        doc = {
+            "schema": SCHEMA,
+            "seed": self.seed,
+            "corpus_rev": self.corpus_rev,
+            "summary": self.summary(),
+            "violations": self.violations(),
+            "rows": [row.as_dict() for row in self.rows],
+        }
+        return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "LeakReport":
+        doc = json.loads(text)
+        return cls([ScanRow.from_dict(row) for row in doc["rows"]],
+                   seed=doc["seed"], corpus_rev=doc["corpus_rev"])
+
+    # -- rendering --------------------------------------------------------
+
+    def render(self) -> str:
+        """Fixed-width text table grouped by config."""
+        headers = ["config", "gadget", "family", "verdict", "expected",
+                   "channels"]
+        table_rows = []
+        for row in self.rows:
+            flag = "" if row.ok else "  <-- VIOLATION"
+            table_rows.append([
+                row.config, row.gadget, row.family,
+                row.verdict + ("*" if row.truncated else ""),
+                "leak" if row.expected else "clean",
+                ",".join(row.channels) + flag,
+            ])
+        widths = [max(len(headers[i]),
+                      *(len(r[i]) for r in table_rows)) if table_rows
+                  else len(headers[i]) for i in range(len(headers))]
+        lines = [
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+            "  ".join("-" * w for w in widths),
+        ]
+        previous_config = None
+        for row_cells in table_rows:
+            if previous_config not in (None, row_cells[0]):
+                lines.append("")
+            previous_config = row_cells[0]
+            lines.append("  ".join(
+                cell.ljust(widths[i]) for i, cell in enumerate(row_cells)))
+        stats = self.summary()
+        lines.append("")
+        lines.append(
+            f"{stats['rows']} rows: {stats['leaked']} leak / "
+            f"{stats['clean']} clean, {stats['violations']} expectation "
+            f"violation(s)")
+        return "\n".join(lines)

@@ -1,0 +1,275 @@
+"""The Spectre scanner: gadget corpus x architecture/knob grid sweep.
+
+Each scan *cell* is one :class:`ScanConfig` — a SoC recipe (a
+``SpeculativeConfig`` knob point or a full architecture host) — swept
+across the whole gadget corpus by the multi-path explorer.  Cells are
+dispatched through the supervised :class:`~repro.runner.ExperimentRunner`
+as ``CellSpec``s with the dedicated ``spec-scan`` category, so scans get
+caching, retries, timeouts, and chaos-proof supervision for free.
+
+The quick grid mirrors the design points of TAB-S42
+(:func:`repro.attacks.transient_oracle.TRANSIENT_DESIGN_POINTS`) plus
+the four architecture hosts; the scanner's verdicts on those overlapping
+configs are cross-checked against the scripted attacks' success/failure
+by the differential suite — analysis and reproduction must agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.runner.engine import SCAN_CATEGORY
+from repro.spec.explorer import SpeculationExplorer
+from repro.spec.gadgets import CORPUS_REV, GADGETS, Gadget, GadgetInstance
+from repro.spec.report import LeakReport, ScanRow
+
+#: Default master seed for scan sweeps (per-cell seeds derive from it).
+DEFAULT_SCAN_SEED = 0x5CA4
+
+
+@dataclass(frozen=True)
+class ScanConfig:
+    """One column of the scan grid: a SoC recipe plus its knob summary.
+
+    The boolean knob summary is what expectation checking reads; it must
+    faithfully describe the SoC the builder returns.
+    """
+
+    name: str
+    kind: str  # "knob" | "arch"
+    description: str
+    build: Callable  # () -> SoC, architecture installed when kind="arch"
+    speculative: bool
+    window: int
+    fault_at_retirement: bool
+    l1tf_forwarding: bool
+    btb_tagged: bool
+
+    def expects_leak(self, gadget: Gadget) -> bool:
+        """Should ``gadget`` leak on this config, per its preconditions?"""
+        if not gadget.vulnerable:
+            return False
+        if not self.speculative or self.window < gadget.min_window:
+            return False
+        if "btb-untagged" in gadget.requires and self.btb_tagged:
+            return False
+        if "fault-at-retirement" in gadget.requires \
+                and not self.fault_at_retirement:
+            return False
+        if "l1tf-forward" in gadget.requires and not self.l1tf_forwarding:
+            return False
+        return True
+
+
+def _knob_config(name: str, description: str, label: str) -> ScanConfig:
+    """A scan config wrapping one TAB-S42 design point (by its label)."""
+    from repro.attacks.transient_oracle import design_point, design_soc
+
+    kwargs = design_point(label)
+    speculative = kwargs.get("speculative", True)
+    spec_probe = design_soc(label).config.spec
+
+    def build():
+        return design_soc(label)
+
+    return ScanConfig(
+        name=name, kind="knob", description=description, build=build,
+        speculative=speculative,
+        window=spec_probe.transient_window if speculative else 0,
+        fault_at_retirement=spec_probe.fault_at_retirement,
+        l1tf_forwarding=spec_probe.l1tf_forwarding,
+        btb_tagged=spec_probe.predictor.btb_tag_with_asid)
+
+
+def _arch_config(name: str, description: str, arch_name: str | None,
+                 factory_name: str) -> ScanConfig:
+    def build():
+        from repro import arch as arch_mod
+        from repro.cpu import soc as soc_mod
+        soc = getattr(soc_mod, factory_name)()
+        if arch_name is not None:
+            getattr(arch_mod, arch_name)(soc)
+        return soc
+
+    probe = build()
+    speculative = probe.config.speculative
+    spec = probe.config.spec
+    return ScanConfig(
+        name=name, kind="arch", description=description, build=build,
+        speculative=speculative,
+        window=spec.transient_window if speculative else 0,
+        fault_at_retirement=spec.fault_at_retirement,
+        l1tf_forwarding=spec.l1tf_forwarding,
+        btb_tagged=spec.predictor.btb_tag_with_asid)
+
+
+def _build_grid() -> dict[str, ScanConfig]:
+    """The full grid, insertion-ordered (reports preserve this order)."""
+    from repro.attacks.transient_oracle import TRANSIENT_DESIGN_POINTS
+
+    grid: dict[str, ScanConfig] = {}
+    # Knob columns: one per TAB-S42 design point, under stable short
+    # names (config names are CellSpec.platform strings and cache-key
+    # material, so they must not drift with display labels).
+    short = {
+        "speculative (commodity)": "commodity-speculative",
+        "in-order (embedded-class)": "in-order",
+        "fault at issue (Meltdown fix)": "fault-at-issue",
+        "no L1TF forwarding (Foreshadow fix)": "no-l1tf-forward",
+        "BTB tagged per context (v2 fix)": "btb-tagged",
+        "no transient window": "no-window",
+    }
+    for label, _ in TRANSIENT_DESIGN_POINTS:
+        name = short[label]
+        grid[name] = _knob_config(name, label, label)
+    # Architecture hosts: the paper's Figure-1 rows.  The corpus runs on
+    # the host core with the architecture's bus/walker/EPC machinery
+    # installed; the verdict pattern is governed by the host core's
+    # speculation knobs (the paper's point: TEEs do not, by themselves,
+    # change the transient-execution column).
+    grid["sgx-server"] = _arch_config(
+        "sgx-server", "SGX on the server-class speculative host",
+        "SGX", "make_server_soc")
+    grid["sanctum-server"] = _arch_config(
+        "sanctum-server", "Sanctum on the server-class speculative host",
+        "Sanctum", "make_server_soc")
+    grid["trustzone-mobile"] = _arch_config(
+        "trustzone-mobile", "TrustZone on the mobile speculative host",
+        "TrustZone", "make_mobile_soc")
+    grid["embedded-inorder"] = _arch_config(
+        "embedded-inorder", "bare in-order embedded host (SMART-class)",
+        None, "make_embedded_soc")
+    # Full-grid extras: a window too narrow for any corpus gadget to
+    # reach its transmission point — the explorer must *derive* that the
+    # leaks die, not just read the speculative bit.
+    grid["narrow-window-4"] = _knob_narrow_window("narrow-window-4", 4)
+    return grid
+
+
+def _knob_narrow_window(name: str, window: int) -> ScanConfig:
+    from repro.attacks.transient_oracle import design_soc_variant
+
+    def build():
+        return design_soc_variant(name, transient_window=window)
+
+    return ScanConfig(
+        name=name, kind="knob",
+        description=f"speculative, {window}-instruction window", build=build,
+        speculative=True, window=window, fault_at_retirement=True,
+        l1tf_forwarding=True, btb_tagged=False)
+
+
+_GRID: dict[str, ScanConfig] | None = None
+
+
+def scan_grid() -> dict[str, ScanConfig]:
+    global _GRID
+    if _GRID is None:
+        _GRID = _build_grid()
+    return _GRID
+
+
+#: Config names for the quick (CI-gating) sweep vs the full sweep.
+def quick_config_names() -> tuple[str, ...]:
+    return tuple(name for name in scan_grid() if name != "narrow-window-4")
+
+
+def full_config_names() -> tuple[str, ...]:
+    return tuple(scan_grid())
+
+
+def scan_config_for(name: str) -> ScanConfig:
+    try:
+        return scan_grid()[name]
+    except KeyError:
+        raise KeyError(f"unknown scan config {name!r}") from None
+
+
+# -- cell execution ----------------------------------------------------------
+
+
+def _scan_gadget(config: ScanConfig, gadget: Gadget) -> tuple[ScanRow, int]:
+    soc = config.build()
+    instance: GadgetInstance = gadget.build(soc)
+    explorer = SpeculationExplorer(soc)
+    for word in instance.taint_words:
+        explorer.taint.taint_word(word)
+    explorer.injection_targets = list(instance.injection_targets)
+    explorer.run(instance.program, instance.entry, regs=instance.regs,
+                 max_steps=instance.max_steps)
+    row = ScanRow(
+        config=config.name, gadget=gadget.name, family=gadget.family,
+        leaked=explorer.leaked, expected=config.expects_leak(gadget),
+        channels=explorer.channels(), origins=explorer.origins(),
+        events=len(explorer.transient_leaks()),
+        window=config.window, truncated=explorer.truncated)
+    return row, sum(core.instret for core in soc.cores)
+
+
+def scan_gadget(config: ScanConfig, gadget: Gadget) -> ScanRow:
+    """Run one gadget on a fresh SoC of ``config``; return its verdict."""
+    return _scan_gadget(config, gadget)[0]
+
+
+def execute_scan_cell(spec) -> dict:
+    """Payload for one scan cell: the whole corpus on one config.
+
+    ``spec.platform`` carries the scan-config name (scan cells are not
+    tied to a ``PlatformClass``); the payload shape is deterministic and
+    participates in the runner's integrity/caching machinery unchanged.
+    """
+    config = scan_config_for(spec.platform)
+    rows = []
+    instret = 0
+    for gadget in GADGETS:
+        row, retired = _scan_gadget(config, gadget)
+        rows.append(row)
+        instret += retired
+    return {
+        "kind": SCAN_CATEGORY,
+        "config": config.name,
+        "config_kind": config.kind,
+        "corpus_rev": CORPUS_REV,
+        "rows": [row.as_dict() for row in rows],
+        "cell_instret": instret,
+    }
+
+
+# -- the sweep ---------------------------------------------------------------
+
+
+def scan_specs(quick: bool = True, seed: int = DEFAULT_SCAN_SEED) -> list:
+    """CellSpecs for a sweep (one cell per config, corpus inside)."""
+    from repro.runner import CellSpec, derive_seed
+
+    names = quick_config_names() if quick else full_config_names()
+    return [
+        CellSpec(seed=derive_seed(seed, name, SCAN_CATEGORY),
+                 platform=name, category=SCAN_CATEGORY,
+                 knobs=(("corpus_rev", CORPUS_REV),))
+        for name in names
+    ]
+
+
+def run_scan(quick: bool = True, runner=None,
+             seed: int = DEFAULT_SCAN_SEED) -> LeakReport:
+    """Sweep the corpus across the grid; return the leak report.
+
+    With a runner, cells fan out/cache through the supervised executor;
+    without one, they execute serially in-process.
+    """
+    specs = scan_specs(quick=quick, seed=seed)
+    if runner is not None:
+        payloads = runner.run(specs)
+        missing = [s.platform for s in specs if s not in payloads]
+        if missing:
+            raise RuntimeError(
+                "scan cells failed after retries: " + ", ".join(missing))
+        payload_list = [payloads[s] for s in specs]
+    else:
+        from repro.runner.engine import execute_spec
+        payload_list = [execute_spec(s) for s in specs]
+    rows = [ScanRow.from_dict(row)
+            for payload in payload_list for row in payload["rows"]]
+    return LeakReport(rows, seed=seed, corpus_rev=CORPUS_REV)

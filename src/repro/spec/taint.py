@@ -1,0 +1,79 @@
+"""Word-granular taint state for the speculation explorer.
+
+Taint marks *secrets*: the analyst designates registers and physical
+memory words as secret before a run, and the explorer propagates the
+marks through ALU operations, loads, and address formation.  A leak is
+then a taint-dependent microarchitectural effect (cache fill, flush,
+branch target) on a transient path — the transmission step of every
+transient-execution attack, independent of the specific gadget shape.
+
+Granularity choices mirror the simulator's memory model: registers are
+whole 64-bit words, and memory taint is keyed by *physical* word address
+(the cache and the terminal-fault forwarding paths both operate
+post-translation, so physical addressing is what the channels see).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import NUM_REGS
+
+#: Physical addresses are tainted at 8-byte word granularity.
+WORD_ALIGN_MASK = ~0x7
+
+
+class TaintState:
+    """Taint marks over the register file and physical memory words."""
+
+    __slots__ = ("regs", "_mem")
+
+    def __init__(self) -> None:
+        #: Per-register secret bit; ``regs[0]`` stays False (r0 reads 0).
+        self.regs: list[bool] = [False] * NUM_REGS
+        self._mem: set[int] = set()
+
+    # -- memory taint ------------------------------------------------------
+
+    def taint_word(self, paddr: int) -> None:
+        """Mark the 8-byte word containing ``paddr`` as secret."""
+        self._mem.add(paddr & WORD_ALIGN_MASK)
+
+    def taint_range(self, paddr: int, size: int) -> None:
+        """Mark every word overlapping ``[paddr, paddr + size)``."""
+        start = paddr & WORD_ALIGN_MASK
+        end = (paddr + max(size, 1) + 7) & WORD_ALIGN_MASK
+        for addr in range(start, end, 8):
+            self._mem.add(addr)
+
+    def mem_tainted(self, paddr: int | None) -> bool:
+        """Whether the word containing ``paddr`` holds secret data."""
+        if paddr is None:
+            return False
+        return (paddr & WORD_ALIGN_MASK) in self._mem
+
+    def set_mem(self, paddr: int, tainted: bool) -> None:
+        """Strong update: a store overwrites the word's taint entirely."""
+        word = paddr & WORD_ALIGN_MASK
+        if tainted:
+            self._mem.add(word)
+        else:
+            self._mem.discard(word)
+
+    @property
+    def tainted_words(self) -> int:
+        return len(self._mem)
+
+    # -- register taint ----------------------------------------------------
+
+    def set_reg(self, idx: int, tainted: bool) -> None:
+        if idx != 0:
+            self.regs[idx] = tainted
+
+    def reg_tainted(self, idx: int) -> bool:
+        return False if idx == 0 else self.regs[idx]
+
+    def taint_reg(self, idx: int) -> None:
+        self.set_reg(idx, True)
+
+    def copy_regs(self) -> list[bool]:
+        """Snapshot of register taints (for seeding a transient path)."""
+        return list(self.regs)

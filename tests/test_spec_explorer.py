@@ -1,0 +1,277 @@
+"""The multi-path speculation explorer: taint engine and fork semantics.
+
+These tests exercise the explorer directly on hand-written programs and
+on corpus gadgets, one mechanism at a time: taint propagation through
+ALU/load/store chains, architectural vs transient leak classification,
+window bounds, nested wrong-path forks, knob-controlled fork sites
+(late-fault forwarding, BTB tagging), and the determinism and truncation
+guarantees the scanner builds on.
+"""
+
+import pytest
+
+from repro.attacks.transient_oracle import design_soc_variant
+from repro.cpu.predictor import PredictorConfig
+from repro.cpu.soc import make_embedded_soc, make_server_soc
+from repro.isa import assemble
+from repro.spec import GADGETS_BY_NAME, SpeculationExplorer, TaintState
+from repro.spec.gadgets import CODE_OFF, PROBE_OFF, PUBLIC_OFF, SECRET_OFF
+
+
+class TestTaintState:
+    def test_word_granularity(self):
+        taint = TaintState()
+        taint.taint_word(0x1003)
+        assert taint.mem_tainted(0x1000)
+        assert taint.mem_tainted(0x1007)
+        assert not taint.mem_tainted(0x1008)
+
+    def test_range_covers_partial_words(self):
+        taint = TaintState()
+        taint.taint_range(0x2004, 8)  # straddles two words
+        assert taint.mem_tainted(0x2000)
+        assert taint.mem_tainted(0x2008)
+        assert not taint.mem_tainted(0x2010)
+
+    def test_store_is_a_strong_update(self):
+        taint = TaintState()
+        taint.taint_word(0x3000)
+        taint.set_mem(0x3004, False)  # same word: overwrite clears it
+        assert not taint.mem_tainted(0x3000)
+
+    def test_none_address_never_tainted(self):
+        taint = TaintState()
+        taint.taint_word(0x0)
+        assert not taint.mem_tainted(None)
+
+    def test_r0_stays_untainted(self):
+        taint = TaintState()
+        taint.taint_reg(0)
+        assert not taint.reg_tainted(0)
+        taint.taint_reg(3)
+        assert taint.reg_tainted(3)
+
+
+def _explore(soc, text: str, taint_offsets=(SECRET_OFF,), regs=None,
+             **explorer_kwargs) -> SpeculationExplorer:
+    """Assemble ``text`` (with layout placeholders) and explore it."""
+    base = soc.dram_base
+    program = assemble(
+        text.format(secret=base + SECRET_OFF, probe=base + PROBE_OFF,
+                    public=base + PUBLIC_OFF),
+        base=base + CODE_OFF, name="unit")
+    soc.memory.write_word(base + SECRET_OFF, 0x2A)
+    explorer = SpeculationExplorer(soc, **explorer_kwargs)
+    for off in taint_offsets:
+        explorer.taint.taint_word(base + off)
+    explorer.run(program, "victim", regs=regs)
+    return explorer
+
+
+class TestTaintPropagation:
+    def test_load_store_load_chain_carries_taint(self):
+        soc = make_server_soc()
+        explorer = _explore(soc, """
+victim:
+    li    r9, {secret}
+    load  r8, 0(r9)
+    li    r10, {public}
+    store r8, 0(r10)
+    load  r11, 0(r10)
+    halt
+""")
+        assert explorer.taint.reg_tainted(8)
+        assert explorer.taint.reg_tainted(11)
+        assert explorer.taint.mem_tainted(soc.dram_base + PUBLIC_OFF)
+
+    def test_overwrite_clears_register_and_memory_taint(self):
+        soc = make_server_soc()
+        explorer = _explore(soc, """
+victim:
+    li    r9, {secret}
+    load  r8, 0(r9)
+    li    r10, {public}
+    store r8, 0(r10)
+    store r0, 0(r10)
+    li    r8, 7
+    halt
+""")
+        assert not explorer.taint.reg_tainted(8)
+        assert not explorer.taint.mem_tainted(soc.dram_base + PUBLIC_OFF)
+
+    def test_alu_merges_operand_taint(self):
+        soc = make_server_soc()
+        explorer = _explore(soc, """
+victim:
+    li    r9, {secret}
+    load  r8, 0(r9)
+    li    r2, 3
+    add   r3, r2, r8
+    xor   r4, r3, r2
+    halt
+""")
+        assert explorer.taint.reg_tainted(3)
+        assert explorer.taint.reg_tainted(4)
+
+
+class TestArchitecturalLeaks:
+    def test_architectural_secret_indexed_load_is_not_a_transient_leak(self):
+        soc = make_server_soc()
+        explorer = _explore(soc, """
+victim:
+    li    r9, {secret}
+    load  r8, 0(r9)
+    li    r5, {probe}
+    add   r5, r5, r8
+    load  r6, 0(r5)
+    halt
+""")
+        assert not explorer.leaked
+        arch = [e for e in explorer.leaks if not e.transient]
+        assert [e.channel for e in arch] == ["cache-fill"]
+        assert arch[0].origin == "arch"
+
+
+class TestForkSemantics:
+    def test_nested_fork_reaches_leak_on_forked_direction(self):
+        # The leak sits on the *non-followed* side of a wrong-path
+        # branch: only the fork queue can reach it.
+        soc = make_server_soc()
+        explorer = _explore(soc, """
+victim:
+    li    r9, {secret}
+    load  r8, 0(r9)
+    li    r2, 1
+    beq   r0, r2, wrong
+    halt
+wrong:
+    beq   r0, r2, wrong2
+    halt
+wrong2:
+    li    r5, {probe}
+    add   r5, r5, r8
+    load  r6, 0(r5)
+    halt
+""")
+        assert explorer.leaked
+        leak = explorer.transient_leaks()[0]
+        assert leak.channel == "cache-fill"
+        assert leak.origin == "branch"
+
+    def test_fork_pc_is_the_architectural_branch(self):
+        soc = make_server_soc()
+        gadget = GADGETS_BY_NAME["v1-bounds-bypass"]
+        instance = gadget.build(soc)
+        explorer = SpeculationExplorer(soc)
+        for word in instance.taint_words:
+            explorer.taint.taint_word(word)
+        explorer.run(instance.program, instance.entry, regs=instance.regs)
+        leak = explorer.transient_leaks()[0]
+        assert leak.fork_pc == instance.program.address_of("victim") + 4
+        assert leak.depth > 0
+
+    def test_transient_instruction_cap_sets_truncated(self):
+        soc = make_server_soc()
+        gadget = GADGETS_BY_NAME["v1-bounds-bypass"]
+        instance = gadget.build(soc)
+        explorer = SpeculationExplorer(soc, max_transient_instrs=2)
+        for word in instance.taint_words:
+            explorer.taint.taint_word(word)
+        explorer.run(instance.program, instance.entry, regs=instance.regs)
+        assert explorer.truncated
+        assert not explorer.leaked  # cap hit before the transmission load
+
+    def test_architectural_result_is_unperturbed(self):
+        # Exploring must not change what the program computes: the v1
+        # branch is architecturally taken, so the probe load never
+        # retires and r6 stays zero.
+        soc = make_server_soc()
+        instance = GADGETS_BY_NAME["v1-bounds-bypass"].build(soc)
+        explorer = SpeculationExplorer(soc)
+        explorer.run(instance.program, instance.entry, regs=instance.regs)
+        core = soc.cores[0]
+        assert core.halted
+        assert core.regs[6] == 0
+
+
+def _run_gadget(soc, name: str) -> SpeculationExplorer:
+    instance = GADGETS_BY_NAME[name].build(soc)
+    explorer = SpeculationExplorer(soc)
+    for word in instance.taint_words:
+        explorer.taint.taint_word(word)
+    explorer.injection_targets = list(instance.injection_targets)
+    explorer.run(instance.program, instance.entry, regs=instance.regs,
+                 max_steps=instance.max_steps)
+    return explorer
+
+
+class TestGadgetVerdicts:
+    @pytest.mark.parametrize("name", [
+        "v1-bounds-bypass", "v1-flush-channel", "v2-btb-inject",
+        "meltdown-late-fault", "l1tf-stale-pte",
+    ])
+    def test_vulnerable_gadgets_leak_on_commodity(self, name):
+        assert _run_gadget(make_server_soc(), name).leaked
+
+    @pytest.mark.parametrize("name", [
+        "v1-fence", "v1-masked", "v1-clamped", "v1-no-secret",
+        "v1-arch-only", "v2-no-secret-gadget", "meltdown-kpti",
+        "l1tf-flushed",
+    ])
+    def test_safe_variants_stay_clean_on_commodity(self, name):
+        assert not _run_gadget(make_server_soc(), name).leaked
+
+    def test_flush_channel_reports_flush_not_cache_fill(self):
+        explorer = _run_gadget(make_server_soc(), "v1-flush-channel")
+        assert explorer.channels() == ("flush",)
+
+    def test_in_order_host_has_no_fork_sites(self):
+        assert not _run_gadget(make_embedded_soc(), "v1-bounds-bypass").leaked
+
+    def test_narrow_window_cannot_reach_transmission(self):
+        soc = design_soc_variant("narrow", transient_window=4)
+        assert not _run_gadget(soc, "v1-bounds-bypass").leaked
+
+    @pytest.mark.parametrize("name", [
+        "v1-bounds-bypass", "v1-flush-channel", "v2-btb-inject",
+        "meltdown-late-fault", "l1tf-stale-pte",
+    ])
+    def test_min_window_is_tight(self, name):
+        gadget = GADGETS_BY_NAME[name]
+        at = design_soc_variant("at", transient_window=gadget.min_window)
+        below = design_soc_variant(
+            "below", transient_window=gadget.min_window - 1)
+        assert _run_gadget(at, name).leaked
+        assert not _run_gadget(below, name).leaked
+
+    def test_fault_at_issue_kills_meltdown_but_not_v1(self):
+        soc = design_soc_variant("fai", fault_at_retirement=False)
+        assert not _run_gadget(soc, "meltdown-late-fault").leaked
+        soc = design_soc_variant("fai2", fault_at_retirement=False)
+        assert _run_gadget(soc, "v1-bounds-bypass").leaked
+
+    def test_l1tf_forwarding_knob_kills_l1tf(self):
+        soc = design_soc_variant("nol1tf", l1tf_forwarding=False)
+        assert not _run_gadget(soc, "l1tf-stale-pte").leaked
+
+    def test_tagged_btb_kills_v2(self):
+        soc = design_soc_variant(
+            "tagged", predictor=PredictorConfig(btb_tag_with_asid=True))
+        assert not _run_gadget(soc, "v2-btb-inject").leaked
+
+    def test_v2_origin_is_btb_inject(self):
+        explorer = _run_gadget(make_server_soc(), "v2-btb-inject")
+        assert explorer.origins() == ("btb-inject",)
+
+    def test_late_fault_origins(self):
+        for name in ("meltdown-late-fault", "l1tf-stale-pte"):
+            explorer = _run_gadget(make_server_soc(), name)
+            assert explorer.origins() == ("late-fault",), name
+
+
+class TestDeterminism:
+    def test_leak_events_identical_across_runs(self):
+        first = _run_gadget(make_server_soc(), "v1-bounds-bypass")
+        second = _run_gadget(make_server_soc(), "v1-bounds-bypass")
+        assert first.leaks == second.leaks
+        assert first.channels() == second.channels()
