@@ -22,8 +22,10 @@ matrix:
 	$(PYTHON) -m repro figure1
 
 ## Speculation scan: sweep the gadget corpus across the quick config grid
-## with the multi-path explorer; non-zero exit on any expectation
-## violation; leaves scan-report.{json,txt} for the CI artifact.
+## with the multi-path explorer (memoized engine by default; add
+## --no-memo for the byte-identical reference lane CI cross-checks
+## against); non-zero exit on any expectation violation; leaves
+## scan-report.{json,txt} for the CI artifact.
 scan:
 	$(PYTHON) -m repro scan --no-cache --check \
 		--report-json scan-report.json --report-txt scan-report.txt

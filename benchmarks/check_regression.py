@@ -57,6 +57,7 @@ SPEEDUP_FLOORS: tuple[tuple[str, str, float], ...] = (
     ("cache_sca[scalar]", "cache_sca[batched]", 3.0),
     ("kocher_timing[scalar]", "kocher_timing[batched]", 1.5),
     ("quick_matrix[scalar]", "quick_matrix[ensemble]", 1.4),
+    ("spec_scan[reference]", "spec_scan[memoized]", 2.0),
 )
 
 #: In-run ratios gated from *above*: the second bench must cost at most
@@ -75,7 +76,9 @@ OVERHEAD_CEILINGS: tuple[tuple[str, str, float], ...] = (
 #: recorded in every baseline for human comparison.
 MIN_GATED = frozenset({"quick_matrix[scalar]", "quick_matrix[ensemble]",
                        "service_overhead[direct]",
-                       "service_overhead[service]"})
+                       "service_overhead[service]",
+                       "spec_scan[reference]",
+                       "spec_scan[memoized]"})
 
 
 def _recorded_stamp(path: Path) -> tuple[str, float, str]:

@@ -83,6 +83,8 @@ GATED_BENCHMARKS = (
     "quick_matrix[ensemble]",
     "service_overhead[direct]",
     "service_overhead[service]",
+    "spec_scan[reference]",
+    "spec_scan[memoized]",
 )
 
 #: Fewest rounds a gated benchmark may record in ``--quick`` mode; a

@@ -369,3 +369,39 @@ def test_perf_service_overhead(benchmark, mode):
     finally:
         for root in scratch:
             shutil.rmtree(root, ignore_errors=True)
+
+
+@pytest.mark.parametrize("mode", ["reference", "memoized"])
+def test_perf_spec_scan(benchmark, mode):
+    """The quick scan sweep (13 gadgets x 10 grid configs) serially
+    through ``execute_spec``, reference explorer vs the memoized
+    engine.  The memoized lane measures its steady state: the scanner's
+    memo is process-global by design (recordings are keyed on the full
+    knob signature, corpus revision included), so the warmup round
+    populates it and the measured rounds replay — exactly what repeat
+    sweeps, runner retries, and watch-style callers see.  Both lanes
+    produce byte-identical reports (``tests/test_spec_memo.py`` proves
+    it cell by cell); ``check_regression.SPEEDUP_FLOORS`` gates the
+    in-run ratio so the win cannot silently decay.  Sweep-scale rounds,
+    so gated on ``min_s`` (see ``check_regression.MIN_GATED``)."""
+    from repro.runner import payload_fingerprint
+    from repro.runner.engine import execute_spec
+    from repro.spec import scan_specs
+
+    specs = scan_specs(quick=True)
+    memoized = mode == "memoized"
+
+    def run():
+        if memoized:
+            return [execute_spec(s, memo=True) for s in specs]
+        return [execute_spec(s) for s in specs]
+
+    payloads = benchmark.pedantic(run, rounds=2, iterations=1,
+                                  warmup_rounds=1)
+    assert len(payloads) == len(specs)
+    for payload in payloads:
+        for row in payload["rows"]:
+            assert row["leaked"] == row["expected"], row
+    benchmark.extra_info["fingerprints"] = {
+        payload["config"]: payload_fingerprint(payload)
+        for payload in payloads}

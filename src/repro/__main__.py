@@ -77,7 +77,7 @@ def _write_artifacts(args, observer) -> None:
         print(f"wrote {path}")
 
 
-def _make_runner(args, observer=None):
+def _make_runner(args, observer=None, memo=False):
     from repro.runner import (
         ChaosConfig,
         ExperimentRunner,
@@ -96,7 +96,8 @@ def _make_runner(args, observer=None):
         retry=RetryPolicy(max_retries=args.retries),
         chaos=chaos,
         fail_fast=args.fail_fast,
-        observer=observer)
+        observer=observer,
+        memo=memo)
 
 
 def _figure1(args) -> None:
@@ -142,10 +143,13 @@ def _transient(args) -> None:
 
 def _scan(args) -> int:
     from repro.spec import run_scan
-    runner = _make_runner(args)
+    memo = not args.no_memo
+    runner = _make_runner(args, memo=memo)
     report = run_scan(quick=not args.full, runner=runner)
     print(report.render())
     print(f"\n{runner.stats.summary()}")
+    if args.profile:
+        print(f"\n{runner.stats.profile()}")
     if args.report_json:
         with open(args.report_json, "w", encoding="utf-8") as fh:
             fh.write(report.to_json())
@@ -325,7 +329,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="print a per-cell profile (wall time, "
                              "simulated instructions/second, and outcome/"
-                             "retry status) after figure1 runs")
+                             "retry status) after figure1 or scan runs — "
+                             "for scans that is a per-config timing "
+                             "summary (one cell per config)")
     parser.add_argument("--timeout", type=float, default=120.0,
                         metavar="SECONDS",
                         help="per-cell wall-time budget before a worker "
@@ -401,6 +407,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--report-txt", metavar="PATH", default=None,
                         help="'scan': write the rendered leak-report "
                              "table to PATH")
+    parser.add_argument("--no-memo", action="store_true",
+                        help="'scan': use the reference (unmemoized) "
+                             "explorer instead of the memoized engine — "
+                             "slower, byte-identical reports (the CI "
+                             "cross-check lane)")
     args = parser.parse_args(argv)
     if args.command == "all":
         for name, command in _COMMANDS.items():

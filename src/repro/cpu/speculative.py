@@ -57,12 +57,16 @@ class SpeculativeCore(Core):
         self.predictor = BranchPredictor(self.spec.predictor)
         self.transient_runs = 0
         self.transient_instrs = 0
-        #: Optional :class:`repro.spec.explorer.SpeculationExplorer`.  When
-        #: attached, every branch, return and late-faulting load reports its
-        #: fork site to the explorer instead of running the predictor-driven
-        #: single-path excursion — the explorer walks *both* paths itself.
-        #: ``None`` (the default) keeps behaviour bit-identical to the
-        #: retained reference oracle.
+        #: Optional :class:`repro.spec.explorer.SpeculationExplorer` (or its
+        #: memoized subclass — the hook contract is on_branch/on_ret/
+        #: on_late_fault and both variants satisfy it).  When attached,
+        #: every branch, return and late-faulting load reports its fork
+        #: site to the explorer instead of running the predictor-driven
+        #: single-path excursion — the explorer walks *both* paths itself,
+        #: so the architectural walk is independent of the transient window
+        #: (the invariant the memoized engine's cross-grid sharing rests
+        #: on).  ``None`` (the default) keeps behaviour bit-identical to
+        #: the retained reference oracle.
         self.explorer = None
         #: Word-granular plaintext view of recently CPU-touched data; the
         #: model of "what the L1 data array holds".  Consulted only when the

@@ -102,17 +102,18 @@ def chaos_execute_spec(spec, attempt: int, config: ChaosConfig,
                        in_worker: bool = True,
                        collect: bool = False,
                        ensemble: bool = False,
-                       batch: bool = False) -> dict:
+                       batch: bool = False,
+                       memo: bool = False) -> dict:
     """:func:`execute_spec` with a chance of drawn sabotage.
 
     ``in_worker`` gates the process-lethal modes: a crash or hang is only
     realised inside a disposable pool worker; in the parent process both
     downgrade to :class:`ChaosError` so serial runs stay survivable.
-    ``collect``, ``ensemble`` and ``batch`` are forwarded to
-    :func:`execute_spec` (telemetry and the vectorized sweep/attack
-    paths ride along even under chaos — observed recovery must stay
-    observable, and the vectorized paths' payloads face the same
-    corruption adversary).
+    ``collect``, ``ensemble``, ``batch`` and ``memo`` are forwarded to
+    :func:`execute_spec` (telemetry and the vectorized/memoized paths
+    ride along even under chaos — observed recovery must stay
+    observable, and the fast paths' payloads face the same corruption
+    adversary).
     """
     from repro.runner.engine import execute_spec
 
@@ -134,6 +135,8 @@ def chaos_execute_spec(spec, attempt: int, config: ChaosConfig,
         flags["ensemble"] = True
     if batch:
         flags["batch"] = True
+    if memo:
+        flags["memo"] = True
     payload = execute_spec(spec, **flags)
     if mode == "corrupt":
         payload = corrupt_payload(payload)

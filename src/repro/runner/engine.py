@@ -140,7 +140,8 @@ def payload_intact(payload: object) -> bool:
 
 
 def execute_spec(spec: CellSpec, collect: bool = False,
-                 ensemble: bool = False, batch: bool = False) -> dict:
+                 ensemble: bool = False, batch: bool = False,
+                 memo: bool = False) -> dict:
     """Compute one cell; importable by reference from worker processes.
 
     ``collect`` turns on in-cell telemetry: a per-cell
@@ -168,6 +169,14 @@ def execute_spec(spec: CellSpec, collect: bool = False,
     fingerprints are unchanged, so ``batch`` runs share cache entries
     with scalar runs too.
 
+    ``memo`` is the scan-cell strategy knob: scan cells route through
+    the memoized exploration engine (:mod:`repro.spec.memo`), which
+    dedups the fork frontier and replays window-parametric excursion
+    recordings across the grid.  Rows and ``cell_instret`` are
+    byte-identical to the reference path (the explore-diff harness and
+    differential suite prove it), so memoized and reference scan cells
+    share cache entries.
+
     Imports are deferred so that importing :mod:`repro.runner` stays
     cheap and free of circular imports with :mod:`repro.core`.
     """
@@ -178,7 +187,8 @@ def execute_spec(spec: CellSpec, collect: bool = False,
         # full integrity/caching machinery with no extra seeding.
         from repro.spec.scanner import execute_scan_cell
         start = time.perf_counter()
-        payload = execute_scan_cell(spec)
+        payload = execute_scan_cell(spec, memo=True) if memo \
+            else execute_scan_cell(spec)
         payload["cell_wall_time_s"] = time.perf_counter() - start
         payload[INTEGRITY_KEY] = payload_fingerprint(payload)
         return payload
@@ -258,9 +268,10 @@ class CellTask:
     ``collect`` asks the worker to gather in-cell telemetry (span
     records, core/cache metric snapshots) into the payload's volatile
     keys; it is only set when the runner's observer wants them.
-    ``ensemble`` picks the vectorized sweep path and ``batch`` the
-    batched attack kernels — both bit-identical to scalar, so they
-    change nothing but speed.
+    ``ensemble`` picks the vectorized sweep path, ``batch`` the batched
+    attack kernels, and ``memo`` the memoized scan explorer — all
+    bit-identical to their reference paths, so they change nothing but
+    speed.
     """
 
     spec: CellSpec
@@ -269,6 +280,7 @@ class CellTask:
     collect: bool = False
     ensemble: bool = False
     batch: bool = False
+    memo: bool = False
 
 
 def execute_task(task: CellTask) -> tuple[str, object]:
@@ -290,6 +302,8 @@ def execute_task(task: CellTask) -> tuple[str, object]:
             flags["ensemble"] = True
         if task.batch:
             flags["batch"] = True
+        if task.memo:
+            flags["memo"] = True
         if task.chaos is not None:
             payload = chaos_execute_spec(task.spec, task.attempt,
                                          task.chaos, in_worker=True,
@@ -372,9 +386,10 @@ class ExperimentRunner:
     ``fail_fast`` restores the historical abort-on-first-error
     behaviour instead of degrading failed cells to structured outcomes;
     ``ensemble`` runs each workload cell's kernel sweep through the
-    struct-of-arrays engine and ``batch`` the attack cells through the
-    batched attack kernels (both bit-identical payloads, faster wall
-    time).
+    struct-of-arrays engine, ``batch`` the attack cells through the
+    batched attack kernels, and ``memo`` the scan cells through the
+    memoized exploration engine (all bit-identical payloads, faster
+    wall time).
 
     Each :meth:`run` replaces :attr:`stats` with that run's
     measurements, including one
@@ -389,7 +404,8 @@ class ExperimentRunner:
                  fail_fast: bool = False,
                  observer: RunObserver | None = None,
                  ensemble: bool = False,
-                 batch: bool = False) -> None:
+                 batch: bool = False,
+                 memo: bool = False) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.timeout_s = timeout_s if timeout_s and timeout_s > 0 else None
@@ -398,6 +414,7 @@ class ExperimentRunner:
         self.fail_fast = fail_fast
         self.ensemble = bool(ensemble)
         self.batch = bool(batch)
+        self.memo = bool(memo)
         #: Lifecycle hook surface; the default no-op observer keeps the
         #: fast path at its unobserved cost (one call per cell edge).
         self.observer = observer if observer is not None else NULL_OBSERVER
@@ -545,6 +562,8 @@ class ExperimentRunner:
                 flags["ensemble"] = True
             if self.batch:
                 flags["batch"] = True
+            if self.memo:
+                flags["memo"] = True
             if self.chaos is not None:
                 payload = chaos_execute_spec(spec, attempt, self.chaos,
                                              in_worker=False, **flags)
@@ -698,7 +717,8 @@ class ExperimentRunner:
                                     chaos=self.chaos,
                                     collect=self._collect,
                                     ensemble=self.ensemble,
-                                    batch=self.batch)
+                                    batch=self.batch,
+                                    memo=self.memo)
                     try:
                         future = pool.submit(execute_task, task)
                     except (RuntimeError, BrokenProcessPool, OSError,

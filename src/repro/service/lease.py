@@ -11,11 +11,16 @@ heartbeating, its lease goes stale after ``ttl_s``, and any surviving
 worker may reap it and take over.  Nothing an owner can fail to do
 leaves the cell locked forever.
 
-Reaping is itself race-free without fencing: a contender first
-``os.rename``\\ s the stale lease aside to a name unique to itself —
-``rename`` with a vanished source fails, so exactly one reaper clears
-the path — and then goes through the same ``O_EXCL`` acquisition as
-everyone else.  The create, not the reap, is always the arbiter.
+Reaping serialises the staleness verdict and the clearing rename
+through a short-lived ``O_EXCL`` reap slot: the slot holder re-judges
+the lease *inside* the critical section and renames it aside only if
+it is still reapable, so a verdict outdated by a rival's reap-and-
+re-acquire can never steal the rival's fresh lease (see
+:func:`reap_lease` for the two-owner race a bare rename-aside
+permits).  Slot losers simply retry later, a slot orphaned by a crash
+is broken after a grace period, and the winner still goes through the
+same ``O_EXCL`` acquisition as everyone else — the create, not the
+reap, is always the arbiter.
 
 Torn lease files (a host died mid-write, or chaos tore one on purpose)
 parse as garbage and are treated as *immediately* stale: an
@@ -138,30 +143,43 @@ def lease_state(path: str | Path, now: float | None = None) -> str:
 def _write_lease_file(path: Path, info: LeaseInfo, exclusive: bool) -> bool:
     """Atomically publish ``info`` at ``path``.
 
-    ``exclusive`` uses ``O_EXCL`` creation directly on ``path`` (the
-    acquisition arbiter); otherwise the write goes through a unique
-    temp file and ``os.replace`` (the heartbeat refresh, which must
-    never tear the file a concurrent :func:`lease_state` is reading).
+    ``exclusive`` publishes a fully written temp file into place with
+    ``os.link``, which fails if ``path`` already exists — the same
+    lose-to-an-existing-file arbitration as ``O_EXCL``, but the lease
+    appears with its *contents* in one atomic step.  A bare
+    ``O_EXCL`` open followed by a write is not enough: between the
+    create and the write the lease is an empty file, which a
+    concurrent :func:`lease_state` reads as ``torn`` — i.e. reapable —
+    and a rival could legitimately clear a lease that was just won.
+    The non-exclusive branch is the heartbeat refresh: same temp file,
+    published with ``os.replace`` (which must never tear the file a
+    concurrent reader is decoding, and *may* overwrite).
     Returns whether the publish happened.
     """
-    # No fsync, deliberately: a lease needs *atomicity* (O_EXCL /
+    # No fsync, deliberately: a lease needs *atomicity* (link /
     # rename are the arbiters), never durability — a lease lost to a
     # host crash is exactly the stale/absent lease the protocol
     # already recovers from, and syncing every acquire/heartbeat would
     # tax each cell for a guarantee nothing relies on.
     payload = info.to_json().encode("utf-8")
     if exclusive:
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{next(_REAP_COUNTER)}.new")
         try:
-            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
-        except FileExistsError:
-            return False
+            fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+            try:
+                os.write(fd, payload)
+            finally:
+                os.close(fd)
+            os.link(tmp, path)
+            return True
         except OSError:
             return False
-        try:
-            os.write(fd, payload)
         finally:
-            os.close(fd)
-        return True
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
     tmp = path.with_name(
         f"{path.name}.{os.getpid()}.{next(_REAP_COUNTER)}.hb")
     try:
@@ -180,26 +198,93 @@ def _write_lease_file(path: Path, info: LeaseInfo, exclusive: bool) -> bool:
         return False
 
 
-def reap_lease(path: str | Path) -> bool:
+#: Seconds after which an abandoned reap slot (its holder died between
+#: taking it and finishing the rename — a microseconds-long critical
+#: section) is broken by the next contender.  Generous relative to the
+#: section, tiny relative to lease TTLs.
+REAP_SLOT_GRACE_S = 5.0
+
+
+def _break_abandoned_reap_slot(slot: Path) -> None:
+    """Clear a reap slot whose holder evidently died mid-reap.
+
+    Age is judged by file mtime against this host's clock; the grace is
+    orders of magnitude above the critical section it guards, so only a
+    genuinely dead (or absurdly paused) holder is ever displaced.  The
+    rename-aside keeps slot-breaking itself single-winner.
+    """
+    try:
+        age = time.time() - slot.stat().st_mtime
+    except OSError:
+        return
+    if age <= REAP_SLOT_GRACE_S:
+        return
+    aside = slot.with_name(
+        f"{slot.name}.{os.getpid()}.{next(_REAP_COUNTER)}")
+    try:
+        os.rename(slot, aside)
+    except OSError:
+        return
+    try:
+        aside.unlink()
+    except OSError:
+        pass
+
+
+def reap_lease(path: str | Path, now: float | None = None) -> bool:
     """Clear a stale/torn/skewed lease from ``path``; one winner only.
 
-    The rename-aside is the mutual exclusion: of N concurrent reapers,
-    exactly one ``os.rename`` finds the source present and succeeds;
-    the rest fail with ``FileNotFoundError`` and report ``False``.
-    The winner still has to *acquire* afterwards like anyone else.
+    A bare rename-aside is *not* enough: the rename grabs whatever is
+    at the path at that instant, and between a contender's staleness
+    verdict and its rename a rival may have reaped first and won the
+    ``O_EXCL`` re-acquire — the late rename would then steal the
+    rival's *fresh* lease, leaving the path momentarily free for a
+    third contender's create, and two workers walk away each believing
+    they own the cell.  So the verdict and the rename are serialised
+    through a reap slot (an ``O_EXCL`` sidecar file): the slot holder
+    re-judges the lease state *inside* the critical section and only
+    renames a lease that is still reapable.  Losers of the slot report
+    ``False`` and simply retry later; a slot orphaned by a crash is
+    broken after :data:`REAP_SLOT_GRACE_S`.  The winner still has to
+    *acquire* afterwards like anyone else — the ``O_EXCL`` create
+    remains the ownership arbiter.
     """
     path = Path(path)
-    tomb = path.with_name(
-        f"{path.name}.reaped.{os.getpid()}.{next(_REAP_COUNTER)}")
+    now = time.time() if now is None else now
+    slot = path.with_name(path.name + ".reaplock")
+    _break_abandoned_reap_slot(slot)
+    token = (f"{_hostname()}.{os.getpid()}.{_PROCESS_NONCE}."
+             f"{next(_REAP_COUNTER)}").encode("ascii")
     try:
-        os.rename(path, tomb)
+        fd = os.open(slot, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
     except OSError:
         return False
     try:
-        tomb.unlink()
-    except OSError:
-        pass
-    return True
+        os.write(fd, token)
+        os.close(fd)
+        if lease_state(path, now=now) not in ("stale", "torn", "skewed"):
+            # The lease was re-acquired (or refreshed) since the
+            # caller's verdict; it is live and must be respected.
+            return False
+        tomb = path.with_name(
+            f"{path.name}.reaped.{os.getpid()}.{next(_REAP_COUNTER)}")
+        try:
+            os.rename(path, tomb)
+        except OSError:
+            return False
+        try:
+            tomb.unlink()
+        except OSError:
+            pass
+        return True
+    finally:
+        # Remove only our own slot: if a breaker judged us dead and a
+        # rival now holds a fresh slot, leave it strictly alone.
+        try:
+            if slot.read_bytes() == token:
+                slot.unlink()
+        except OSError:
+            pass
 
 
 class Lease:
@@ -320,7 +405,7 @@ def try_acquire(path: str | Path, owner: str,
     if _write_lease_file(path, info, exclusive=True):
         return Lease(path, info)
     if lease_state(path, now=now) in ("stale", "torn", "skewed"):
-        reap_lease(path)
+        reap_lease(path, now=now)
         # Whether or not *we* won the reap, the path may now be free;
         # the O_EXCL create below stays the single arbiter.
         if _write_lease_file(path, info, exclusive=True):

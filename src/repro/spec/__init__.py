@@ -15,10 +15,24 @@ This package turns the simulator's transient-execution column from
   and L1TF;
 * :mod:`repro.spec.scanner` — the gadget x architecture/knob sweep,
   dispatched through the supervised experiment runner (``repro scan``);
+* :mod:`repro.spec.memo` — the memoized exploration engine: frontier
+  dedup, cheap tuple snapshots, and window-parametric excursion
+  recordings shared across the grid (``memo=``, on by default in the
+  CLI; byte-identical reports, proven by
+  :mod:`repro.spec.explore_diff`);
 * :mod:`repro.spec.report` — the deterministic leak-report artifact.
 """
 
 from repro.spec.explorer import CHANNELS, LeakEvent, SpeculationExplorer
+from repro.spec.memo import (
+    MEMO_CAPACITY,
+    MEMO_WINDOW_FLOOR,
+    ExplorationMemo,
+    ExplorationRecord,
+    MemoizedSpeculationExplorer,
+    exploration_signature,
+    record_exploration,
+)
 from repro.spec.gadgets import (
     CORPUS_REV,
     GADGETS,
@@ -52,12 +66,19 @@ __all__ = [
     "GadgetInstance",
     "LeakEvent",
     "LeakReport",
+    "MEMO_CAPACITY",
+    "MEMO_WINDOW_FLOOR",
+    "ExplorationMemo",
+    "ExplorationRecord",
+    "MemoizedSpeculationExplorer",
     "SCAN_CATEGORY",
     "ScanConfig",
     "ScanRow",
     "SpeculationExplorer",
     "TaintState",
     "execute_scan_cell",
+    "exploration_signature",
+    "record_exploration",
     "full_config_names",
     "quick_config_names",
     "run_scan",

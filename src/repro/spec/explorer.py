@@ -118,6 +118,20 @@ class SpeculationExplorer:
         self._transient_instrs = 0
         self._program: Program | None = None
 
+    def _reset_run_state(self) -> None:
+        """Clear per-run state at the top of :meth:`run`.
+
+        Reusing one explorer for a second program must not report the
+        first run's leaks, suppress re-exploration through the stale
+        dedup set, or inherit a spent transient-instruction budget.
+        Taint and injection targets are *not* cleared: they are the
+        caller's pre-run configuration, not run results.
+        """
+        self.leaks = []
+        self.truncated = False
+        self._seen = {}
+        self._transient_instrs = 0
+
     # -- results -----------------------------------------------------------
 
     @property
@@ -145,6 +159,7 @@ class SpeculationExplorer:
         inputs).  The core's privilege, MMU context, and ``fault_resume``
         are taken as already configured by the caller (gadget setup).
         """
+        self._reset_run_state()
         core = self.core
         core.load_program(program, entry)
         for idx, value in (regs or {}).items():
@@ -230,10 +245,18 @@ class SpeculationExplorer:
 
     # -- fork-site hooks (called by SpeculativeCore) -----------------------
 
+    def _fork_window(self, core) -> int:
+        """Transient window budget granted to excursions.
+
+        Overridable: the memoized explorer records at an inflated window
+        and derives narrower-window verdicts by depth filtering.
+        """
+        return core.spec.transient_window
+
     def on_branch(self, core, instr: Instruction, branch_pc: int,
                   taken: bool, target: int, fallthrough: int) -> None:
         """Fork down the non-architectural direction of a branch."""
-        if core.spec.transient_window <= 0:
+        if self._fork_window(core) <= 0:
             return
         wrong_path = fallthrough if taken else target
         if wrong_path is None:
@@ -242,7 +265,7 @@ class SpeculationExplorer:
 
     def on_ret(self, core, ret_pc: int, target: int) -> None:
         """Fork to attacker-planted indirect-predictor targets (v2)."""
-        if core.spec.transient_window <= 0:
+        if self._fork_window(core) <= 0:
             return
         if core.spec.predictor.btb_tag_with_asid:
             # Context-tagged BTB: cross-context injections never match.
@@ -260,7 +283,7 @@ class SpeculationExplorer:
         resolved by the core's own :meth:`_forwarded_value`, so the knob
         semantics here are exactly the attack model's.
         """
-        if core.spec.transient_window <= 0:
+        if self._fork_window(core) <= 0:
             return
         forwarded = core._forwarded_value(fault)
         if forwarded is None:
@@ -290,14 +313,18 @@ class SpeculationExplorer:
             if rd != 0:
                 regs[rd] = value & WORD_MASK
                 taints[rd] = tainted
-        window = core.spec.transient_window
+        window = self._fork_window(core)
         # FIFO over (pc, regs, taints, budget, depth): breadth-first in
         # fork order, fully deterministic (no hash-ordered iteration).
+        # Budget and depth move in lockstep (budget == window - depth on
+        # every state, forks included), which is what lets the memoized
+        # subclass derive narrower-window verdicts by depth filtering.
+        self._begin_excursion(start_pc, regs, taints, window)
         queue: deque = deque()
         queue.append((start_pc, regs, taints, window, 0))
         states = 1
         while queue:
-            pc, regs, taints, budget, depth = queue.popleft()
+            pc, regs, taints, budget, depth = self._pop_state(queue)
             while budget > 0:
                 if self._transient_instrs >= self.max_transient_instrs:
                     self.truncated = True
@@ -376,9 +403,9 @@ class SpeculationExplorer:
                     # Nested fork: the *other* direction of an in-window
                     # branch is also a transient path.
                     if budget > 0 and states < self.max_states:
-                        states += 1
-                        queue.append((forked, list(regs), list(taints),
-                                      budget, depth))
+                        if self._enqueue_fork(queue, forked, regs, taints,
+                                              budget, depth):
+                            states += 1
                     elif states >= self.max_states:
                         self.truncated = True
                     pc = follow
@@ -401,6 +428,27 @@ class SpeculationExplorer:
                     pc = self._get(regs, 15)
                     continue
                 pc = next_pc
+
+    # -- frontier hooks (overridden by the memoized explorer) --------------
+
+    def _begin_excursion(self, start_pc: int, regs: list[int],
+                         taints: list[bool], window: int) -> None:
+        """Called once per excursion before the frontier walk starts."""
+
+    def _enqueue_fork(self, queue: deque, forked: int, regs: list[int],
+                      taints: list[bool], budget: int, depth: int) -> bool:
+        """Push a nested fork; return True if it was actually enqueued.
+
+        The base explorer always enqueues (the reference semantics); the
+        memoized explorer prunes states already visited this excursion.
+        """
+        queue.append((forked, list(regs), list(taints), budget, depth))
+        return True
+
+    @staticmethod
+    def _pop_state(queue: deque) -> tuple:
+        """Next frontier state as (pc, regs, taints, budget, depth)."""
+        return queue.popleft()
 
     @staticmethod
     def _get(regs: list[int], idx: int) -> int:

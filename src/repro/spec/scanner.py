@@ -22,6 +22,11 @@ from typing import Callable
 from repro.runner.engine import SCAN_CATEGORY
 from repro.spec.explorer import SpeculationExplorer
 from repro.spec.gadgets import CORPUS_REV, GADGETS, Gadget, GadgetInstance
+from repro.spec.memo import (
+    ExplorationMemo,
+    exploration_signature,
+    record_exploration,
+)
 from repro.spec.report import LeakReport, ScanRow
 
 #: Default master seed for scan sweeps (per-cell seeds derive from it).
@@ -212,18 +217,65 @@ def scan_gadget(config: ScanConfig, gadget: Gadget) -> ScanRow:
     return _scan_gadget(config, gadget)[0]
 
 
-def execute_scan_cell(spec) -> dict:
+#: Process-global memo for memoized scans.  Recordings are keyed on the
+#: full knob signature (corpus revision included), so sharing one memo
+#: across scans is safe and is exactly what makes repeat sweeps cheap.
+_SCAN_MEMO: ExplorationMemo | None = None
+
+
+def _scan_memo() -> ExplorationMemo:
+    global _SCAN_MEMO
+    if _SCAN_MEMO is None:
+        _SCAN_MEMO = ExplorationMemo()
+    return _SCAN_MEMO
+
+
+def _scan_gadget_memo(config: ScanConfig, gadget: Gadget,
+                      memo: ExplorationMemo) -> tuple[ScanRow, int]:
+    """Memoized ``_scan_gadget``: identical row bytes, shared walks.
+
+    One window-inflated recording per (gadget, knob signature) serves
+    every config in the column; the row for this config is derived by
+    filtering the record's per-key minimum depths against the config's
+    window.  A recording that hit an exploration cap is not replayable
+    (the depth-filter argument needs complete depth profiles), so those
+    cells fall back to the reference path wholesale.
+    """
+    signature = exploration_signature(config, gadget)
+    record = memo.lookup(signature, config.window)
+    if record is None:
+        record = record_exploration(config, gadget)
+        memo.store(signature, record)
+        if not record.replayable:
+            return _scan_gadget(config, gadget)
+    leaked, channels, origins, events = record.verdict_for(config.window)
+    row = ScanRow(
+        config=config.name, gadget=gadget.name, family=gadget.family,
+        leaked=leaked, expected=config.expects_leak(gadget),
+        channels=channels, origins=origins, events=events,
+        window=config.window, truncated=False)
+    return row, record.instret
+
+
+def execute_scan_cell(spec, memo: bool = False) -> dict:
     """Payload for one scan cell: the whole corpus on one config.
 
     ``spec.platform`` carries the scan-config name (scan cells are not
     tied to a ``PlatformClass``); the payload shape is deterministic and
     participates in the runner's integrity/caching machinery unchanged.
+    ``memo`` is strategy, not measurement: the payload — rows *and*
+    ``cell_instret`` — is byte-identical either way, so memoized and
+    reference cells share cache entries.
     """
     config = scan_config_for(spec.platform)
+    memo_cache = _scan_memo() if memo else None
     rows = []
     instret = 0
     for gadget in GADGETS:
-        row, retired = _scan_gadget(config, gadget)
+        if memo_cache is not None:
+            row, retired = _scan_gadget_memo(config, gadget, memo_cache)
+        else:
+            row, retired = _scan_gadget(config, gadget)
         rows.append(row)
         instret += retired
     return {
@@ -253,11 +305,13 @@ def scan_specs(quick: bool = True, seed: int = DEFAULT_SCAN_SEED) -> list:
 
 
 def run_scan(quick: bool = True, runner=None,
-             seed: int = DEFAULT_SCAN_SEED) -> LeakReport:
+             seed: int = DEFAULT_SCAN_SEED, memo: bool = False) -> LeakReport:
     """Sweep the corpus across the grid; return the leak report.
 
-    With a runner, cells fan out/cache through the supervised executor;
-    without one, they execute serially in-process.
+    With a runner, cells fan out/cache through the supervised executor
+    (and the runner's own ``memo`` knob governs the strategy); without
+    one, they execute serially in-process, memoized when ``memo`` is
+    set.  Reports are byte-identical either way.
     """
     specs = scan_specs(quick=quick, seed=seed)
     if runner is not None:
@@ -269,7 +323,8 @@ def run_scan(quick: bool = True, runner=None,
         payload_list = [payloads[s] for s in specs]
     else:
         from repro.runner.engine import execute_spec
-        payload_list = [execute_spec(s) for s in specs]
+        payload_list = [execute_spec(s, memo=True) if memo
+                        else execute_spec(s) for s in specs]
     rows = [ScanRow.from_dict(row)
             for payload in payload_list for row in payload["rows"]]
     return LeakReport(rows, seed=seed, corpus_rev=CORPUS_REV)

@@ -69,6 +69,8 @@ _HEALTHY["kocher_timing[scalar]"] = 0.045
 _HEALTHY["kocher_timing[batched]"] = 0.018
 _HEALTHY["quick_matrix[scalar]"] = 9.0
 _HEALTHY["quick_matrix[ensemble]"] = 1.5
+_HEALTHY["spec_scan[reference]"] = 0.19
+_HEALTHY["spec_scan[memoized]"] = 0.0013
 
 
 class TestNewestBaselineSelection:
@@ -162,6 +164,17 @@ class TestGateVerdicts:
                             decayed)
         assert main([str(current), "--against", str(against)]) == 1
         assert "cache_sca[batched]" in capsys.readouterr().err
+
+    def test_speedup_floor_gates_memoized_scan_ratio(self, tmp_path,
+                                                     capsys):
+        against = _baseline(tmp_path / "BENCH_old.json", "2026-08-01",
+                            _HEALTHY)
+        decayed = dict(_HEALTHY)
+        decayed["spec_scan[memoized]"] = 0.1  # 1.9x < 2.0x floor
+        current = _baseline(tmp_path / "current.json", "2026-08-08",
+                            decayed)
+        assert main([str(current), "--against", str(against)]) == 1
+        assert "spec_scan[memoized]" in capsys.readouterr().err
 
     def test_speedup_floor_tolerates_missing_pair(self, tmp_path):
         """A quick run without the pair (e.g. -k filter) must not crash

@@ -243,6 +243,25 @@ class TestLease:
         assert results.count(True) == 1
         assert lease_state(path) == "free"
 
+    def test_reap_refuses_a_lease_that_went_live(self, queue):
+        """Regression: between a contender's staleness verdict and its
+        rename, a rival can reap first *and* win the O_EXCL create —
+        an unconditional rename would then steal the rival's fresh
+        lease and two acquirers walk away owning the cell.  Reap must
+        re-judge inside its critical section and leave a live lease
+        strictly alone."""
+        path = queue.lease_path("raced")
+        lease = try_acquire(path, "worker-a", ttl_s=30.0)
+        assert lease is not None
+        # A contender acting on a pre-race staleness verdict reaps the
+        # now-live lease; the under-slot re-check must refuse.
+        assert reap_lease(path) is False
+        assert lease_state(path) == "held"
+        assert read_lease(path).owner == "worker-a"
+        assert not list(path.parent.glob(f"{path.name}.reaped.*"))
+        assert not list(path.parent.glob(f"{path.name}.reaplock*"))
+        lease.release()
+
     def test_expired_lease_race_yields_exactly_one_owner(self, queue):
         """Satellite: two contenders for an expired lease — one winner
         via ``O_EXCL``, and the loser's backoff is the deterministic

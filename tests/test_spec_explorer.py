@@ -275,3 +275,39 @@ class TestDeterminism:
         second = _run_gadget(make_server_soc(), "v1-bounds-bypass")
         assert first.leaks == second.leaks
         assert first.channels() == second.channels()
+
+
+class TestRunReset:
+    def test_back_to_back_runs_reset_per_run_state(self):
+        # One explorer, three runs: leaking gadget, clean program,
+        # leaking gadget again.  The clean run must not inherit the
+        # first run's leaks, and the third must re-explore from scratch
+        # (not be suppressed by a stale dedup set or a spent transient
+        # budget).
+        soc = make_server_soc()
+        instance = GADGETS_BY_NAME["v1-bounds-bypass"].build(soc)
+        clean = assemble("""
+victim:
+    li    r2, 1
+    beq   r0, r2, wrong
+    halt
+wrong:
+    li    r3, 5
+    halt
+""", base=soc.dram_base + CODE_OFF, name="clean")
+        explorer = SpeculationExplorer(soc)
+        for word in instance.taint_words:
+            explorer.taint.taint_word(word)
+
+        explorer.run(instance.program, instance.entry, regs=instance.regs,
+                     max_steps=instance.max_steps)
+        first_leaks = list(explorer.leaks)
+        assert explorer.leaked
+
+        explorer.run(clean, "victim")
+        assert not explorer.leaked
+        assert explorer.leaks == []
+
+        explorer.run(instance.program, instance.entry, regs=instance.regs,
+                     max_steps=instance.max_steps)
+        assert explorer.leaks == first_leaks

@@ -132,6 +132,22 @@ class TestRunnerIntegration:
         assert rerun.stats.cache_hits == len(quick_config_names())
         assert rerun.stats.cache_misses == 0
 
+    def test_memoized_runner_shares_cache_entries_with_reference(
+            self, tmp_path, quick_report):
+        # memo= is strategy, not measurement: a memoized run's cached
+        # payloads (integrity digests included) must satisfy a later
+        # reference-configured runner wholesale.
+        memo_runner = ExperimentRunner(cache=ResultCache(tmp_path / "cells"),
+                                       memo=True)
+        report = run_scan(quick=True, runner=memo_runner)
+        assert report.to_json() == quick_report.to_json()
+        assert memo_runner.stats.cache_misses == len(quick_config_names())
+        reference = ExperimentRunner(cache=ResultCache(tmp_path / "cells"))
+        cached = run_scan(quick=True, runner=reference)
+        assert cached.to_json() == quick_report.to_json()
+        assert reference.stats.cache_hits == len(quick_config_names())
+        assert reference.stats.cache_misses == 0
+
 
 _SCAN_SCRIPT = """
 import sys
@@ -139,13 +155,26 @@ from repro.spec import run_scan
 sys.stdout.write(run_scan(quick=True).to_json())
 """
 
+_FULL_SCAN_SCRIPT = """
+import sys
+from repro.spec import run_scan
+sys.stdout.write(run_scan(quick=False).to_json())
+"""
 
-def _scan_json_in_subprocess(hashseed: str) -> str:
+_FULL_MEMO_SCAN_SCRIPT = """
+import sys
+from repro.spec import run_scan
+sys.stdout.write(run_scan(quick=False, memo=True).to_json())
+"""
+
+
+def _scan_json_in_subprocess(hashseed: str,
+                             script: str = _SCAN_SCRIPT) -> str:
     env = os.environ.copy()
     env["PYTHONHASHSEED"] = hashseed
     src = str(Path(repro.__file__).resolve().parents[1])
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
-    proc = subprocess.run([sys.executable, "-c", _SCAN_SCRIPT],
+    proc = subprocess.run([sys.executable, "-c", script],
                           env=env, capture_output=True, text=True,
                           check=True)
     return proc.stdout
@@ -161,3 +190,16 @@ class TestHashSeedInvariance:
         assert first == second
         rows = json.loads(first)["rows"]
         assert len(rows) == len(GADGETS) * len(quick_config_names())
+
+    def test_memoized_full_scan_identical_across_hash_randomisation(self):
+        """The memoized lane's extra machinery (signature keys, visited
+        sets, recording replay) must be as hash-salt-proof as the
+        reference: byte-identical --full reports across interpreters,
+        and byte-identical to the reference lane's report."""
+        first = _scan_json_in_subprocess("1", script=_FULL_MEMO_SCAN_SCRIPT)
+        second = _scan_json_in_subprocess("2", script=_FULL_MEMO_SCAN_SCRIPT)
+        assert first == second
+        reference = _scan_json_in_subprocess("3", script=_FULL_SCAN_SCRIPT)
+        assert first == reference
+        rows = json.loads(first)["rows"]
+        assert len(rows) == len(GADGETS) * len(full_config_names())
